@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef VN_BENCH_COMMON_HH
+#define VN_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+
+#include "vnoise/vnoise.hh"
+
+namespace vnbench
+{
+
+/** Banner naming the paper artifact a binary regenerates. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s - %s\n", artifact, description);
+    std::printf("Bertran et al., \"Voltage Noise in Multi-core Processors\","
+                " MICRO 2014\n");
+    std::printf("==============================================================\n\n");
+}
+
+/** The shared core model. */
+inline const vn::CoreModel &
+coreModel()
+{
+    static vn::CoreModel core;
+    return core;
+}
+
+/**
+ * The shared stressmark kit, memoized on disk so only the first bench
+ * binary of a session pays for the sequence search.
+ */
+inline const vn::StressmarkKit &
+sharedKit()
+{
+    static vn::StressmarkKit kit =
+        vn::StressmarkKit::cached(coreModel(), "vnoise_kit.cache");
+    return kit;
+}
+
+/** Default harness configuration used by the figure benches. */
+inline vn::AnalysisContext
+defaultContext()
+{
+    vn::AnalysisContext ctx;
+    ctx.kit = &sharedKit();
+    ctx.window = 24e-6;
+    ctx.unsync_draws = 4;
+    ctx.consecutive_events = 1000;
+    return ctx;
+}
+
+} // namespace vnbench
+
+#endif // VN_BENCH_COMMON_HH

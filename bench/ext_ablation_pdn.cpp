@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation study of the PDN design choices the paper highlights:
+ *  1. deep-trench eDRAM decap (section V-A): removing the 40x on-chip
+ *     capacitance boost moves the '1st droop' back up towards the
+ *     30-100 MHz band of older systems;
+ *  2. the L3 bridge (section VI): weakening/strengthening the
+ *     inter-domain bridge changes how strongly the clusters couple.
+ */
+
+#include <complex>
+
+#include "common.hh"
+
+namespace
+{
+
+double
+crossCouplingRatio(const vn::ChipPdn &pdn)
+{
+    // Same-cluster vs cross-cluster transfer impedance at the die band.
+    vn::AcAnalysis ac(pdn.netlist);
+    auto profile = vn::impedanceProfile(pdn, 0);
+    double f = profile.die_resonance_hz;
+    double same = std::abs(
+        ac.transferImpedance(pdn.core_port[0], pdn.core_node[2], f));
+    double cross = std::abs(
+        ac.transferImpedance(pdn.core_port[0], pdn.core_node[3], f));
+    return same / cross;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vn;
+    vnbench::banner("Ablation", "PDN design choices: deep-trench decap "
+                                "and the L3 bridge");
+
+    // --- 1. deep-trench eDRAM decap ----------------------------------
+    std::printf("--- on-chip decap vs '1st droop' location ---\n");
+    TextTable decap({"On-chip decap", "Die resonance", "Peak |Z| (mOhm)"});
+    for (double scale : {1.0, 1.0 / 4.0, 1.0 / 40.0}) {
+        PdnConfig config;
+        config.c_die_fast *= scale;
+        config.c_die_damp *= scale;
+        config.c_l3 *= scale;
+        config.c_core *= scale; // core-local decap is deep trench too
+        auto pdn = buildZec12Pdn(config);
+        auto profile = impedanceProfile(pdn, 0, 1e3, 5e8, 120);
+        AcAnalysis ac(pdn.netlist);
+        double z_peak = std::abs(
+            ac.impedance(pdn.core_port[0], profile.die_resonance_hz));
+        const char *label = scale == 1.0 ? "zEC12 (deep trench)"
+                            : scale > 0.1 ? "1/4 (partial)"
+                                          : "1/40 (no eDRAM)";
+        decap.addRow({label, freqLabel(profile.die_resonance_hz),
+                      TextTable::num(z_peak * 1e3, 2)});
+    }
+    decap.print(std::cout);
+    std::printf("\npaper section V-A: deep trench raised on-chip decap "
+                "~40x, moving the '1st droop' from the 30-100 MHz band "
+                "of older systems down to ~2 MHz\n\n");
+
+    // --- 2. L3 bridge strength ---------------------------------------
+    std::printf("--- L3 bridge resistance vs cluster isolation ---\n");
+    TextTable bridge({"Bridge resistance", "same/cross coupling"});
+    for (double scale : {0.25, 1.0, 4.0, 16.0}) {
+        PdnConfig config;
+        config.r_dom_l3 *= scale;
+        auto pdn = buildZec12Pdn(config);
+        bridge.addRow({TextTable::num(config.r_dom_l3 * 1e3, 2) + " mOhm",
+                       TextTable::num(crossCouplingRatio(pdn), 2) + "x"});
+    }
+    bridge.print(std::cout);
+    std::printf("\na stronger (lower-R) bridge homogenizes the chip; a "
+                "weaker one deepens the {0,2,4} vs {1,3,5} split the "
+                "paper measured\n");
+    return 0;
+}

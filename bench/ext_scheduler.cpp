@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Extension: online noise-aware scheduling (section VII-A, dynamic).
+ * Precomputes the worst-case noise of all 64 core-subset placements,
+ * then streams thousands of job arrivals/departures through a naive
+ * first-free-core policy and a noise-aware policy.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace vn;
+    vnbench::banner("Extension (section VII-A)",
+                    "online noise-aware workload scheduling");
+
+    auto ctx = vnbench::defaultContext();
+    ctx.window = 14e-6;
+    MappingStudy study(ctx, 2.4e6);
+    inform("precomputing the 64-placement noise oracle...");
+    PlacementOracle oracle(study);
+
+    TextTable table({"Arrival bias", "Policy", "Peak %p2p",
+                     "Mean %p2p"});
+    for (double bias : {0.35, 0.5, 0.65}) {
+        SchedulerSimParams params;
+        params.events = 20000;
+        params.arrival_bias = bias;
+        auto r = schedulerSimulation(oracle, params);
+        table.addRow({TextTable::num(bias, 2), "first-free (naive)",
+                      TextTable::num(r.naive_peak, 1),
+                      TextTable::num(r.naive_mean, 1)});
+        table.addRow({"", "noise-aware",
+                      TextTable::num(r.aware_peak, 1),
+                      TextTable::num(r.aware_mean, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nthe aware policy avoids cluster-packing placements, "
+                "trimming the time-average worst-case noise; peaks "
+                "converge at high load where every core is busy "
+                "(Fig. 15's shrinking opportunity at k=6)\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 10 reproduction: sensitivity of noise to deltaI-event
+ * misalignment. Stressmarks at the die resonance band synchronize
+ * every 4 ms, but their TOD offsets are distributed evenly within a
+ * maximum allowed misalignment; per-core noise is averaged over
+ * several offset-to-core assignments.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace vn;
+    vnbench::banner("Figure 10", "noise sensitivity to deltaI event "
+                                 "alignment (62.5 ns steps)");
+
+    auto ctx = vnbench::defaultContext();
+    std::vector<uint64_t> ticks{0, 1, 2, 3, 4, 6, 8, 10};
+    inform("sweeping ", ticks.size(), " misalignment windows x 3 "
+                                      "assignments...");
+    auto points = sweepMisalignment(ctx, 2.4e6, ticks, 3);
+
+    TextTable table({"Max misalignment", "c0", "c1", "c2", "c3", "c4",
+                     "c5", "avg max"});
+    for (const auto &p : points) {
+        table.addRow(
+            {TextTable::num(p.max_misalignment_s * 1e9, 1) + " ns",
+             TextTable::num(p.avg_p2p[0], 1),
+             TextTable::num(p.avg_p2p[1], 1),
+             TextTable::num(p.avg_p2p[2], 1),
+             TextTable::num(p.avg_p2p[3], 1),
+             TextTable::num(p.avg_p2p[4], 1),
+             TextTable::num(p.avg_p2p[5], 1),
+             TextTable::num(p.avg_max_p2p, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\naligned %.1f %%p2p -> 62.5 ns spread %.1f %%p2p -> "
+                "625 ns spread %.1f %%p2p\n",
+                points.front().avg_max_p2p, points[1].avg_max_p2p,
+                points.back().avg_max_p2p);
+    std::printf("paper: a small misalignment (62.5 ns granularity) is "
+                "sufficient to diminish the synchronization effect\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 5 reproduction: the maximum-power instruction sequence search
+ * funnel. Candidate selection -> 9^6 = 531441 combinations ->
+ * microarchitectural filtering -> IPC filtering -> power evaluation.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace vn;
+    vnbench::banner("Figure 5", "maximum power instruction sequence "
+                                "generation funnel");
+
+    const auto &core = vnbench::coreModel();
+    EpiProfiler profiler(core, 1200);
+    inform("building the EPI profile...");
+    auto profile = profiler.profile();
+
+    SequenceSearchParams params; // paper-scale defaults: 9^6, keep 1000
+    SequenceSearch search(core, params);
+
+    auto candidates = search.selectCandidates(profile);
+    std::printf("instruction candidates (%zu):", candidates.size());
+    for (const auto *c : candidates)
+        std::printf(" %s[%s]", c->mnemonic.c_str(),
+                    funcUnitName(c->unit));
+    std::printf("\n\n");
+
+    inform("running the combination funnel (this is the expensive "
+           "paper-scale stage)...");
+    auto result = search.run(profile);
+
+    TextTable funnel({"Stage", "Sequences", "Paper"});
+    funnel.addRow({"combinations generated",
+                   TextTable::num(static_cast<long long>(
+                       result.combinations_total)),
+                   "531441"});
+    funnel.addRow({"after microarchitectural filter",
+                   TextTable::num(static_cast<long long>(
+                       result.after_uarch_filter)),
+                   "32000"});
+    funnel.addRow({"after IPC filter",
+                   TextTable::num(static_cast<long long>(
+                       result.after_ipc_filter)),
+                   "1000"});
+    funnel.addRow({"after power evaluation", "1", "1"});
+    funnel.print(std::cout);
+
+    std::printf("\nmax-power sequence: %s\n",
+                result.best_sequence.toString().c_str());
+    std::printf("  power %.3f model units (%.2fx the hottest single "
+                "instruction), IPC %.2f\n",
+                result.best_power,
+                result.best_power / profile.front().power,
+                result.best_ipc);
+    std::printf("  (the paper's point: the mixed-unit sequence beats "
+                "every single-instruction benchmark)\n");
+    return 0;
+}

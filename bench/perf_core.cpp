@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core model and the
+ * stressmark-generation stages (EPI measurement, microarchitectural
+ * filtering, IPC evaluation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+vn::Program
+mixedProgram()
+{
+    const auto &t = vn::instrTable();
+    vn::Program p;
+    for (int i = 0; i < 100; ++i) {
+        p.push(&t.find("CIB"));
+        p.push(&t.find("CHHSI"));
+        p.push(&t.find("L"));
+    }
+    return p;
+}
+
+void
+BM_CoreCyclesPerSecond(benchmark::State &state)
+{
+    auto p = mixedProgram();
+    for (auto _ : state) {
+        auto r = core().run(p, 3000, 10000);
+        benchmark::DoNotOptimize(r.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<int64_t>(r.cycles));
+    }
+}
+BENCHMARK(BM_CoreCyclesPerSecond);
+
+void
+BM_EpiMeasureOneInstr(benchmark::State &state)
+{
+    vn::EpiProfiler profiler(core(), 600);
+    const auto &d = vn::instrTable().find("CIB");
+    for (auto _ : state) {
+        auto e = profiler.measure(d);
+        benchmark::DoNotOptimize(e.power);
+    }
+}
+BENCHMARK(BM_EpiMeasureOneInstr);
+
+void
+BM_UarchFilter(benchmark::State &state)
+{
+    vn::SequenceSearch search(core(), {});
+    const auto &t = vn::instrTable();
+    std::vector<const vn::InstrDesc *> seq{
+        &t.find("CIB"), &t.find("CHHSI"), &t.find("L"),
+        &t.find("CRB"), &t.find("CHHSI"), &t.find("LG")};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(search.passesUarchFilter(seq));
+}
+BENCHMARK(BM_UarchFilter);
+
+void
+BM_IpcEvaluation(benchmark::State &state)
+{
+    auto p = mixedProgram();
+    for (auto _ : state) {
+        auto r = core().run(p, 600, 24000);
+        benchmark::DoNotOptimize(r.ipc());
+    }
+}
+BENCHMARK(BM_IpcEvaluation);
+
+void
+BM_PowerTraceBin(benchmark::State &state)
+{
+    auto p = mixedProgram();
+    for (auto _ : state) {
+        auto w = core().powerTrace(p, 4000, 8);
+        benchmark::DoNotOptimize(w.size());
+    }
+}
+BENCHMARK(BM_PowerTraceBin);
+
+void
+BM_StressmarkBuild(benchmark::State &state)
+{
+    static vn::StressmarkBuilder builder(
+        core(), mixedProgram(),
+        vn::makeRepeatedProgram(&vn::instrTable().find("SRNM"), 6));
+    vn::StressmarkSpec spec;
+    spec.stimulus_freq_hz = 2e6;
+    for (auto _ : state) {
+        auto sm = builder.build(spec);
+        benchmark::DoNotOptimize(sm.high_instrs);
+    }
+}
+BENCHMARK(BM_StressmarkBuild);
+
+} // namespace
+
+BENCHMARK_MAIN();

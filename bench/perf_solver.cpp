@@ -1,0 +1,88 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate: PDN
+ * transient stepping, AC solves, and DC operating points. These bound
+ * the wall-clock cost of every experiment harness.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+const vn::ChipPdn &
+pdn()
+{
+    static vn::ChipPdn p = vn::buildZec12Pdn();
+    return p;
+}
+
+void
+BM_TransientStep(benchmark::State &state)
+{
+    vn::TransientSolver sim(pdn().netlist, 1e-9);
+    std::vector<double> load(pdn().portCount(), 0.0);
+    sim.initDcOperatingPoint(load);
+    load[0] = 20.0;
+    for (auto _ : state) {
+        sim.step(load);
+        benchmark::DoNotOptimize(sim.nodeVoltage(pdn().core_node[0]));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TransientStep);
+
+void
+BM_DcOperatingPoint(benchmark::State &state)
+{
+    vn::TransientSolver sim(pdn().netlist, 1e-9);
+    std::vector<double> load(pdn().portCount(), 15.0);
+    for (auto _ : state)
+        sim.initDcOperatingPoint(load);
+}
+BENCHMARK(BM_DcOperatingPoint);
+
+void
+BM_AcImpedancePoint(benchmark::State &state)
+{
+    vn::AcAnalysis ac(pdn().netlist);
+    double f = 1e4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ac.impedance(pdn().core_port[0], f));
+        f = f < 1e8 ? f * 1.3 : 1e4;
+    }
+}
+BENCHMARK(BM_AcImpedancePoint);
+
+void
+BM_SolverConstruction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        vn::TransientSolver sim(pdn().netlist, 1e-9);
+        benchmark::DoNotOptimize(&sim);
+    }
+}
+BENCHMARK(BM_SolverConstruction);
+
+void
+BM_ChipCosimMicrosecond(benchmark::State &state)
+{
+    // One microsecond of full chip co-simulation (1000 steps) with six
+    // square-wave workloads.
+    vn::ChipModel chip;
+    std::vector<vn::ActivityPhase> loop{{3.4, 200e-9}, {1.9, 200e-9}};
+    vn::CoreActivity wave(loop);
+    std::array<vn::CoreActivity, vn::kNumCores> w = {wave, wave, wave,
+                                                     wave, wave, wave};
+    for (auto _ : state) {
+        auto r = chip.run(w, 1e-6);
+        benchmark::DoNotOptimize(r.maxP2p());
+    }
+}
+BENCHMARK(BM_ChipCosimMicrosecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

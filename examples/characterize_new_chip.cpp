@@ -1,0 +1,115 @@
+/**
+ * @file
+ * End-to-end characterization of a *modified* chip design - the
+ * workflow a user applies to their own silicon model:
+ *
+ *  1. describe the design deviations in a key=value config file
+ *     (here: a cost-reduced package with half the module decap and a
+ *     weaker L3 bridge),
+ *  2. locate the resonant bands electrically,
+ *  3. regenerate the worst-case stressmarks (the methodology is
+ *     design-independent),
+ *  4. measure the noise and the Vmin margin, and
+ *  5. compare against the baseline design.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+vn::VminResult
+marginOf(const vn::ChipConfig &config, const vn::Stressmark &sm)
+{
+    vn::VminExperiment vmin(config);
+    std::array<vn::CoreActivity, vn::kNumCores> w = {
+        sm.activity(), sm.activity(), sm.activity(),
+        sm.activity(), sm.activity(), sm.activity()};
+    return vmin.run(w, 20e-6);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vn;
+
+    // 1. The derivative design, written as a config override file the
+    //    way a user would keep it in their repository.
+    const char *config_path = "cost_reduced_chip.cfg";
+    {
+        ChipConfig derivative;
+        derivative.pdn.c_pkg /= 2.0;      // halve module decap ($$)
+        derivative.pdn.r_dom_l3 *= 3.0;   // weaker inter-domain bridge
+        saveChipConfig(derivative, config_path);
+    }
+    ChipConfig modified = loadChipConfig(config_path);
+    ChipConfig baseline;
+
+    // 2. Electrical view of both designs.
+    ChipModel base_chip(baseline);
+    ChipModel mod_chip(modified);
+    auto base_z = impedanceProfile(base_chip.pdn(), 0);
+    auto mod_z = impedanceProfile(mod_chip.pdn(), 0);
+    std::printf("resonant bands   baseline: board %s / die %s\n",
+                freqLabel(base_z.board_resonance_hz).c_str(),
+                freqLabel(base_z.die_resonance_hz).c_str());
+    std::printf("               derivative: board %s / die %s\n\n",
+                freqLabel(mod_z.board_resonance_hz).c_str(),
+                freqLabel(mod_z.die_resonance_hz).c_str());
+
+    // 3. Stressmarks from the shared methodology kit.
+    CoreModel core;
+    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    StressmarkSpec spec;
+    spec.stimulus_freq_hz = mod_z.die_resonance_hz; // hunt *its* band
+    Stressmark sm = kit.make(spec);
+
+    // 4-5. Noise and margin, side by side.
+    auto run_noise = [&](ChipModel &chip) {
+        std::array<CoreActivity, kNumCores> w = {
+            sm.activity(), sm.activity(), sm.activity(),
+            sm.activity(), sm.activity(), sm.activity()};
+        return chip.run(w, 30e-6);
+    };
+    auto base_noise = run_noise(base_chip);
+    auto mod_noise = run_noise(mod_chip);
+    auto base_margin = marginOf(baseline, sm);
+    auto mod_margin = marginOf(modified, sm);
+
+    TextTable table({"Design", "max %p2p", "worst Vmin", "margin",
+                     "first-failing core"});
+    table.addRow({"baseline zEC12",
+                  TextTable::num(base_noise.maxP2p(), 1),
+                  TextTable::num(
+                      base_noise.core[base_noise.noisiestCore()].v_min,
+                      4),
+                  TextTable::num(base_margin.bias_at_failure * 100.0, 1) +
+                      "%",
+                  base_margin.failing_core < 0
+                      ? "-"
+                      : "core" + std::to_string(base_margin.failing_core)});
+    table.addRow({"cost-reduced derivative",
+                  TextTable::num(mod_noise.maxP2p(), 1),
+                  TextTable::num(
+                      mod_noise.core[mod_noise.noisiestCore()].v_min, 4),
+                  TextTable::num(mod_margin.bias_at_failure * 100.0, 1) +
+                      "%",
+                  mod_margin.failing_core < 0
+                      ? "-"
+                      : "core" + std::to_string(mod_margin.failing_core)});
+    table.print(std::cout);
+
+    std::printf("\nverdict: the cost reduction costs %.1f%% of supply "
+                "margin - exactly the trade the paper's methodology "
+                "exists to quantify before shipping\n",
+                (base_margin.bias_at_failure -
+                 mod_margin.bias_at_failure) *
+                    100.0);
+    std::remove(config_path);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Utilization-based dynamic voltage guard-banding (section VII-B): the
+ * firmware watches how many cores are enabled and trims the supply to
+ * the worst-case droop bound of that utilization level instead of the
+ * all-cores worst case.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "vnoise/vnoise.hh"
+
+int
+main()
+{
+    using namespace vn;
+
+    CoreModel core;
+    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+
+    AnalysisContext ctx;
+    ctx.kit = &kit;
+    ctx.window = 12e-6;
+
+    UtilizationTraceParams trace;
+    trace.intervals = 4000;
+    trace.mean_active_cores = 2.5; // a partially loaded machine
+    auto r = guardbandStudy(ctx, trace);
+
+    std::printf("worst-case droop bound and safe undervolt per "
+                "utilization level:\n");
+    TextTable table({"Active cores", "Worst droop (mV)", "Safe bias",
+                     "Intervals"});
+    for (int k = 0; k <= kNumCores; ++k) {
+        table.addRow(
+            {TextTable::num(static_cast<long long>(k)),
+             TextTable::num(r.worst_droop[k] * 1e3, 1),
+             TextTable::num(r.safe_bias[k] * 100.0, 2) + "%",
+             TextTable::num(static_cast<long long>(r.histogram[k]))});
+    }
+    table.print(std::cout);
+
+    std::printf("\nstatic policy (always worst-case margin): avg supply"
+                " %.4f V\n",
+                r.avg_voltage_static);
+    std::printf("dynamic policy (utilization-tracked):       avg supply"
+                " %.4f V\n",
+                r.avg_voltage_dynamic);
+    std::printf("-> %.1f%% average undervolt, ~%.1f%% dynamic power "
+                "saved, with the same safety distance\n",
+                r.voltageSaving() * 100.0, r.powerSaving() * 100.0);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Noise-aware workload mapping (section VII-A): a toy scheduler that
+ * must place k noisy jobs on the six-core chip and picks the mapping
+ * that minimizes worst-case voltage noise.
+ *
+ * Demonstrates the paper's Fig. 14 insight: packing noisy work into
+ * one layout cluster (cores 0/2/4 share an on-chip domain) is worse
+ * than spreading it across the clusters.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+std::string
+mappingString(const vn::Mapping &m)
+{
+    std::string s;
+    for (int c = 0; c < vn::kNumCores; ++c) {
+        if (c)
+            s += ' ';
+        s += m[c] == vn::WorkloadClass::Max ? "dIdt" : "idle";
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace vn;
+
+    CoreModel core;
+    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+
+    AnalysisContext ctx;
+    ctx.kit = &kit;
+    ctx.window = 16e-6;
+    MappingStudy study(ctx, 2.4e6);
+
+    // The paper's Fig. 14 pair: three noisy jobs on cores {1,4,5}
+    // (cross-cluster) vs cores {0,2,4} (one cluster).
+    auto place = [](std::initializer_list<int> cores) {
+        Mapping m{};
+        m.fill(WorkloadClass::Idle);
+        for (int c : cores)
+            m[c] = WorkloadClass::Max;
+        return m;
+    };
+    auto spread = study.run(place({1, 4, 5}));
+    auto packed = study.run(place({0, 2, 4}));
+    std::printf("3 jobs spread across clusters {1,4,5}: worst %.1f %%p2p"
+                " (core %d)\n",
+                spread.max_p2p,
+                static_cast<int>(std::max_element(spread.p2p.begin(),
+                                                  spread.p2p.end()) -
+                                 spread.p2p.begin()));
+    std::printf("3 jobs packed in one cluster  {0,2,4}: worst %.1f %%p2p"
+                " (core %d)\n\n",
+                packed.max_p2p,
+                static_cast<int>(std::max_element(packed.p2p.begin(),
+                                                  packed.p2p.end()) -
+                                 packed.p2p.begin()));
+
+    // The scheduler: exhaustive search per job count.
+    std::printf("scheduler search (all C(6,k) placements per k):\n");
+    TextTable table({"Jobs", "Best mapping", "Best %p2p", "Worst %p2p",
+                     "Reduction"});
+    auto opportunities = mappingOpportunity(study);
+    for (const auto &o : opportunities) {
+        table.addRow({TextTable::num(static_cast<long long>(o.workloads)),
+                      mappingString(o.best_mapping),
+                      TextTable::num(o.best_noise, 1),
+                      TextTable::num(o.worst_noise, 1),
+                      TextTable::num(o.reduction(), 1)});
+    }
+    table.print(std::cout);
+    std::printf("\nA noise-aware mapper buys the 'Reduction' column of "
+                "%%p2p headroom for free.\n");
+    return 0;
+}

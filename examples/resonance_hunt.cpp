@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Resonance hunt: the workload the paper's introduction motivates --
+ * experimentally discovering a system's resonance bands, which with
+ * hand-crafted programs "can require hundreds (or even thousands) of
+ * test runs".
+ *
+ * The example does it two ways and cross-checks them:
+ *  1. electrically, by sweeping the PDN impedance profile (the
+ *     package-characterization view, Fig. 7b), and
+ *  2. behaviourally, by sweeping dI/dt stressmark stimulus frequencies
+ *     and watching the skitter noise (the software view, Fig. 7a).
+ */
+
+#include <algorithm>
+#include <complex>
+#include <cstdio>
+#include <iostream>
+
+#include "vnoise/vnoise.hh"
+
+int
+main()
+{
+    using namespace vn;
+
+    // Electrical view: impedance seen from core 0's supply port.
+    ChipModel chip;
+    auto profile = impedanceProfile(chip.pdn(), 0, 5e3, 1e8, 60);
+    std::printf("impedance view: board band at %.1f kHz, die band "
+                "('1st droop') at %.2f MHz\n",
+                profile.board_resonance_hz / 1e3,
+                profile.die_resonance_hz / 1e6);
+
+    // Behavioural view: free-running stressmark sweep.
+    CoreModel core;
+    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    AnalysisContext ctx;
+    ctx.kit = &kit;
+    ctx.window = 16e-6;
+    ctx.unsync_draws = 3;
+
+    auto freqs = logspace(10e3, 50e6, 13);
+    auto points = sweepStimulusFrequency(ctx, freqs, false);
+
+    TextTable table({"Stimulus", "max %p2p", "min VDie (V)"});
+    const FreqSweepPoint *peak = &points[0];
+    for (const auto &p : points) {
+        table.addRow({freqLabel(p.freq_hz), TextTable::num(p.max_p2p, 1),
+                      TextTable::num(p.min_v, 4)});
+        if (p.max_p2p > peak->max_p2p)
+            peak = &p;
+    }
+    table.print(std::cout);
+
+    std::printf("\nnoisiest stimulus: %s -> the behavioural hunt found "
+                "the die resonance band\n",
+                freqLabel(peak->freq_hz).c_str());
+    double ratio = peak->freq_hz / profile.die_resonance_hz;
+    std::printf("agreement with the impedance view: %.2fx\n", ratio);
+    return ratio > 0.3 && ratio < 3.0 ? 0 : 1;
+}

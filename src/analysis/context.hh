@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared configuration for the characterization harnesses (the
+ * experiments of sections V-VII).
+ */
+
+#ifndef VN_ANALYSIS_CONTEXT_HH
+#define VN_ANALYSIS_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/chip.hh"
+#include "stressmark/kit.hh"
+
+namespace vn
+{
+
+/** Everything an experiment harness needs. */
+struct AnalysisContext
+{
+    ChipConfig chip_config;
+
+    /** Stressmark methodology output; must outlive the context. */
+    const StressmarkKit *kit = nullptr;
+
+    /** Co-simulation window per run (seconds). */
+    double window = 24e-6;
+
+    /**
+     * Unsynchronized experiments approximate the drifting relative
+     * alignment of free-running stressmark copies with this many
+     * random-phase draws whose sticky windows are unioned.
+     */
+    int unsync_draws = 4;
+
+    /** Seed for the random phase draws. */
+    uint64_t seed = 42;
+
+    /** deltaI events per synchronization burst. */
+    int consecutive_events = 1000;
+};
+
+/** Log-spaced frequency grid (inclusive endpoints). */
+std::vector<double> logspace(double f_lo, double f_hi, size_t points);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_CONTEXT_HH

@@ -1,0 +1,44 @@
+#include "analysis/customer.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+CoreActivity
+makeCustomerActivity(const CustomerCodeParams &params, uint64_t seed)
+{
+    if (params.max_power <= params.min_power)
+        fatal("makeCustomerActivity: max_power must exceed min_power");
+    if (params.envelope <= 0.0 || params.envelope > 1.0)
+        fatal("makeCustomerActivity: envelope must be in (0, 1]");
+    if (params.phases < 2 || params.mean_phase_s <= 0.0)
+        fatal("makeCustomerActivity: need phases >= 2 and positive "
+              "durations");
+
+    Rng rng(seed);
+    double ceiling = params.min_power +
+                     params.envelope *
+                         (params.max_power - params.min_power);
+
+    std::vector<ActivityPhase> loop;
+    loop.reserve(static_cast<size_t>(params.phases));
+    for (int p = 0; p < params.phases; ++p) {
+        // Program phases: durations spread around the mean, power
+        // anywhere within the envelope (bursty, but never the
+        // stressmark's square precision).
+        double duration =
+            params.mean_phase_s * rng.uniform(0.3, 1.7);
+        double power = rng.uniform(params.min_power, ceiling);
+        loop.push_back({power, duration});
+    }
+    // Random start phase so copies on different cores never align.
+    std::vector<ActivityPhase> prologue{
+        {params.min_power,
+         params.mean_phase_s * rng.uniform(0.05, 1.0)}};
+    return CoreActivity(std::move(loop), std::nullopt,
+                        std::move(prologue));
+}
+
+} // namespace vn

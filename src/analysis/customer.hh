@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic "typical customer code" activity, for the extrapolated
+ * worst-case-customer-margin line of Fig. 12.
+ *
+ * The paper extrapolates that regular user code (a) never synchronizes
+ * deltaI events across cores and (b) historically peaks ~20% below the
+ * maximum power stressmark. This generator produces unsynchronized,
+ * randomly phased activity whose excursions stay within that envelope,
+ * so a Vmin experiment against it lands the paper's "worst case
+ * available margin for a typical customer code" line.
+ */
+
+#ifndef VN_ANALYSIS_CUSTOMER_HH
+#define VN_ANALYSIS_CUSTOMER_HH
+
+#include <cstdint>
+
+#include "chip/activity.hh"
+
+namespace vn
+{
+
+/** Customer-code generator parameters. */
+struct CustomerCodeParams
+{
+    double min_power;       //!< idle-ish floor (model units)
+    double max_power;       //!< stressmark ceiling (model units)
+
+    /**
+     * Fraction of the max-min envelope customer code reaches (the
+     * paper's historical ~80%).
+     */
+    double envelope = 0.8;
+
+    double mean_phase_s = 0.8e-6; //!< average program-phase duration
+    int phases = 96;              //!< phases in the looped schedule
+};
+
+/**
+ * Build one core's customer-code activity. Different seeds produce
+ * different programs (use one seed per core so nothing aligns).
+ */
+CoreActivity makeCustomerActivity(const CustomerCodeParams &params,
+                                  uint64_t seed);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_CUSTOMER_HH

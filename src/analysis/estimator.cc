@@ -1,0 +1,79 @@
+#include "analysis/estimator.hh"
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/ac.hh"
+#include "util/logging.hh"
+
+namespace vn
+{
+
+NoiseEstimate
+estimateSquareWaveNoise(const ChipPdn &pdn, int observe,
+                        const std::vector<SquareSource> &sources,
+                        double freq_hz, int harmonics, int samples)
+{
+    if (observe < 0 || observe >= kNumCores)
+        fatal("estimateSquareWaveNoise: bad core ", observe);
+    if (freq_hz <= 0.0)
+        fatal("estimateSquareWaveNoise: frequency must be > 0");
+    if (harmonics < 1 || samples < 8)
+        fatal("estimateSquareWaveNoise: need harmonics >= 1 and "
+              "samples >= 8");
+
+    AcAnalysis ac(pdn.netlist);
+    NodeId node = pdn.core_node[observe];
+
+    // Complex amplitude of the voltage response per odd harmonic:
+    // a 50%-duty square of swing dI has I_k = 2*dI/(k*pi) at k odd.
+    // transferImpedance() returns the droop per ampere drawn, so the
+    // response subtracts from the DC level.
+    std::vector<std::complex<double>> response;
+    response.reserve(static_cast<size_t>(harmonics));
+    for (int h = 0; h < harmonics; ++h) {
+        int k = 2 * h + 1;
+        double f = freq_hz * static_cast<double>(k);
+        std::complex<double> sum(0.0, 0.0);
+        for (const auto &src : sources) {
+            std::complex<double> z =
+                ac.transferImpedance(src.port, node, f);
+            double amp = 2.0 * src.delta_amps /
+                         (static_cast<double>(k) * M_PI);
+            // Source phase offset scales with the harmonic index.
+            std::complex<double> rot(
+                std::cos(static_cast<double>(k) * src.phase),
+                std::sin(static_cast<double>(k) * src.phase));
+            sum += z * amp * rot;
+        }
+        response.push_back(sum);
+    }
+
+    // Synthesize one period and find the extremes (relative to DC).
+    double v_min = 0.0, v_max = 0.0;
+    for (int s = 0; s < samples; ++s) {
+        double theta =
+            2.0 * M_PI * static_cast<double>(s) /
+            static_cast<double>(samples);
+        double v = 0.0;
+        for (int h = 0; h < harmonics; ++h) {
+            int k = 2 * h + 1;
+            // droop response: -Re(Z_sum * e^{j k theta}) expressed via
+            // sin to match the square's sine-series convention.
+            std::complex<double> phasor(
+                std::sin(static_cast<double>(k) * theta),
+                -std::cos(static_cast<double>(k) * theta));
+            v -= (response[static_cast<size_t>(h)] * phasor).real();
+        }
+        v_min = std::min(v_min, v);
+        v_max = std::max(v_max, v);
+    }
+
+    NoiseEstimate estimate;
+    estimate.p2p_volts = v_max - v_min;
+    estimate.max_droop = -v_min;
+    estimate.max_overshoot = v_max;
+    return estimate;
+}
+
+} // namespace vn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Frequency-domain noise estimator: the pre-silicon, impedance-profile
+ * view of voltage noise the paper contrasts with direct measurement
+ * (section II-B: margins derived from Z profiles are based on in-lab
+ * worst-case deltaI and end up pessimistic).
+ *
+ * For a square-wave load the steady-state droop is synthesized from
+ * the odd harmonics: V(t) = sum_k I_k * Z(f_k) with
+ * I_k = 2*deltaI/(k*pi). The estimator superposes the transfer
+ * impedances of all active source ports at the observed core and
+ * reports the peak-to-peak excursion over one stimulus period.
+ */
+
+#ifndef VN_ANALYSIS_ESTIMATOR_HH
+#define VN_ANALYSIS_ESTIMATOR_HH
+
+#include <vector>
+
+#include "pdn/pdn.hh"
+
+namespace vn
+{
+
+/** One square-wave current source for the estimator. */
+struct SquareSource
+{
+    PortId port;        //!< PDN port the load toggles on
+    double delta_amps;  //!< high-low current swing
+    double phase = 0.0; //!< phase offset in radians (0 = aligned)
+};
+
+/** Estimator output. */
+struct NoiseEstimate
+{
+    double p2p_volts = 0.0; //!< steady-state peak-to-peak excursion
+    double max_droop = 0.0; //!< deepest excursion below the DC level
+    double max_overshoot = 0.0;
+};
+
+/**
+ * Estimate the steady-state square-wave noise at a core's supply node.
+ *
+ * @param pdn        the network
+ * @param observe    core whose VDie is evaluated
+ * @param sources    square-wave loads (50% duty) at the given ports
+ * @param freq_hz    square-wave fundamental
+ * @param harmonics  number of odd harmonics synthesized (>= 1)
+ * @param samples    time samples over one period for the p2p search
+ */
+NoiseEstimate
+estimateSquareWaveNoise(const ChipPdn &pdn, int observe,
+                        const std::vector<SquareSource> &sources,
+                        double freq_hz, int harmonics = 25,
+                        int samples = 256);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_ESTIMATOR_HH

@@ -1,0 +1,54 @@
+#include "analysis/events.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+DroopEventStats
+droopEvents(const Waveform &trace, double threshold_v)
+{
+    if (trace.size() < 2 || trace.dt() <= 0.0)
+        fatal("droopEvents: need a sampled trace");
+
+    DroopEventStats stats;
+    bool in_event = false;
+    size_t event_samples = 0;
+    size_t longest = 0;
+
+    auto close_event = [&] {
+        ++stats.count;
+        longest = std::max(longest, event_samples);
+        stats.total_below_s +=
+            static_cast<double>(event_samples) * trace.dt();
+        in_event = false;
+        event_samples = 0;
+    };
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (trace[i] < threshold_v) {
+            in_event = true;
+            ++event_samples;
+            stats.max_depth_v = std::max(stats.max_depth_v,
+                                         threshold_v - trace[i]);
+        } else if (in_event) {
+            close_event();
+        }
+    }
+    if (in_event)
+        close_event();
+
+    double span = static_cast<double>(trace.size()) * trace.dt();
+    stats.rate_hz = static_cast<double>(stats.count) / span;
+    stats.duty = stats.total_below_s / span;
+    stats.mean_duration_s =
+        stats.count ? stats.total_below_s /
+                          static_cast<double>(stats.count)
+                    : 0.0;
+    stats.max_duration_s = static_cast<double>(longest) * trace.dt();
+    return stats;
+}
+
+} // namespace vn

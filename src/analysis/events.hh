@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Droop-event statistics over a captured VDie waveform: how often the
+ * supply dips below a threshold, for how long, and how deep. This is
+ * the quantity voltage-emergency predictors and rollback schemes (the
+ * related work of section VIII: DeCoR, signature prediction, Razor)
+ * care about, extracted from the same co-simulation traces.
+ */
+
+#ifndef VN_ANALYSIS_EVENTS_HH
+#define VN_ANALYSIS_EVENTS_HH
+
+#include "circuit/waveform.hh"
+
+namespace vn
+{
+
+/** Aggregate statistics of threshold-crossing droop events. */
+struct DroopEventStats
+{
+    size_t count = 0;          //!< maximal intervals with v < threshold
+    double rate_hz = 0.0;      //!< events per second of trace
+    double total_below_s = 0.0; //!< accumulated time under threshold
+    double mean_duration_s = 0.0;
+    double max_duration_s = 0.0;
+    double max_depth_v = 0.0;  //!< deepest excursion below threshold
+    double duty = 0.0;         //!< fraction of time under threshold
+};
+
+/**
+ * Scan a waveform for droop events below `threshold_v`.
+ *
+ * An event is a maximal run of consecutive samples strictly below the
+ * threshold; events touching the trace boundaries count.
+ */
+DroopEventStats droopEvents(const Waveform &trace, double threshold_v);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_EVENTS_HH

@@ -1,0 +1,100 @@
+#include "analysis/guardband.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/mapping.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+GuardbandResult
+guardbandStudy(const AnalysisContext &ctx,
+               const UtilizationTraceParams &trace)
+{
+    if (ctx.kit == nullptr)
+        fatal("guardbandStudy: kit must be set");
+
+    MappingStudy study(ctx);
+    const double vnom = ctx.chip_config.pdn.vnom;
+    const double v_crit =
+        CriticalPathMonitor(ctx.chip_config.critpath).criticalVoltage();
+
+    GuardbandResult result;
+
+    // Worst-case droop bound per active-core count: the deepest
+    // per-core droop over every placement of k max stressmarks.
+    result.worst_droop[0] = 0.0;
+    for (int k = 1; k <= kNumCores; ++k) {
+        double worst = 0.0;
+        for (int mask = 0; mask < (1 << kNumCores); ++mask) {
+            if (__builtin_popcount(static_cast<unsigned>(mask)) != k)
+                continue;
+            Mapping mapping;
+            for (int c = 0; c < kNumCores; ++c) {
+                mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
+                                             : WorkloadClass::Idle;
+            }
+            auto r = study.run(mapping);
+            for (int c = 0; c < kNumCores; ++c)
+                worst = std::max(worst, vnom - r.v_min[c]);
+        }
+        result.worst_droop[k] = worst;
+    }
+    // Idle droop: static IR only; reuse the all-idle mapping.
+    {
+        Mapping idle{};
+        idle.fill(WorkloadClass::Idle);
+        auto r = study.run(idle);
+        double worst = 0.0;
+        for (int c = 0; c < kNumCores; ++c)
+            worst = std::max(worst, vnom - r.v_min[c]);
+        result.worst_droop[0] = worst;
+    }
+
+    // Safe bias per utilization level: supply*(1-bias) - droop(bias)
+    // must clear v_crit. Droop scales with the drawn current, which is
+    // unchanged by the bias in this model, so:
+    //    vnom*(1-bias) - worst_droop_k >= v_crit.
+    for (int k = 0; k <= kNumCores; ++k) {
+        double bias =
+            (vnom - result.worst_droop[k] - v_crit) / vnom;
+        result.safe_bias[k] = std::clamp(bias, 0.0, 0.25);
+    }
+
+    // Synthetic utilization trace: a bounded random walk over the
+    // number of enabled cores (scheduler granularity).
+    Rng rng(trace.seed);
+    int active = static_cast<int>(
+        std::clamp(trace.mean_active_cores, 0.0,
+                   static_cast<double>(kNumCores)));
+    double sum_static = 0.0;
+    double sum_dynamic = 0.0;
+    for (size_t i = 0; i < trace.intervals; ++i) {
+        // Drift toward the configured mean.
+        double pull =
+            trace.mean_active_cores - static_cast<double>(active);
+        double u = rng.uniform();
+        if (u < 0.3 + 0.1 * pull)
+            active = std::min(active + 1, kNumCores);
+        else if (u > 0.7 + 0.1 * pull)
+            active = std::max(active - 1, 0);
+
+        ++result.histogram[static_cast<size_t>(active)];
+
+        // Static policy: provision for the 6-core worst case always.
+        sum_static += vnom * (1.0 - result.safe_bias[kNumCores]);
+        // Dynamic policy: track the current utilization bound.
+        sum_dynamic +=
+            vnom * (1.0 - result.safe_bias[static_cast<size_t>(active)]);
+    }
+    result.avg_voltage_static =
+        sum_static / static_cast<double>(trace.intervals);
+    result.avg_voltage_dynamic =
+        sum_dynamic / static_cast<double>(trace.intervals);
+    return result;
+}
+
+} // namespace vn

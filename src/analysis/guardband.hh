@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Utilization-based dynamic voltage guard-banding (section VII-B).
+ *
+ * The paper observes that worst-case noise is bounded by the number of
+ * cores that can run workloads, so the margin can track utilization:
+ * when fewer cores are enabled the supply can be lowered while keeping
+ * the same safety distance to the critical voltage. The paper leaves
+ * this as a conceptual opportunity; this harness quantifies it on the
+ * model: it derives the per-active-core-count worst-case droop bound,
+ * synthesizes a utilization trace, and compares static worst-case
+ * guard-banding against the dynamic policy.
+ */
+
+#ifndef VN_ANALYSIS_GUARDBAND_HH
+#define VN_ANALYSIS_GUARDBAND_HH
+
+#include <array>
+#include <vector>
+
+#include "analysis/context.hh"
+
+namespace vn
+{
+
+/** Parameters of the synthetic utilization trace. */
+struct UtilizationTraceParams
+{
+    size_t intervals = 2000;      //!< scheduling intervals simulated
+    double mean_active_cores = 3.0;
+    uint64_t seed = 7;
+};
+
+/** Outcome of the guard-banding study. */
+struct GuardbandResult
+{
+    /**
+     * Safe undervolt (bias fraction) per active-core count 0..6: how
+     * far the supply can drop while the worst-case droop of that
+     * utilization level still clears the critical voltage.
+     */
+    std::array<double, kNumCores + 1> safe_bias{};
+
+    /** Worst-case droop bound per active-core count at nominal. */
+    std::array<double, kNumCores + 1> worst_droop{};
+
+    /** Active-core-count histogram of the synthesized trace. */
+    std::array<size_t, kNumCores + 1> histogram{};
+
+    double avg_voltage_static = 0.0;  //!< always worst-case margin
+    double avg_voltage_dynamic = 0.0; //!< utilization-tracked margin
+
+    /** Mean supply reduction of the dynamic policy. */
+    double voltageSaving() const
+    {
+        return (avg_voltage_static - avg_voltage_dynamic) /
+               avg_voltage_static;
+    }
+
+    /** Implied dynamic-power saving (power tracks V^2). */
+    double powerSaving() const
+    {
+        double ratio = avg_voltage_dynamic / avg_voltage_static;
+        return 1.0 - ratio * ratio;
+    }
+};
+
+/**
+ * Run the guard-banding study: derive droop bounds from worst-case
+ * mappings per active-core count, then evaluate static vs dynamic
+ * guard-banding over a synthetic utilization trace.
+ *
+ * @param ctx   harness configuration
+ * @param trace utilization trace parameters
+ */
+GuardbandResult guardbandStudy(const AnalysisContext &ctx,
+                               const UtilizationTraceParams &trace =
+                                   UtilizationTraceParams{});
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_GUARDBAND_HH

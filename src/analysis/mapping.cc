@@ -1,0 +1,208 @@
+#include "analysis/mapping.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace vn
+{
+
+double
+deltaIFraction(const Mapping &mapping)
+{
+    double total = 0.0;
+    for (auto w : mapping) {
+        if (w == WorkloadClass::Max)
+            total += 1.0;
+        else if (w == WorkloadClass::Medium)
+            total += 0.5;
+    }
+    return total / static_cast<double>(kNumCores);
+}
+
+int
+activeCores(const Mapping &mapping)
+{
+    int n = 0;
+    for (auto w : mapping)
+        n += w != WorkloadClass::Idle;
+    return n;
+}
+
+MappingStudy::MappingStudy(const AnalysisContext &ctx, double freq_hz)
+    : ctx_(ctx), chip_([&] {
+          // The mapping dataset is large (3^6 runs); a 2 ns step is
+          // ample for a ~2 MHz stimulus and halves the cost.
+          ChipConfig config = ctx.chip_config;
+          config.dt = std::max(config.dt, 2e-9);
+          return config;
+      }())
+{
+    if (ctx.kit == nullptr)
+        fatal("MappingStudy: kit must be set");
+
+    StressmarkSpec spec;
+    spec.stimulus_freq_hz = freq_hz;
+    spec.consecutive_events = ctx.consecutive_events;
+    spec.synchronized = true;
+    max_sm_ = ctx.kit->make(spec);
+    medium_sm_ = ctx.kit->makeMedium(spec);
+    window_ = std::clamp(10.0 / freq_hz, ctx.window, 2e-4);
+}
+
+MappingResult
+MappingStudy::run(const Mapping &mapping) const
+{
+    std::array<CoreActivity, kNumCores> workloads = {
+        chip_.idleActivity(), chip_.idleActivity(), chip_.idleActivity(),
+        chip_.idleActivity(), chip_.idleActivity(), chip_.idleActivity()};
+    for (int c = 0; c < kNumCores; ++c) {
+        if (mapping[c] == WorkloadClass::Max)
+            workloads[c] = max_sm_.activity();
+        else if (mapping[c] == WorkloadClass::Medium)
+            workloads[c] = medium_sm_.activity();
+    }
+
+    auto r = chip_.run(workloads, window_);
+
+    MappingResult result;
+    result.mapping = mapping;
+    result.delta_i_fraction = deltaIFraction(mapping);
+    for (int c = 0; c < kNumCores; ++c) {
+        result.p2p[c] = r.core[c].p2p;
+        result.v_min[c] = r.core[c].v_min;
+        if (mapping[c] == WorkloadClass::Max)
+            ++result.n_max;
+        else if (mapping[c] == WorkloadClass::Medium)
+            ++result.n_medium;
+    }
+    result.max_p2p = r.maxP2p();
+    return result;
+}
+
+std::vector<MappingResult>
+MappingStudy::runAll(bool progress) const
+{
+    std::vector<MappingResult> results;
+    const int total = 729; // 3^6
+    results.reserve(total);
+    for (int code = 0; code < total; ++code) {
+        Mapping mapping;
+        int c = code;
+        for (int core = 0; core < kNumCores; ++core) {
+            mapping[core] = static_cast<WorkloadClass>(c % 3);
+            c /= 3;
+        }
+        results.push_back(run(mapping));
+        if (progress && (code + 1) % 81 == 0)
+            inform("MappingStudy: ", code + 1, "/", total, " mappings");
+    }
+    return results;
+}
+
+std::vector<std::vector<double>>
+noiseCorrelationMatrix(const std::vector<MappingResult> &results)
+{
+    if (results.empty())
+        fatal("noiseCorrelationMatrix: no results");
+    std::vector<std::vector<double>> series(
+        kNumCores, std::vector<double>(results.size()));
+    for (size_t i = 0; i < results.size(); ++i)
+        for (int c = 0; c < kNumCores; ++c)
+            series[c][i] = results[i].p2p[c];
+    return correlationMatrix(series);
+}
+
+std::array<int, kNumCores>
+detectClusters(const std::vector<std::vector<double>> &correlation)
+{
+    if (correlation.size() != static_cast<size_t>(kNumCores))
+        fatal("detectClusters: expected a ", kNumCores, "x", kNumCores,
+              " matrix");
+
+    // Agglomerative merging with average linkage until two clusters
+    // remain.
+    std::vector<std::vector<int>> clusters;
+    for (int c = 0; c < kNumCores; ++c)
+        clusters.push_back({c});
+
+    auto linkage = [&](const std::vector<int> &a,
+                       const std::vector<int> &b) {
+        double sum = 0.0;
+        for (int i : a)
+            for (int j : b)
+                sum += correlation[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(j)];
+        return sum / static_cast<double>(a.size() * b.size());
+    };
+
+    while (clusters.size() > 2) {
+        size_t best_a = 0, best_b = 1;
+        double best = -2.0;
+        for (size_t a = 0; a < clusters.size(); ++a) {
+            for (size_t b = a + 1; b < clusters.size(); ++b) {
+                double link = linkage(clusters[a], clusters[b]);
+                if (link > best) {
+                    best = link;
+                    best_a = a;
+                    best_b = b;
+                }
+            }
+        }
+        clusters[best_a].insert(clusters[best_a].end(),
+                                clusters[best_b].begin(),
+                                clusters[best_b].end());
+        clusters.erase(clusters.begin() + static_cast<long>(best_b));
+    }
+
+    std::array<int, kNumCores> assignment{};
+    int zero_cluster =
+        std::find(clusters[0].begin(), clusters[0].end(), 0) !=
+                clusters[0].end()
+            ? 0
+            : 1;
+    for (size_t k = 0; k < clusters.size(); ++k) {
+        for (int core : clusters[k]) {
+            assignment[static_cast<size_t>(core)] =
+                static_cast<int>(k) == zero_cluster ? 0 : 1;
+        }
+    }
+    return assignment;
+}
+
+std::vector<MappingOpportunity>
+mappingOpportunity(const MappingStudy &study)
+{
+    std::vector<MappingOpportunity> out;
+    for (int k = 1; k <= kNumCores; ++k) {
+        MappingOpportunity opp;
+        opp.workloads = k;
+        bool first = true;
+        // Enumerate all 6-bit masks with k bits set.
+        for (int mask = 0; mask < (1 << kNumCores); ++mask) {
+            if (__builtin_popcount(static_cast<unsigned>(mask)) != k)
+                continue;
+            Mapping mapping;
+            for (int c = 0; c < kNumCores; ++c) {
+                mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
+                                             : WorkloadClass::Idle;
+            }
+            auto result = study.run(mapping);
+            if (first || result.max_p2p < opp.best_noise) {
+                opp.best_noise = result.max_p2p;
+                opp.best_mapping = mapping;
+            }
+            if (first || result.max_p2p > opp.worst_noise) {
+                opp.worst_noise = result.max_p2p;
+                opp.worst_mapping = mapping;
+            }
+            first = false;
+        }
+        out.push_back(opp);
+    }
+    return out;
+}
+
+} // namespace vn

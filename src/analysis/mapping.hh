@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Workload-to-core mapping studies: the deltaI sensitivity dataset
+ * (Fig. 11a/11b), the inter-core noise correlation matrix and cluster
+ * detection (Fig. 13a), and the noise-aware mapping opportunity
+ * analysis (Fig. 14 / Fig. 15, section VII-A).
+ */
+
+#ifndef VN_ANALYSIS_MAPPING_HH
+#define VN_ANALYSIS_MAPPING_HH
+
+#include <array>
+#include <vector>
+
+#include "analysis/context.hh"
+
+namespace vn
+{
+
+/** Workload class run on one core. */
+enum class WorkloadClass : uint8_t
+{
+    Idle,   //!< nothing (static power only)
+    Medium, //!< medium dI/dt stressmark (deltaI/2)
+    Max,    //!< maximum dI/dt stressmark
+};
+
+/** Assignment of one workload class per core. */
+using Mapping = std::array<WorkloadClass, kNumCores>;
+
+/** Fraction of the maximum possible chip deltaI a mapping generates
+ *  (a medium stressmark contributes half a max one). */
+double deltaIFraction(const Mapping &mapping);
+
+/** Number of cores running any stressmark. */
+int activeCores(const Mapping &mapping);
+
+/** Outcome of one mapping run. */
+struct MappingResult
+{
+    Mapping mapping{};
+    std::array<double, kNumCores> p2p{};
+    std::array<double, kNumCores> v_min{};
+    double max_p2p = 0.0;
+    double delta_i_fraction = 0.0;
+    int n_max = 0;
+    int n_medium = 0;
+};
+
+/**
+ * Runs workload mappings on the chip model. Stressmark activities are
+ * prepared once (synchronized, at the requested stimulus frequency, as
+ * in section V-D which maximizes noise via synchronization at 2 MHz).
+ */
+class MappingStudy
+{
+  public:
+    /**
+     * @param ctx     harness configuration
+     * @param freq_hz stimulus frequency of the stressmarks
+     */
+    MappingStudy(const AnalysisContext &ctx, double freq_hz = 2e6);
+
+    /** Run one mapping. */
+    MappingResult run(const Mapping &mapping) const;
+
+    /** Run every workload-to-core mapping (3^6 = 729). */
+    std::vector<MappingResult> runAll(bool progress = false) const;
+
+    const ChipModel &chip() const { return chip_; }
+
+  private:
+    const AnalysisContext &ctx_;
+    ChipModel chip_;
+    Stressmark max_sm_;
+    Stressmark medium_sm_;
+    double window_;
+};
+
+/**
+ * Per-core-pair Pearson correlation of the noise observed across a set
+ * of mapping runs (Fig. 13a).
+ */
+std::vector<std::vector<double>>
+noiseCorrelationMatrix(const std::vector<MappingResult> &results);
+
+/**
+ * Split the cores into two clusters by agglomerative merging on the
+ * correlation matrix. Returns the cluster id (0/1) per core; cluster 0
+ * is the one containing core 0.
+ */
+std::array<int, kNumCores>
+detectClusters(const std::vector<std::vector<double>> &correlation);
+
+/** Best/worst mapping outcome for a given stressmark count (Fig. 15). */
+struct MappingOpportunity
+{
+    int workloads = 0;         //!< number of max stressmarks placed
+    double best_noise = 0.0;   //!< max core noise of the best mapping
+    double worst_noise = 0.0;  //!< max core noise of the worst mapping
+    Mapping best_mapping{};
+    Mapping worst_mapping{};
+
+    double reduction() const { return worst_noise - best_noise; }
+};
+
+/**
+ * Enumerate all C(6, k) placements of k max stressmarks (other cores
+ * idle) for k = 1..6 and report the best and worst mapping per k.
+ */
+std::vector<MappingOpportunity>
+mappingOpportunity(const MappingStudy &study);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_MAPPING_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Available-margin study over consecutive deltaI events and stimulus
+ * frequency (Fig. 12): Vmin experiments instead of skitter readings.
+ */
+
+#ifndef VN_ANALYSIS_MARGINS_HH
+#define VN_ANALYSIS_MARGINS_HH
+
+#include <span>
+#include <vector>
+
+#include "analysis/context.hh"
+
+namespace vn
+{
+
+/** One cell of the Fig. 12 margin matrix. */
+struct MarginPoint
+{
+    double freq_hz = 0.0;
+    int events = 0;          //!< consecutive deltaI events; <= 0 means
+                             //!< "infinite" (no synchronization)
+    double bias_at_failure = 0.0; //!< the available margin
+    bool failed = false;
+};
+
+/**
+ * Vmin experiments for every (stimulus frequency, consecutive-event
+ * count) pair.
+ *
+ * Special cases mirroring the paper:
+ *  - events <= 0: no synchronization; the copies free-run from
+ *    seeded random phases (the "infinite events" columns).
+ *  - stimulus period longer than the sync interval: the copies end up
+ *    aligned to *different* interval boundaries (footnote 6), modelled
+ *    by spreading the sync offsets across the interval.
+ *
+ * @param ctx        harness configuration
+ * @param freqs      stimulus frequencies
+ * @param events     consecutive-event counts (use <= 0 for infinity)
+ * @param bias_step  undervolt increment per Vmin step (0.005 = 0.5%)
+ */
+std::vector<MarginPoint>
+consecutiveEventsStudy(const AnalysisContext &ctx,
+                       std::span<const double> freqs,
+                       std::span<const int> events,
+                       double bias_step = 0.005);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_MARGINS_HH

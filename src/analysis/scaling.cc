@@ -1,0 +1,185 @@
+#include "analysis/scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "circuit/ac.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+/** Add a decap branch (C with series ESR) from `node` to ground. */
+void
+addDecap(Netlist &net, NodeId node, double farads, double esr,
+         const std::string &name)
+{
+    NodeId mid = net.addNode(name + ".esr");
+    net.addResistor(node, mid, esr, name + ".resr");
+    net.addCapacitor(mid, Netlist::ground, farads, name + ".c");
+}
+
+} // namespace
+
+ScalablePdn
+buildScalablePdn(int num_cores, const PdnConfig &base,
+                 double variation_sigma, uint64_t seed)
+{
+    if (num_cores < 3 || num_cores % 3 != 0 || num_cores > 18)
+        fatal("buildScalablePdn: num_cores must be a multiple of 3 in "
+              "[3, 18], got ",
+              num_cores);
+    if (variation_sigma < 0.0 || variation_sigma > 0.2)
+        fatal("buildScalablePdn: variation_sigma must be in [0, 0.2]");
+
+    ScalablePdn pdn;
+    pdn.num_cores = num_cores;
+    pdn.num_domains = num_cores / 3;
+    pdn.vnom = base.vnom;
+    Netlist &net = pdn.netlist;
+    Rng rng(seed);
+    auto vary = [&] {
+        return variation_sigma > 0.0
+                   ? std::clamp(rng.normal(1.0, variation_sigma),
+                                1.0 - 4.0 * variation_sigma,
+                                1.0 + 4.0 * variation_sigma)
+                   : 1.0;
+    };
+
+    // The board/package feed scales with the die: a bigger chip gets
+    // proportionally more C4s and board planes (the zEC12 defaults
+    // correspond to 2 domains).
+    double feed = pdn.num_domains / 2.0;
+
+    NodeId vrm = net.addNode("vrm");
+    net.addVoltageSource(vrm, Netlist::ground, base.vnom, "vrm.src");
+    NodeId board = net.addNode("board");
+    net.addResistor(vrm, board, base.r_mb / feed, "mb.r");
+    addDecap(net, board, base.c_mb * feed, base.c_mb_esr / feed,
+             "mb.decap");
+    NodeId pkg = net.addNode("pkg");
+    NodeId mb_mid = net.addNode("mb.mid");
+    net.addInductor(board, mb_mid, base.l_mb / feed, "mb.l");
+    net.addResistor(mb_mid, pkg, base.r_pkg1 / feed, "pkg1.r");
+    NodeId pkg_in = net.addNode("pkg.in");
+    net.addInductor(pkg, pkg_in, base.l_pkg1 / feed, "pkg1.l");
+    addDecap(net, pkg_in, base.c_pkg * feed, base.c_pkg_esr / feed,
+             "pkg.decap");
+
+    // One on-chip voltage domain per 3 cores, all bridged by the L3.
+    NodeId l3 = net.addNode("l3");
+    // L3/eDRAM decap grows with the chip (more cache rows between the
+    // additional core rows).
+    addDecap(net, l3, base.c_l3 * pdn.num_domains / 2.0, base.c_l3_esr,
+             "l3.decap");
+
+    for (int d = 0; d < pdn.num_domains; ++d) {
+        std::string tag = "dom" + std::to_string(d);
+        NodeId mid = net.addNode(tag + ".mid");
+        net.addResistor(pkg_in, mid, base.r_pkg2, tag + ".r");
+        NodeId dom = net.addNode(tag);
+        net.addInductor(mid, dom, base.l_pkg2, tag + ".l");
+        addDecap(net, dom, base.c_die_fast, base.c_die_fast_esr,
+                 tag + ".fast");
+        addDecap(net, dom, base.c_die_damp, base.c_die_damp_esr,
+                 tag + ".damp");
+        net.addResistor(dom, l3, base.r_dom_l3, tag + ".bridge");
+
+        NodeId prev_core = 0;
+        for (int i = 0; i < 3; ++i) {
+            int core = d * 3 + i;
+            std::string cname = "core" + std::to_string(core);
+            NodeId rail = net.addNode(cname + ".rail");
+            net.addResistor(dom, rail, base.r_rail * vary(),
+                            cname + ".rail.r");
+            NodeId node = net.addNode(cname);
+            net.addInductor(rail, node, base.l_rail, cname + ".rail.l");
+            addDecap(net, node, base.c_core * vary(), base.c_core_esr,
+                     cname + ".decap");
+            if (i > 0) {
+                net.addResistor(prev_core, node, base.r_neighbor,
+                                cname + ".grid");
+            }
+            prev_core = node;
+            pdn.core_node.push_back(node);
+        }
+    }
+
+    for (int core = 0; core < num_cores; ++core) {
+        pdn.core_port.push_back(net.addCurrentPort(
+            pdn.core_node[static_cast<size_t>(core)], Netlist::ground,
+            "core" + std::to_string(core) + ".load"));
+    }
+    return pdn;
+}
+
+std::vector<ScalingPoint>
+mappingOpportunityScaling(std::span<const int> core_counts,
+                          double delta_amps, double variation_sigma)
+{
+    using Cplx = std::complex<double>;
+    std::vector<ScalingPoint> out;
+
+    for (int n : core_counts) {
+        ScalablePdn pdn = buildScalablePdn(n, PdnConfig{},
+                                           variation_sigma,
+                                           0xC0DE + static_cast<uint64_t>(n));
+        AcAnalysis ac(pdn.netlist);
+
+        ScalingPoint point;
+        point.cores = n;
+        point.die_resonance_hz =
+            ac.resonanceFrequency(pdn.core_port[0], 3e5, 3e7);
+
+        // Transfer matrix at the die resonance: droop at core j per
+        // ampere drawn at core i.
+        std::vector<std::vector<Cplx>> transfer(
+            static_cast<size_t>(n),
+            std::vector<Cplx>(static_cast<size_t>(n)));
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                transfer[static_cast<size_t>(i)][static_cast<size_t>(
+                    j)] =
+                    ac.transferImpedance(
+                        pdn.core_port[static_cast<size_t>(i)],
+                        pdn.core_node[static_cast<size_t>(j)],
+                        point.die_resonance_hz);
+            }
+        }
+
+        // Fundamental phasor of a 50%-duty square of swing deltaI.
+        const double i_fund = 2.0 * delta_amps / M_PI;
+
+        int k = n / 2;
+        double best = 1e300, worst = 0.0;
+        for (unsigned mask = 0; mask < (1u << n); ++mask) {
+            if (__builtin_popcount(mask) != k)
+                continue;
+            ++point.placements;
+            double max_core = 0.0;
+            for (int j = 0; j < n; ++j) {
+                Cplx sum(0.0, 0.0);
+                for (int i = 0; i < n; ++i) {
+                    if ((mask >> i) & 1) {
+                        sum += transfer[static_cast<size_t>(i)]
+                                       [static_cast<size_t>(j)];
+                    }
+                }
+                max_core = std::max(max_core, std::abs(sum) * i_fund);
+            }
+            best = std::min(best, max_core);
+            worst = std::max(worst, max_core);
+        }
+        point.best_noise_v = best;
+        point.worst_noise_v = worst;
+        out.push_back(point);
+    }
+    return out;
+}
+
+} // namespace vn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Core-count scaling study: the paper's forward-looking claims that
+ * "the number of possible combinations (mappings) will grow
+ * exponentially as well as the variation among them" (section VII-A)
+ * and that inter-core interactions "will likely be higher in the
+ * future due to the higher ... number of cores" (section VI).
+ *
+ * A generalized PDN builder tiles additional 3-core voltage domains
+ * onto the zEC12-like network; placements are evaluated in the
+ * frequency domain (fundamental-phasor superposition over a
+ * precomputed port-to-core transfer matrix), which keeps the
+ * exponentially growing placement enumeration cheap.
+ */
+
+#ifndef VN_ANALYSIS_SCALING_HH
+#define VN_ANALYSIS_SCALING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "pdn/pdn.hh"
+
+namespace vn
+{
+
+/** A PDN generalized to any multiple-of-3 core count. */
+struct ScalablePdn
+{
+    Netlist netlist;
+    std::vector<NodeId> core_node;
+    std::vector<PortId> core_port;
+    int num_cores = 0;
+    int num_domains = 0;
+    double vnom = 0.0;
+};
+
+/**
+ * Build a chip with `num_cores` cores (multiple of 3, one on-chip
+ * voltage domain per 3 cores, all bridged through the L3 decap).
+ * Element values come from the zEC12-like defaults; the board/package
+ * feed scales with the domain count (a larger die gets proportionally
+ * more C4s and board planes), keeping the die resonance in the same
+ * band across chip sizes.
+ *
+ * @param variation_sigma relative per-core spread of rail resistance
+ *                        and local decap (silicon process variation);
+ *                        0 disables it
+ * @param seed            RNG seed for the variation draw
+ */
+ScalablePdn buildScalablePdn(int num_cores,
+                             const PdnConfig &base = PdnConfig{},
+                             double variation_sigma = 0.0,
+                             uint64_t seed = 1);
+
+/** One core-count point of the scaling study. */
+struct ScalingPoint
+{
+    int cores = 0;
+    size_t placements = 0;     //!< C(cores, cores/2) evaluated
+    double die_resonance_hz = 0.0;
+    double best_noise_v = 0.0;  //!< fundamental droop amplitude, best
+    double worst_noise_v = 0.0; //!< ... and worst placement
+    /** The mapping opportunity, as a fraction of the worst case. */
+    double
+    opportunity() const
+    {
+        return worst_noise_v > 0.0
+                   ? (worst_noise_v - best_noise_v) / worst_noise_v
+                   : 0.0;
+    }
+};
+
+/**
+ * For each core count, place cores/2 square-wave loads in every
+ * possible way and evaluate the fundamental droop at the die resonance
+ * via transfer-matrix superposition; report best/worst placements.
+ *
+ * @param core_counts     chip sizes to evaluate (multiples of 3, <= 18)
+ * @param delta_amps      per-core square-wave swing
+ * @param variation_sigma per-core process variation handed to the
+ *                        builder (the paper expects the opportunity
+ *                        growth to come from combinatorics *and*
+ *                        variation, sections VI / VII-A)
+ */
+std::vector<ScalingPoint>
+mappingOpportunityScaling(std::span<const int> core_counts,
+                          double delta_amps = 22.0,
+                          double variation_sigma = 0.04);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_SCALING_HH

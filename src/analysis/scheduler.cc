@@ -1,0 +1,104 @@
+#include "analysis/scheduler.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+PlacementOracle::PlacementOracle(const MappingStudy &study)
+{
+    for (unsigned mask = 0; mask < mask_count; ++mask) {
+        if (mask == 0) {
+            noise_[0] = 0.0;
+            continue;
+        }
+        Mapping mapping{};
+        for (int c = 0; c < kNumCores; ++c) {
+            mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
+                                         : WorkloadClass::Idle;
+        }
+        noise_[mask] = study.run(mapping).max_p2p;
+    }
+}
+
+double
+PlacementOracle::noise(unsigned mask) const
+{
+    if (mask >= mask_count)
+        fatal("PlacementOracle::noise(): bad mask ", mask);
+    return noise_[mask];
+}
+
+SchedulerSimResult
+schedulerSimulation(const PlacementOracle &oracle,
+                    const SchedulerSimParams &params)
+{
+    if (params.arrival_bias <= 0.0 || params.arrival_bias >= 1.0)
+        fatal("schedulerSimulation: arrival_bias must be in (0, 1)");
+
+    Rng rng(params.seed);
+    SchedulerSimResult result;
+
+    unsigned naive_mask = 0;
+    unsigned aware_mask = 0;
+    // Job slots: which core each live job sits on, per policy; jobs
+    // depart in random order, identified by arrival index.
+    std::vector<int> naive_jobs;
+    std::vector<int> aware_jobs;
+
+    double naive_sum = 0.0, aware_sum = 0.0;
+    for (size_t e = 0; e < params.events; ++e) {
+        bool arrive = rng.uniform() < params.arrival_bias;
+        if (arrive && naive_jobs.size() < kNumCores) {
+            // Naive: lowest-index free core.
+            for (int c = 0; c < kNumCores; ++c) {
+                if (!((naive_mask >> c) & 1)) {
+                    naive_mask |= 1u << c;
+                    naive_jobs.push_back(c);
+                    break;
+                }
+            }
+            // Aware: free core minimizing the resulting worst noise.
+            int best_core = -1;
+            double best_noise = 1e300;
+            for (int c = 0; c < kNumCores; ++c) {
+                if ((aware_mask >> c) & 1)
+                    continue;
+                double n = oracle.noise(aware_mask | (1u << c));
+                if (n < best_noise) {
+                    best_noise = n;
+                    best_core = c;
+                }
+            }
+            aware_mask |= 1u << best_core;
+            aware_jobs.push_back(best_core);
+            ++result.placements;
+        } else if (!naive_jobs.empty()) {
+            // The same (randomly chosen) job leaves in both policies.
+            size_t victim = rng.below(naive_jobs.size());
+            naive_mask &=
+                ~(1u << naive_jobs[victim]);
+            naive_jobs.erase(naive_jobs.begin() +
+                             static_cast<long>(victim));
+            aware_mask &= ~(1u << aware_jobs[victim]);
+            aware_jobs.erase(aware_jobs.begin() +
+                             static_cast<long>(victim));
+        }
+
+        double n_naive = oracle.noise(naive_mask);
+        double n_aware = oracle.noise(aware_mask);
+        naive_sum += n_naive;
+        aware_sum += n_aware;
+        result.naive_peak = std::max(result.naive_peak, n_naive);
+        result.aware_peak = std::max(result.aware_peak, n_aware);
+    }
+    result.naive_mean = naive_sum / static_cast<double>(params.events);
+    result.aware_mean = aware_sum / static_cast<double>(params.events);
+    return result;
+}
+
+} // namespace vn

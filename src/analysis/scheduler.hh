@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Online noise-aware scheduling simulation: section VII-A taken from a
+ * static mapping comparison to a dynamic scheduler.
+ *
+ * A PlacementOracle precomputes the worst-case chip noise of every
+ * core-subset placement of max stressmarks (64 co-simulations); the
+ * scheduler simulation then streams job arrivals/departures and
+ * compares a naive first-free-core policy against a noise-aware policy
+ * that places each arriving job on the core minimizing the resulting
+ * worst-case noise.
+ */
+
+#ifndef VN_ANALYSIS_SCHEDULER_HH
+#define VN_ANALYSIS_SCHEDULER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/mapping.hh"
+
+namespace vn
+{
+
+/**
+ * Precomputed worst-case noise per placement mask (bit c set = core c
+ * runs a max dI/dt workload).
+ */
+class PlacementOracle
+{
+  public:
+    /** Evaluate all 2^6 placements on the mapping study's chip. */
+    explicit PlacementOracle(const MappingStudy &study);
+
+    /** Worst-case per-core %p2p for a placement mask. */
+    double noise(unsigned mask) const;
+
+    static constexpr unsigned mask_count = 1u << kNumCores;
+
+  private:
+    std::array<double, mask_count> noise_{};
+};
+
+/** Scheduler simulation parameters. */
+struct SchedulerSimParams
+{
+    size_t events = 4000;      //!< arrival/departure events
+    double arrival_bias = 0.5; //!< probability an event is an arrival
+    uint64_t seed = 11;
+};
+
+/** Scheduler simulation outcome. */
+struct SchedulerSimResult
+{
+    double naive_peak = 0.0;  //!< worst noise ever reached (naive)
+    double aware_peak = 0.0;  //!< worst noise ever reached (aware)
+    double naive_mean = 0.0;  //!< time-average worst-case noise
+    double aware_mean = 0.0;
+    size_t placements = 0;    //!< jobs placed
+};
+
+/**
+ * Run the two policies over the same arrival/departure stream.
+ */
+SchedulerSimResult schedulerSimulation(const PlacementOracle &oracle,
+                                       const SchedulerSimParams &params =
+                                           SchedulerSimParams{});
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_SCHEDULER_HH

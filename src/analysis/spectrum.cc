@@ -1,0 +1,47 @@
+#include "analysis/spectrum.hh"
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+double
+DroopSpectrum::bandAmplitude(double f_lo, double f_hi) const
+{
+    double best = 0.0;
+    for (const auto &p : points)
+        if (p.freq_hz >= f_lo && p.freq_hz <= f_hi)
+            best = std::max(best, p.magnitude);
+    return best;
+}
+
+double
+DroopSpectrum::bandFrequency(double f_lo, double f_hi) const
+{
+    return dominantFrequency(points, f_lo, f_hi);
+}
+
+DroopSpectrum
+droopSpectrum(const ChipModel &chip,
+              const std::array<CoreActivity, kNumCores> &workloads,
+              double window, int core)
+{
+    if (core < 0 || core >= kNumCores)
+        fatal("droopSpectrum: bad core ", core);
+    if (window <= 4e-6)
+        fatal("droopSpectrum: window must exceed the 4 us settle");
+
+    RunOptions options;
+    options.capture_traces = true;
+    auto result = chip.run(workloads, window, options);
+
+    // Skip the start-up transient, analyse the steady remainder.
+    Waveform trace = result.traces[static_cast<size_t>(core)].slice(
+        4e-6, window);
+
+    DroopSpectrum spectrum;
+    spectrum.points = magnitudeSpectrum(trace.samples(), trace.dt());
+    return spectrum;
+}
+
+} // namespace vn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Spectral analysis of measured droop waveforms: which frequency bands
+ * a stressmark actually excites. Complements the skitter's scalar
+ * %p2p with the oscilloscope-style frequency view (the paper uses
+ * scope shots to confirm stimulus correctness, section V-A).
+ */
+
+#ifndef VN_ANALYSIS_SPECTRUM_HH
+#define VN_ANALYSIS_SPECTRUM_HH
+
+#include <array>
+#include <vector>
+
+#include "chip/chip.hh"
+#include "util/fft.hh"
+
+namespace vn
+{
+
+/** Spectral view of one core's VDie under a workload. */
+struct DroopSpectrum
+{
+    std::vector<SpectrumPoint> points;
+
+    /** Largest-amplitude component in [f_lo, f_hi] (volts). */
+    double bandAmplitude(double f_lo, double f_hi) const;
+
+    /** Frequency of that component. */
+    double bandFrequency(double f_lo, double f_hi) const;
+};
+
+/**
+ * Run the workloads on the chip, capture core `core`'s VDie and return
+ * its spectrum (start-up transient excluded).
+ *
+ * @param chip      chip model
+ * @param workloads per-core activity
+ * @param window    co-simulation window (seconds)
+ * @param core      observed core
+ */
+DroopSpectrum
+droopSpectrum(const ChipModel &chip,
+              const std::array<CoreActivity, kNumCores> &workloads,
+              double window, int core = 0);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_SPECTRUM_HH

@@ -1,0 +1,206 @@
+#include "analysis/sweeps.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/tod.hh"
+#include "measure/skitter.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace vn
+{
+
+std::vector<double>
+logspace(double f_lo, double f_hi, size_t points)
+{
+    if (points < 2 || f_lo <= 0.0 || f_hi <= f_lo)
+        fatal("logspace: need 0 < f_lo < f_hi and points >= 2");
+    std::vector<double> out;
+    out.reserve(points);
+    double llo = std::log10(f_lo);
+    double lhi = std::log10(f_hi);
+    for (size_t i = 0; i < points; ++i) {
+        double frac =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back(std::pow(10.0, llo + frac * (lhi - llo)));
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+checkContext(const AnalysisContext &ctx)
+{
+    if (ctx.kit == nullptr)
+        fatal("AnalysisContext: kit must be set");
+    if (ctx.window <= 0.0)
+        fatal("AnalysisContext: window must be > 0");
+}
+
+/** Window sized to contain enough stimulus periods at low frequency. */
+double
+windowFor(const AnalysisContext &ctx, double freq_hz)
+{
+    double period = 1.0 / freq_hz;
+    return std::clamp(12.0 * period, ctx.window, 6.0e-4);
+}
+
+/** Synchronized max-stressmark activity with a misalignment offset. */
+CoreActivity
+makeActivity(const AnalysisContext &ctx, double freq_hz,
+             uint64_t offset_ticks)
+{
+    StressmarkSpec spec;
+    spec.stimulus_freq_hz = freq_hz;
+    spec.consecutive_events = ctx.consecutive_events;
+    spec.synchronized = true;
+    spec.misalignment_ticks = offset_ticks;
+    return ctx.kit->make(spec).activity();
+}
+
+} // namespace
+
+std::vector<FreqSweepPoint>
+sweepStimulusFrequency(const AnalysisContext &ctx,
+                       std::span<const double> freqs, bool synchronized)
+{
+    checkContext(ctx);
+    ChipModel chip(ctx.chip_config);
+    double nominal_pos =
+        Skitter(ctx.chip_config.skitter).nominalPosition();
+
+    std::vector<FreqSweepPoint> out;
+    out.reserve(freqs.size());
+    Rng rng(ctx.seed);
+
+    for (double f : freqs) {
+        StressmarkSpec spec;
+        spec.stimulus_freq_hz = f;
+        spec.consecutive_events = ctx.consecutive_events;
+        spec.synchronized = synchronized;
+        Stressmark sm = ctx.kit->make(spec);
+        double window = windowFor(ctx, f);
+
+        FreqSweepPoint point;
+        point.freq_hz = f;
+
+        if (synchronized) {
+            std::array<CoreActivity, kNumCores> w = {
+                sm.activity(), sm.activity(), sm.activity(),
+                sm.activity(), sm.activity(), sm.activity()};
+            auto r = chip.run(w, window);
+            for (int c = 0; c < kNumCores; ++c) {
+                point.p2p[c] = r.core[c].p2p;
+                point.v_min[c] = r.core[c].v_min;
+            }
+        } else {
+            // Free-running copies drift through every relative
+            // alignment over a long measurement; approximate the
+            // sticky-mode union with several random-phase draws.
+            std::array<int, kNumCores> lo{};
+            std::array<int, kNumCores> hi{};
+            std::array<double, kNumCores> vmin;
+            vmin.fill(1e9);
+            bool first = true;
+            double period = 1.0 / f;
+            for (int d = 0; d < ctx.unsync_draws; ++d) {
+                std::array<CoreActivity, kNumCores> w = {
+                    sm.activity(period * rng.uniform()),
+                    sm.activity(period * rng.uniform()),
+                    sm.activity(period * rng.uniform()),
+                    sm.activity(period * rng.uniform()),
+                    sm.activity(period * rng.uniform()),
+                    sm.activity(period * rng.uniform())};
+                auto r = chip.run(w, window);
+                for (int c = 0; c < kNumCores; ++c) {
+                    if (first) {
+                        lo[c] = r.core[c].min_latch;
+                        hi[c] = r.core[c].max_latch;
+                    } else {
+                        lo[c] = std::min(lo[c], r.core[c].min_latch);
+                        hi[c] = std::max(hi[c], r.core[c].max_latch);
+                    }
+                    vmin[c] = std::min(vmin[c], r.core[c].v_min);
+                }
+                first = false;
+            }
+            for (int c = 0; c < kNumCores; ++c) {
+                point.p2p[c] =
+                    100.0 * static_cast<double>(hi[c] - lo[c]) /
+                    nominal_pos;
+                point.v_min[c] = vmin[c];
+            }
+        }
+
+        point.max_p2p =
+            *std::max_element(point.p2p.begin(), point.p2p.end());
+        point.min_v =
+            *std::min_element(point.v_min.begin(), point.v_min.end());
+        out.push_back(point);
+    }
+    return out;
+}
+
+std::vector<MisalignmentPoint>
+sweepMisalignment(const AnalysisContext &ctx, double freq_hz,
+                  std::span<const uint64_t> max_ticks, int rotations)
+{
+    checkContext(ctx);
+    if (rotations < 1 || rotations > kNumCores)
+        fatal("sweepMisalignment: rotations must be in [1, 6]");
+
+    ChipModel chip(ctx.chip_config);
+    std::vector<MisalignmentPoint> out;
+    out.reserve(max_ticks.size());
+
+    for (uint64_t m : max_ticks) {
+        MisalignmentPoint point;
+        point.max_misalignment_s =
+            static_cast<double>(m) * TodClock::tick_seconds;
+
+        // Distribute the six stressmarks evenly over the allowed
+        // offset range [0, m] ticks.
+        std::array<uint64_t, kNumCores> offsets;
+        for (int c = 0; c < kNumCores; ++c) {
+            offsets[c] = m == 0
+                             ? 0
+                             : static_cast<uint64_t>(std::llround(
+                                   static_cast<double>(c) *
+                                   static_cast<double>(m) / 5.0));
+        }
+
+        std::array<RunningStats, kNumCores> stats;
+        for (int rot = 0; rot < rotations; ++rot) {
+            std::array<CoreActivity, kNumCores> w = {
+                makeActivity(ctx, freq_hz,
+                             offsets[(0 + rot) % kNumCores]),
+                makeActivity(ctx, freq_hz,
+                             offsets[(1 + rot) % kNumCores]),
+                makeActivity(ctx, freq_hz,
+                             offsets[(2 + rot) % kNumCores]),
+                makeActivity(ctx, freq_hz,
+                             offsets[(3 + rot) % kNumCores]),
+                makeActivity(ctx, freq_hz,
+                             offsets[(4 + rot) % kNumCores]),
+                makeActivity(ctx, freq_hz,
+                             offsets[(5 + rot) % kNumCores])};
+            auto r = chip.run(w, windowFor(ctx, freq_hz));
+            for (int c = 0; c < kNumCores; ++c)
+                stats[c].add(r.core[c].p2p);
+        }
+        double max_avg = 0.0;
+        for (int c = 0; c < kNumCores; ++c) {
+            point.avg_p2p[c] = stats[c].mean();
+            max_avg = std::max(max_avg, point.avg_p2p[c]);
+        }
+        point.avg_max_p2p = max_avg;
+        out.push_back(point);
+    }
+    return out;
+}
+
+} // namespace vn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stimulus-frequency and alignment sensitivity sweeps: the harnesses
+ * behind Fig. 7a, Fig. 9 and Fig. 10.
+ */
+
+#ifndef VN_ANALYSIS_SWEEPS_HH
+#define VN_ANALYSIS_SWEEPS_HH
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "analysis/context.hh"
+
+namespace vn
+{
+
+/** One frequency point of a noise sweep. */
+struct FreqSweepPoint
+{
+    double freq_hz = 0.0;
+    std::array<double, kNumCores> p2p{};   //!< per-core skitter %p2p
+    std::array<double, kNumCores> v_min{}; //!< per-core deepest droop
+    double max_p2p = 0.0;
+    double min_v = 0.0;
+};
+
+/**
+ * Run one copy of the maximum dI/dt stressmark on every core for each
+ * stimulus frequency and report per-core noise.
+ *
+ * @param ctx          harness configuration
+ * @param freqs        stimulus frequencies to explore
+ * @param synchronized TOD-synchronized (Fig. 9) or free-running
+ *                     (Fig. 7a, approximated by unioned random-phase
+ *                     draws)
+ */
+std::vector<FreqSweepPoint>
+sweepStimulusFrequency(const AnalysisContext &ctx,
+                       std::span<const double> freqs, bool synchronized);
+
+/** One misalignment point (Fig. 10). */
+struct MisalignmentPoint
+{
+    double max_misalignment_s = 0.0;
+    std::array<double, kNumCores> avg_p2p{}; //!< averaged over rotations
+    double avg_max_p2p = 0.0;
+};
+
+/**
+ * Noise sensitivity to deltaI-event misalignment (Fig. 10): the six
+ * stressmark copies are distributed evenly over TOD offsets in
+ * [0, max_ticks]; since several offset-to-core assignments exist, the
+ * assignment is rotated and per-core results averaged.
+ *
+ * @param ctx       harness configuration
+ * @param freq_hz   stimulus frequency (the paper uses the 2 MHz band)
+ * @param max_ticks list of maximum allowed misalignments, in 62.5 ns
+ *                  TOD ticks
+ * @param rotations assignments evaluated per point (<= 6)
+ */
+std::vector<MisalignmentPoint>
+sweepMisalignment(const AnalysisContext &ctx, double freq_hz,
+                  std::span<const uint64_t> max_ticks, int rotations = 3);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_SWEEPS_HH

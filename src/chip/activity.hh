@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-core activity schedules for chip co-simulation.
+ *
+ * A CoreActivity turns a workload into a power-vs-time generator at PDN
+ * time-step granularity: a looped sequence of piecewise-constant phases
+ * (derived from the cycle-level core model) with an optional TOD
+ * synchronization barrier between loop iterations. The chip model pulls
+ * the average power of each step interval and injects the corresponding
+ * current into that core's PDN port.
+ */
+
+#ifndef VN_CHIP_ACTIVITY_HH
+#define VN_CHIP_ACTIVITY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vn
+{
+
+/** One piecewise-constant power segment. */
+struct ActivityPhase
+{
+    double power;      //!< model power units (includes static)
+    double duration;   //!< seconds
+};
+
+/** TOD synchronization barrier executed before each loop iteration. */
+struct SyncSpec
+{
+    uint64_t interval_ticks; //!< sync period in TOD ticks (4 ms = 64000)
+    uint64_t offset_ticks;   //!< deliberate misalignment offset
+    double spin_power;       //!< power while spinning on the TOD
+};
+
+/**
+ * A looped, optionally synchronized, piecewise-constant power schedule.
+ */
+class CoreActivity
+{
+  public:
+    /** Idle core: constant power forever. */
+    static CoreActivity constant(double power);
+
+    /**
+     * Looped schedule.
+     *
+     * @param loop     phases of one loop iteration (total duration > 0)
+     * @param sync     optional TOD barrier before each iteration
+     * @param prologue phases executed once before the loop starts
+     *                 (models the arbitrary start skew of
+     *                 unsynchronized stressmark copies)
+     */
+    explicit CoreActivity(std::vector<ActivityPhase> loop,
+                          std::optional<SyncSpec> sync = std::nullopt,
+                          std::vector<ActivityPhase> prologue = {});
+
+    /**
+     * Average power over [t, t+dt) where t is the internal clock;
+     * advances the internal clock by dt.
+     */
+    double advance(double dt);
+
+    /** Power at the current instant (no advance). */
+    double currentPower() const;
+
+    /** Internal clock (seconds since start). */
+    double time() const { return time_; }
+
+    /** Whether a sync barrier is configured. */
+    bool synchronized() const { return sync_.has_value(); }
+
+  private:
+    enum class State
+    {
+        Prologue, //!< executing one-shot prologue phases
+        Waiting,  //!< spinning on the TOD barrier
+        Running,  //!< executing loop phases
+    };
+
+    void enterWait();
+    void enterRun();
+
+    std::vector<ActivityPhase> loop_;
+    std::optional<SyncSpec> sync_;
+    std::vector<ActivityPhase> prologue_;
+
+    State state_ = State::Running;
+    double time_ = 0.0;
+    double wait_until_ = 0.0;   //!< valid in Waiting
+    size_t phase_ = 0;          //!< valid in Prologue/Running
+    double into_phase_ = 0.0;   //!< time consumed of current phase
+};
+
+} // namespace vn
+
+#endif // VN_CHIP_ACTIVITY_HH

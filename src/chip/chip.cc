@@ -1,0 +1,186 @@
+#include "chip/chip.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+const char *
+sharedUnitName(int unit)
+{
+    switch (unit) {
+      case 0: return "nest";
+      case 1: return "mcu";
+      case 2: return "gx";
+    }
+    return "?";
+}
+
+double
+ChipRunResult::maxP2p() const
+{
+    double best = 0.0;
+    for (const auto &c : core)
+        best = std::max(best, c.p2p);
+    return best;
+}
+
+int
+ChipRunResult::noisiestCore() const
+{
+    int best = 0;
+    for (int c = 1; c < kNumCores; ++c)
+        if (core[c].p2p > core[best].p2p)
+            best = c;
+    return best;
+}
+
+ChipModel::ChipModel(ChipConfig config)
+    : config_(std::move(config)), critpath_(config_.critpath)
+{
+    if (config_.bias < 0.0 || config_.bias > 0.3)
+        fatal("ChipModel: bias must be in [0, 0.3], got ", config_.bias);
+    if (config_.dt <= 0.0)
+        fatal("ChipModel: dt must be > 0");
+    if (config_.power_unit_amps <= 0.0)
+        fatal("ChipModel: power_unit_amps must be > 0");
+
+    // Apply per-core variation to the PDN and the bias to the supply.
+    PdnConfig pdn_config = config_.pdn;
+    for (int c = 0; c < kNumCores; ++c) {
+        pdn_config.rail_res_scale[c] *=
+            config_.variation.core[c].rail_res_scale;
+        pdn_config.decap_scale[c] *= config_.variation.core[c].decap_scale;
+    }
+    supply_ = pdn_config.vnom * (1.0 - config_.bias);
+    pdn_config.vnom = supply_;
+    pdn_ = buildZec12Pdn(pdn_config);
+}
+
+CoreActivity
+ChipModel::idleActivity() const
+{
+    return CoreActivity::constant(config_.core.static_power);
+}
+
+ChipRunResult
+ChipModel::run(const std::array<CoreActivity, kNumCores> &workloads,
+               double duration, const RunOptions &options) const
+{
+    if (duration <= 0.0)
+        fatal("ChipModel::run(): duration must be > 0");
+
+    std::array<CoreActivity, kNumCores> activity = workloads;
+
+    // Per-core skitters with variation-scaled sensitivity.
+    std::vector<Skitter> skitters;
+    skitters.reserve(kNumCores);
+    for (int c = 0; c < kNumCores; ++c) {
+        SkitterParams sp = config_.skitter;
+        sp.gain *= config_.variation.core[c].skitter_gain_scale;
+        skitters.emplace_back(sp);
+    }
+
+    // Skitters in the shared units (nest/L3, MCU, GX).
+    const std::array<NodeId, kNumSharedUnits> shared_nodes = {
+        pdn_.l3_node, pdn_.mcu_node, pdn_.gx_node};
+    std::vector<Skitter> shared_skitters(
+        kNumSharedUnits, Skitter(config_.skitter));
+    std::array<RunningStats, kNumSharedUnits> shared_vstats;
+
+    TransientSolver sim(pdn_.netlist, config_.dt);
+
+    std::vector<double> currents(pdn_.portCount(), 0.0);
+    auto fill_currents = [&](bool advance) {
+        for (int c = 0; c < kNumCores; ++c) {
+            double power = advance ? activity[c].advance(config_.dt)
+                                   : activity[c].currentPower();
+            currents[pdn_.core_port[c]] =
+                power * config_.power_unit_amps *
+                config_.variation.core[c].power_scale;
+        }
+        currents[pdn_.l3_port] = config_.nest_amps;
+        currents[pdn_.mcu_port] = config_.mcu_amps;
+        currents[pdn_.gx_port] = config_.gx_amps;
+    };
+
+    fill_currents(false);
+    sim.initDcOperatingPoint(currents);
+
+    ChipRunResult result;
+    result.duration = duration;
+    if (options.capture_traces) {
+        result.traces.assign(
+            kNumCores,
+            Waveform(config_.dt *
+                     static_cast<double>(options.trace_decimation)));
+    }
+
+    PowerMeter meter;
+    std::array<RunningStats, kNumCores> vstats;
+    unsigned trace_phase = 0;
+
+    const auto steps =
+        static_cast<uint64_t>(std::ceil(duration / config_.dt));
+    for (uint64_t k = 0; k < steps; ++k) {
+        fill_currents(true);
+        sim.step(currents);
+        double t = sim.time();
+
+        for (int c = 0; c < kNumCores; ++c) {
+            double v = sim.nodeVoltage(pdn_.core_node[c]);
+            if (t >= options.warmup) {
+                skitters[c].sample(v);
+                vstats[c].add(v);
+            }
+            if (!result.failed && critpath_.violates(v)) {
+                result.failed = true;
+                result.failure_time = t;
+                result.failing_core = c;
+            }
+            if (options.capture_traces && trace_phase == 0)
+                result.traces[c].push(v);
+        }
+        if (options.capture_traces &&
+            ++trace_phase == options.trace_decimation) {
+            trace_phase = 0;
+        }
+
+        if (t >= options.warmup) {
+            for (int u = 0; u < kNumSharedUnits; ++u) {
+                double v = sim.nodeVoltage(shared_nodes[u]);
+                shared_skitters[u].sample(v);
+                shared_vstats[u].add(v);
+            }
+        }
+
+        meter.sample(supply_, std::fabs(sim.sourceCurrent(0)));
+
+        if (result.failed && options.stop_on_failure)
+            break;
+    }
+
+    for (int c = 0; c < kNumCores; ++c) {
+        result.core[c].p2p = skitters[c].percentP2p();
+        result.core[c].min_latch = skitters[c].minPosition();
+        result.core[c].max_latch = skitters[c].maxPosition();
+        result.core[c].v_min = vstats[c].min();
+        result.core[c].v_max = vstats[c].max();
+        result.core[c].v_mean = vstats[c].mean();
+    }
+    for (int u = 0; u < kNumSharedUnits; ++u) {
+        result.shared[u].p2p = shared_skitters[u].percentP2p();
+        result.shared[u].min_latch = shared_skitters[u].minPosition();
+        result.shared[u].max_latch = shared_skitters[u].maxPosition();
+        result.shared[u].v_min = shared_vstats[u].min();
+        result.shared[u].v_max = shared_vstats[u].max();
+        result.shared[u].v_mean = shared_vstats[u].mean();
+    }
+    result.avg_power_watts = meter.averageWatts();
+    return result;
+}
+
+} // namespace vn

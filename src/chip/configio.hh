@@ -1,0 +1,31 @@
+/**
+ * @file
+ * ChipConfig persistence: round-trip the full chip + measurement
+ * configuration through a key = value file so experiment setups are
+ * shareable and reproducible without recompiling.
+ */
+
+#ifndef VN_CHIP_CONFIGIO_HH
+#define VN_CHIP_CONFIGIO_HH
+
+#include <string>
+
+#include "chip/chip.hh"
+
+namespace vn
+{
+
+/** Write every tunable of the configuration to `path`. */
+void saveChipConfig(const ChipConfig &config, const std::string &path);
+
+/**
+ * Load a configuration. Keys present in the file override the
+ * defaults in `base`; absent keys keep their `base` values, so partial
+ * files (e.g. just `pdn.c_l3 = 4e-6`) work as overrides.
+ */
+ChipConfig loadChipConfig(const std::string &path,
+                          const ChipConfig &base = ChipConfig{});
+
+} // namespace vn
+
+#endif // VN_CHIP_CONFIGIO_HH

@@ -1,0 +1,25 @@
+#include "chip/tod.hh"
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+double
+TodClock::nextSync(double t, uint64_t interval_ticks, uint64_t offset_ticks)
+{
+    if (interval_ticks == 0)
+        fatal("TodClock::nextSync(): interval must be > 0");
+    offset_ticks %= interval_ticks;
+
+    uint64_t now = ticksAt(t);
+    uint64_t base = now - now % interval_ticks;
+    uint64_t candidate = base + offset_ticks;
+    // The matching tick must start at or after t (spinning observes the
+    // register and exits on the first match it sees).
+    while (timeOf(candidate) < t)
+        candidate += interval_ticks;
+    return timeOf(candidate);
+}
+
+} // namespace vn

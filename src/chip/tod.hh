@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Time-of-day clock facility used for deterministic cross-core
+ * synchronization of dI/dt stressmarks (paper section IV-C).
+ *
+ * The modelled architecture exposes a global TOD register whose usable
+ * granularity is 62.5 ns; stressmarks spin until the low-order bits of
+ * the TOD match a chosen offset, which aligns deltaI events across
+ * cores to within one tick and allows controlled misalignment in 62.5 ns
+ * steps.
+ */
+
+#ifndef VN_CHIP_TOD_HH
+#define VN_CHIP_TOD_HH
+
+#include <cstdint>
+
+namespace vn
+{
+
+/** Global time-of-day clock (pure functions of simulation time). */
+class TodClock
+{
+  public:
+    /** Tick granularity used for stressmark alignment. */
+    static constexpr double tick_seconds = 62.5e-9;
+
+    /** Ticks elapsed at absolute time t (seconds). */
+    static uint64_t
+    ticksAt(double t)
+    {
+        if (t <= 0.0)
+            return 0;
+        return static_cast<uint64_t>(t / tick_seconds);
+    }
+
+    /** Absolute time of a tick. */
+    static double
+    timeOf(uint64_t ticks)
+    {
+        return static_cast<double>(ticks) * tick_seconds;
+    }
+
+    /**
+     * Earliest time >= t whose tick satisfies
+     * tick % interval_ticks == offset_ticks.
+     *
+     * This is the exit condition of the stressmark synchronization loop
+     * ("loop until the low-order bits of the TOD are zero", with the
+     * offset selecting deliberate misalignment).
+     */
+    static double nextSync(double t, uint64_t interval_ticks,
+                           uint64_t offset_ticks);
+};
+
+} // namespace vn
+
+#endif // VN_CHIP_TOD_HH

@@ -1,0 +1,59 @@
+#include "chip/variation.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+VariationProfile
+VariationProfile::defaultZec12()
+{
+    VariationProfile p;
+    // Cores 2 and 4 slightly fast/leaky (hotter, noisier); core 3 the
+    // quietest. Deltas are a few percent, as silicon-typical.
+    const double power[kNumCores] = {1.000, 0.992, 1.034, 0.982,
+                                     1.028, 1.004};
+    const double rail[kNumCores] = {1.00, 1.02, 1.04, 0.98, 1.03, 1.00};
+    const double decap[kNumCores] = {1.00, 1.01, 0.97, 1.03, 0.98, 1.00};
+    const double gain[kNumCores] = {1.00, 0.99, 1.02, 0.98, 1.01, 1.00};
+    for (int c = 0; c < kNumCores; ++c) {
+        p.core[c].power_scale = power[c];
+        p.core[c].rail_res_scale = rail[c];
+        p.core[c].decap_scale = decap[c];
+        p.core[c].skitter_gain_scale = gain[c];
+    }
+    return p;
+}
+
+VariationProfile
+VariationProfile::uniform()
+{
+    return VariationProfile{};
+}
+
+VariationProfile
+VariationProfile::randomCorner(uint64_t seed, double sigma)
+{
+    if (sigma < 0.0 || sigma > 0.2)
+        fatal("VariationProfile::randomCorner(): sigma must be in "
+              "[0, 0.2], got ",
+              sigma);
+    Rng rng(seed);
+    VariationProfile p;
+    auto draw = [&] {
+        return std::clamp(rng.normal(1.0, sigma), 1.0 - 4.0 * sigma,
+                          1.0 + 4.0 * sigma);
+    };
+    for (int c = 0; c < kNumCores; ++c) {
+        p.core[c].power_scale = draw();
+        p.core[c].rail_res_scale = draw();
+        p.core[c].decap_scale = draw();
+        p.core[c].skitter_gain_scale = draw();
+    }
+    return p;
+}
+
+} // namespace vn

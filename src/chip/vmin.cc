@@ -1,0 +1,47 @@
+#include "chip/vmin.hh"
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+VminExperiment::VminExperiment(ChipConfig base, double bias_step,
+                               double max_bias)
+    : base_(std::move(base)), bias_step_(bias_step), max_bias_(max_bias)
+{
+    if (bias_step_ <= 0.0 || bias_step_ > 0.05)
+        fatal("VminExperiment: bias_step must be in (0, 0.05], got ",
+              bias_step_);
+    if (max_bias_ <= 0.0 || max_bias_ > 0.3)
+        fatal("VminExperiment: max_bias must be in (0, 0.3], got ",
+              max_bias_);
+}
+
+VminResult
+VminExperiment::run(const std::array<CoreActivity, kNumCores> &workloads,
+                    double window) const
+{
+    VminResult result;
+    RunOptions options;
+    options.stop_on_failure = true;
+
+    for (double bias = 0.0; bias <= max_bias_ + 1e-12;
+         bias += bias_step_) {
+        ChipConfig config = base_;
+        config.bias = bias;
+        ChipModel chip(config);
+        ++result.steps;
+        auto outcome = chip.run(workloads, window, options);
+        if (outcome.failed) {
+            result.bias_at_failure = bias;
+            result.failed = true;
+            result.failing_core = outcome.failing_core;
+            return result;
+        }
+    }
+    result.bias_at_failure = max_bias_;
+    result.failed = false;
+    return result;
+}
+
+} // namespace vn

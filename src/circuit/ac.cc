@@ -1,0 +1,201 @@
+#include "circuit/ac.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+inline int
+nodeIndex(NodeId node)
+{
+    return node - 1;
+}
+
+} // namespace
+
+AcAnalysis::AcAnalysis(const Netlist &netlist)
+    : netlist_(netlist)
+{
+    num_nodes_ = netlist_.nodeCount() - 1;
+    num_vsrc_ = netlist_.voltageSources().size();
+    num_ind_ = netlist_.inductors().size();
+    dim_ = num_nodes_ + num_vsrc_ + num_ind_;
+    if (dim_ == 0)
+        fatal("AcAnalysis: empty netlist");
+}
+
+std::vector<std::complex<double>>
+AcAnalysis::solveAt(PortId port, double freq_hz) const
+{
+    using Cplx = std::complex<double>;
+
+    if (port < 0 || static_cast<size_t>(port) >= netlist_.ports().size())
+        fatal("AcAnalysis: bad port ", port);
+    if (freq_hz <= 0.0)
+        fatal("AcAnalysis: frequency must be > 0, got ", freq_hz);
+
+    const double omega = 2.0 * M_PI * freq_hz;
+    Matrix<Cplx> a(dim_, dim_);
+
+    auto stamp_admittance = [&](NodeId na, NodeId nb, Cplx y) {
+        int ia = nodeIndex(na);
+        int ib = nodeIndex(nb);
+        if (ia >= 0)
+            a(ia, ia) += y;
+        if (ib >= 0)
+            a(ib, ib) += y;
+        if (ia >= 0 && ib >= 0) {
+            a(ia, ib) -= y;
+            a(ib, ia) -= y;
+        }
+    };
+
+    for (const auto &r : netlist_.resistors())
+        stamp_admittance(r.a, r.b, Cplx(1.0 / r.ohms, 0.0));
+    for (const auto &c : netlist_.capacitors())
+        stamp_admittance(c.a, c.b, Cplx(0.0, omega * c.farads));
+
+    // DC voltage sources become AC shorts: keep the branch unknown with a
+    // zero right-hand side.
+    for (size_t s = 0; s < num_vsrc_; ++s) {
+        const auto &v = netlist_.voltageSources()[s];
+        size_t row = num_nodes_ + s;
+        int ip = nodeIndex(v.pos);
+        int in = nodeIndex(v.neg);
+        if (ip >= 0) {
+            a(row, ip) += 1.0;
+            a(ip, row) += 1.0;
+        }
+        if (in >= 0) {
+            a(row, in) -= 1.0;
+            a(in, row) -= 1.0;
+        }
+    }
+
+    for (size_t m = 0; m < num_ind_; ++m) {
+        const auto &l = netlist_.inductors()[m];
+        size_t row = num_nodes_ + num_vsrc_ + m;
+        int ia = nodeIndex(l.a);
+        int ib = nodeIndex(l.b);
+        if (ia >= 0) {
+            a(row, ia) += 1.0;
+            a(ia, row) += 1.0;
+        }
+        if (ib >= 0) {
+            a(row, ib) -= 1.0;
+            a(ib, row) -= 1.0;
+        }
+        a(row, row) -= Cplx(0.0, omega * l.henries);
+    }
+
+    std::vector<Cplx> rhs(dim_, Cplx(0.0, 0.0));
+    const auto &p = netlist_.ports()[port];
+    int ifrom = nodeIndex(p.from);
+    int ito = nodeIndex(p.to);
+    if (ifrom >= 0)
+        rhs[ifrom] -= 1.0; // unit load drawn out of 'from'
+    if (ito >= 0)
+        rhs[ito] += 1.0;
+
+    LuSolver<Cplx> lu(a);
+    return lu.solve(rhs);
+}
+
+std::complex<double>
+AcAnalysis::impedance(PortId port, double freq_hz) const
+{
+    auto x = solveAt(port, freq_hz);
+    const auto &p = netlist_.ports()[port];
+    auto node_v = [&](NodeId n) -> std::complex<double> {
+        int idx = nodeIndex(n);
+        return idx >= 0 ? x[idx] : std::complex<double>(0.0, 0.0);
+    };
+    // A unit load produces a droop; the impedance is minus the voltage
+    // developed across the port per ampere drawn.
+    return -(node_v(p.from) - node_v(p.to));
+}
+
+std::complex<double>
+AcAnalysis::transferImpedance(PortId port, NodeId observe,
+                              double freq_hz) const
+{
+    auto x = solveAt(port, freq_hz);
+    int idx = nodeIndex(observe);
+    std::complex<double> v =
+        idx >= 0 ? x[idx] : std::complex<double>(0.0, 0.0);
+    return -v;
+}
+
+std::vector<ImpedancePoint>
+AcAnalysis::sweep(PortId port, double f_lo, double f_hi,
+                  size_t points) const
+{
+    if (points < 2)
+        fatal("AcAnalysis::sweep(): need at least 2 points");
+    if (f_lo <= 0.0 || f_hi <= f_lo)
+        fatal("AcAnalysis::sweep(): need 0 < f_lo < f_hi");
+
+    std::vector<ImpedancePoint> result;
+    result.reserve(points);
+    double log_lo = std::log10(f_lo);
+    double log_hi = std::log10(f_hi);
+    for (size_t i = 0; i < points; ++i) {
+        double frac = static_cast<double>(i) /
+                      static_cast<double>(points - 1);
+        double f = std::pow(10.0, log_lo + frac * (log_hi - log_lo));
+        result.push_back({f, impedance(port, f)});
+    }
+    return result;
+}
+
+double
+AcAnalysis::resonanceFrequency(PortId port, double f_lo, double f_hi) const
+{
+    // Coarse log sweep to bracket the peak.
+    const size_t coarse = 160;
+    auto pts = sweep(port, f_lo, f_hi, coarse);
+    size_t best = 0;
+    for (size_t i = 1; i < pts.size(); ++i)
+        if (std::abs(pts[i].z) > std::abs(pts[best].z))
+            best = i;
+
+    double lo = pts[best > 0 ? best - 1 : 0].freq_hz;
+    double hi = pts[std::min(best + 1, pts.size() - 1)].freq_hz;
+    if (lo >= hi)
+        return pts[best].freq_hz;
+
+    // Golden-section search on |Z| in log-frequency space.
+    const double phi = 0.5 * (std::sqrt(5.0) - 1.0);
+    double a = std::log10(lo);
+    double b = std::log10(hi);
+    auto mag = [&](double log_f) {
+        return std::abs(impedance(port, std::pow(10.0, log_f)));
+    };
+    double x1 = b - phi * (b - a);
+    double x2 = a + phi * (b - a);
+    double f1 = mag(x1);
+    double f2 = mag(x2);
+    for (int iter = 0; iter < 48 && (b - a) > 1e-6; ++iter) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + phi * (b - a);
+            f2 = mag(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - phi * (b - a);
+            f1 = mag(x1);
+        }
+    }
+    return std::pow(10.0, 0.5 * (a + b));
+}
+
+} // namespace vn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Small-signal AC analysis of a Netlist: complex impedance seen from any
+ * current port, and transfer impedance from a port to any node.
+ *
+ * This regenerates the paper's post-silicon impedance profile (Fig. 7b):
+ * the magnitude |Z(f)| seen by a core's load port peaks at the PDN's
+ * resonant bands, which is where dI/dt stimulus maximizes noise
+ * (V = deltaI * Z, Eq. 1-5 of the paper).
+ */
+
+#ifndef VN_CIRCUIT_AC_HH
+#define VN_CIRCUIT_AC_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "util/matrix.hh"
+
+namespace vn
+{
+
+/** One point of an impedance sweep. */
+struct ImpedancePoint
+{
+    double freq_hz;
+    std::complex<double> z; //!< complex impedance in ohms
+};
+
+/**
+ * Frequency-domain solver. DC voltage sources are treated as AC shorts
+ * (their small-signal value is zero).
+ */
+class AcAnalysis
+{
+  public:
+    /** @param netlist network to analyse (must outlive the analysis). */
+    explicit AcAnalysis(const Netlist &netlist);
+
+    /**
+     * Complex self-impedance seen by a port at one frequency: the voltage
+     * developed across the port per ampere of load drawn through it.
+     */
+    std::complex<double> impedance(PortId port, double freq_hz) const;
+
+    /**
+     * Transfer impedance: voltage at `observe` (vs ground) per ampere of
+     * load drawn at `port`. Used for inter-node coupling studies.
+     */
+    std::complex<double> transferImpedance(PortId port, NodeId observe,
+                                           double freq_hz) const;
+
+    /**
+     * Sweep |Z| over a log-spaced grid.
+     *
+     * @param port     load port to probe
+     * @param f_lo     first frequency (Hz)
+     * @param f_hi     last frequency (Hz)
+     * @param points   number of samples (>= 2)
+     */
+    std::vector<ImpedancePoint> sweep(PortId port, double f_lo, double f_hi,
+                                      size_t points) const;
+
+    /**
+     * Locate the frequency of maximum |Z| within [f_lo, f_hi] via a coarse
+     * log sweep followed by golden-section refinement.
+     */
+    double resonanceFrequency(PortId port, double f_lo, double f_hi) const;
+
+  private:
+    /** Solve the complex MNA system for a unit load at `port`. */
+    std::vector<std::complex<double>> solveAt(PortId port,
+                                              double freq_hz) const;
+
+    const Netlist &netlist_;
+    size_t num_nodes_;
+    size_t num_vsrc_;
+    size_t num_ind_;
+    size_t dim_;
+};
+
+} // namespace vn
+
+#endif // VN_CIRCUIT_AC_HH

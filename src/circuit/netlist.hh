@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Circuit netlist description for power-distribution-network models.
+ *
+ * A Netlist is a passive linear network of resistors, inductors and
+ * capacitors plus ideal voltage sources and externally-driven current
+ * sources ("ports"). Ports are where the chip model injects per-unit load
+ * current (cores, nest, MCU, GX); voltage sources model the VRM output.
+ *
+ * The same netlist feeds two analyses:
+ *  - TransientSolver: time-domain response to arbitrary port currents
+ *    (trapezoidal integration), used for noise co-simulation.
+ *  - AcAnalysis: complex impedance seen from any port across frequency,
+ *    used to regenerate the paper's impedance profile (Fig. 7b).
+ */
+
+#ifndef VN_CIRCUIT_NETLIST_HH
+#define VN_CIRCUIT_NETLIST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vn
+{
+
+/** Node identifier; node 0 is always ground. */
+using NodeId = int;
+
+/** Index of an externally-driven current source (port). */
+using PortId = int;
+
+/** Two-terminal passive element values (SI units). */
+struct Resistor
+{
+    NodeId a;
+    NodeId b;
+    double ohms;
+    std::string name;
+};
+
+struct Inductor
+{
+    NodeId a; //!< current flows a -> b for positive branch current
+    NodeId b;
+    double henries;
+    std::string name;
+};
+
+struct Capacitor
+{
+    NodeId a;
+    NodeId b;
+    double farads;
+    std::string name;
+};
+
+/** Ideal voltage source: v(pos) - v(neg) = volts. */
+struct VoltageSource
+{
+    NodeId pos;
+    NodeId neg;
+    double volts;
+    std::string name;
+};
+
+/**
+ * Externally-driven current source. A positive drive value draws current
+ * out of node `from` and returns it into node `to` (i.e. a load between a
+ * supply rail and ground uses from = rail, to = ground).
+ */
+struct CurrentPort
+{
+    NodeId from;
+    NodeId to;
+    std::string name;
+};
+
+/**
+ * Builder/container for a linear RLC network.
+ */
+class Netlist
+{
+  public:
+    /** The ground node shared by every netlist. */
+    static constexpr NodeId ground = 0;
+
+    Netlist();
+
+    /** Create a named node and return its id. */
+    NodeId addNode(const std::string &name);
+
+    /** Add a resistor between two existing nodes. Requires ohms > 0. */
+    void addResistor(NodeId a, NodeId b, double ohms,
+                     const std::string &name = "");
+
+    /** Add an inductor between two existing nodes. Requires henries > 0. */
+    void addInductor(NodeId a, NodeId b, double henries,
+                     const std::string &name = "");
+
+    /** Add a capacitor between two existing nodes. Requires farads > 0. */
+    void addCapacitor(NodeId a, NodeId b, double farads,
+                      const std::string &name = "");
+
+    /** Add an ideal DC voltage source. */
+    void addVoltageSource(NodeId pos, NodeId neg, double volts,
+                          const std::string &name = "");
+
+    /** Add an externally-driven current source; returns its PortId. */
+    PortId addCurrentPort(NodeId from, NodeId to,
+                          const std::string &name = "");
+
+    /** Total node count including ground. */
+    size_t nodeCount() const { return node_names_.size(); }
+
+    /** Name of a node. */
+    const std::string &nodeName(NodeId node) const;
+
+    /** Find a node id by name; fatal() if absent. */
+    NodeId node(const std::string &name) const;
+
+    /** Find a port id by name; fatal() if absent. */
+    PortId port(const std::string &name) const;
+
+    const std::vector<Resistor> &resistors() const { return resistors_; }
+    const std::vector<Inductor> &inductors() const { return inductors_; }
+    const std::vector<Capacitor> &capacitors() const { return capacitors_; }
+
+    const std::vector<VoltageSource> &
+    voltageSources() const
+    {
+        return vsources_;
+    }
+
+    const std::vector<CurrentPort> &ports() const { return ports_; }
+
+  private:
+    void checkNode(NodeId node, const char *context) const;
+
+    std::vector<std::string> node_names_;
+    std::vector<Resistor> resistors_;
+    std::vector<Inductor> inductors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<VoltageSource> vsources_;
+    std::vector<CurrentPort> ports_;
+};
+
+} // namespace vn
+
+#endif // VN_CIRCUIT_NETLIST_HH

@@ -1,0 +1,122 @@
+#include "circuit/waveform.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace vn
+{
+
+double
+Waveform::min() const
+{
+    return minOf(samples_);
+}
+
+double
+Waveform::max() const
+{
+    return maxOf(samples_);
+}
+
+double
+Waveform::peakToPeak() const
+{
+    return vn::peakToPeak(samples_);
+}
+
+double
+Waveform::mean() const
+{
+    return vn::mean(samples_);
+}
+
+Waveform
+Waveform::slice(double t0, double t1) const
+{
+    Waveform out(dt_, std::max(t0, startTime_));
+    if (samples_.empty() || dt_ <= 0.0 || t1 <= t0)
+        return out;
+
+    auto index_of = [&](double t) {
+        double raw = (t - startTime_) / dt_;
+        if (raw < 0.0)
+            return static_cast<size_t>(0);
+        return static_cast<size_t>(raw);
+    };
+    size_t first = index_of(t0);
+    size_t last = std::min(index_of(t1), samples_.size());
+    out = Waveform(dt_, timeAt(first));
+    for (size_t i = first; i < last; ++i)
+        out.push(samples_[i]);
+    return out;
+}
+
+void
+Waveform::writeCsv(const std::string &path, const std::string &header) const
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        fatal("Waveform::writeCsv(): cannot open '", path, "'");
+    ofs.precision(15);
+    ofs << "time_s," << header << "\n";
+    for (size_t i = 0; i < samples_.size(); ++i)
+        ofs << timeAt(i) << "," << samples_[i] << "\n";
+}
+
+Waveform
+Waveform::readCsv(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        fatal("Waveform::readCsv(): cannot open '", path, "'");
+
+    std::string line;
+    if (!std::getline(ifs, line))
+        fatal("Waveform::readCsv(): '", path, "' is empty");
+
+    std::vector<double> times;
+    std::vector<double> values;
+    int line_no = 1;
+    while (std::getline(ifs, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        auto comma = line.find(',');
+        if (comma == std::string::npos)
+            fatal("Waveform::readCsv(): '", path, "' line ", line_no,
+                  ": expected 'time,value'");
+        try {
+            times.push_back(std::stod(line.substr(0, comma)));
+            values.push_back(std::stod(line.substr(comma + 1)));
+        } catch (const std::exception &) {
+            fatal("Waveform::readCsv(): '", path, "' line ", line_no,
+                  ": cannot parse numbers");
+        }
+    }
+    if (values.size() < 2)
+        fatal("Waveform::readCsv(): '", path,
+              "' needs at least 2 samples");
+
+    double dt = times[1] - times[0];
+    if (dt <= 0.0)
+        fatal("Waveform::readCsv(): '", path,
+              "' has non-increasing time stamps");
+    for (size_t i = 2; i < times.size(); ++i) {
+        double step = times[i] - times[i - 1];
+        if (std::fabs(step - dt) > 0.01 * dt)
+            fatal("Waveform::readCsv(): '", path,
+                  "' is not uniformly sampled (row ", i + 1, ")");
+    }
+
+    Waveform w(dt, times[0]);
+    w.reserve(values.size());
+    for (double v : values)
+        w.push(v);
+    return w;
+}
+
+} // namespace vn

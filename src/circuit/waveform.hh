@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Uniformly-sampled waveform container used for voltage/current traces
+ * (oscilloscope shots, per-core VDie traces, activity traces).
+ */
+
+#ifndef VN_CIRCUIT_WAVEFORM_HH
+#define VN_CIRCUIT_WAVEFORM_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vn
+{
+
+/**
+ * A uniformly sampled signal: samples[i] is the value at
+ * startTime + i * dt.
+ */
+class Waveform
+{
+  public:
+    Waveform() = default;
+
+    /** Create an empty waveform with the given sample period. */
+    explicit Waveform(double dt, double start_time = 0.0)
+        : dt_(dt), startTime_(start_time)
+    {}
+
+    /** Sample period in seconds. */
+    double dt() const { return dt_; }
+
+    /** Time of the first sample. */
+    double startTime() const { return startTime_; }
+
+    /** Time of sample i. */
+    double timeAt(size_t i) const
+    {
+        return startTime_ + dt_ * static_cast<double>(i);
+    }
+
+    /** Append one sample. */
+    void push(double value) { samples_.push_back(value); }
+
+    /** Pre-allocate capacity. */
+    void reserve(size_t n) { samples_.reserve(n); }
+
+    /** Number of samples. */
+    size_t size() const { return samples_.size(); }
+
+    bool empty() const { return samples_.empty(); }
+
+    double operator[](size_t i) const { return samples_[i]; }
+
+    /** Read-only view of the samples. */
+    std::span<const double> samples() const { return samples_; }
+
+    /** Smallest sample value; 0 when empty. */
+    double min() const;
+
+    /** Largest sample value; 0 when empty. */
+    double max() const;
+
+    /** max() - min(). */
+    double peakToPeak() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Extract the sub-waveform covering [t0, t1) (clamped to the
+     * available range).
+     */
+    Waveform slice(double t0, double t1) const;
+
+    /** Dump as two-column CSV (time,value) for external plotting. */
+    void writeCsv(const std::string &path, const std::string &header) const;
+
+    /**
+     * Load a two-column (time,value) CSV as written by writeCsv().
+     * The sample period is recovered from the first two time stamps;
+     * fatal() on malformed input or non-uniform sampling.
+     */
+    static Waveform readCsv(const std::string &path);
+
+  private:
+    double dt_ = 0.0;
+    double startTime_ = 0.0;
+    std::vector<double> samples_;
+};
+
+} // namespace vn
+
+#endif // VN_CIRCUIT_WAVEFORM_HH

@@ -1,0 +1,58 @@
+#include "isa/disruptive.hh"
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+const std::vector<InstrDesc> &
+disruptiveInstrs()
+{
+    static const std::vector<InstrDesc> instrs = [] {
+        std::vector<InstrDesc> out;
+        auto add = [&](const char *mnem, const char *desc, FuncUnit unit,
+                       IssueClass issue, int lat, double energy,
+                       bool branch, bool memory) {
+            InstrDesc d;
+            d.mnemonic = mnem;
+            d.description = desc;
+            d.unit = unit;
+            d.issue = issue;
+            d.uops = 1;
+            d.latency = lat;
+            d.energy = energy;
+            d.is_branch = branch;
+            d.is_memory = memory;
+            d.length_bytes = 4;
+            out.push_back(std::move(d));
+        };
+        // Latencies are bounded by the core model's 64-cycle ceiling;
+        // a real off-chip miss is longer, which would only *lower* the
+        // measured power further (reinforcing the paper's finding).
+        add("L.L3MISS", "Load missing L1/L2, hitting the eDRAM L3",
+            FuncUnit::LSU, IssueClass::NonPipelined, 40, 0.60, false,
+            true);
+        add("L.MEMMISS", "Load missing on-chip caches (off-chip DRAM)",
+            FuncUnit::LSU, IssueClass::NonPipelined, 60, 0.80, false,
+            true);
+        add("BC.MISPRED", "Always-mispredicted branch (flush + refill)",
+            FuncUnit::BRU, IssueClass::NonPipelined, 24, 0.70, true,
+            false);
+        add("PTE.MISS", "TLB miss forcing a page-table walk",
+            FuncUnit::SYS, IssueClass::Serializing, 50, 1.40, false,
+            true);
+        return out;
+    }();
+    return instrs;
+}
+
+const InstrDesc &
+disruptiveInstr(const std::string &mnemonic)
+{
+    for (const auto &d : disruptiveInstrs())
+        if (d.mnemonic == mnemonic)
+            return d;
+    fatal("disruptiveInstr(): unknown mnemonic '", mnemonic, "'");
+}
+
+} // namespace vn

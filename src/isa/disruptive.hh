@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Microarchitecturally disruptive events: cache/TLB misses and branch
+ * mispredictions, modelled as pseudo-instructions.
+ *
+ * The paper evaluated adding such events to the stressmark generation
+ * and rejected them (section IV-C): (a) they barely differ in power
+ * from the minimum-power sequence, (b) memory activity does not raise
+ * the maximum power, and (c) shared-resource activity breaks stimulus
+ * frequency control in a multi-core run. These descriptors exist so
+ * the ext_disruptive bench can reproduce findings (a) and (b); they
+ * are deliberately *not* part of the 1301-entry EPI table.
+ */
+
+#ifndef VN_ISA_DISRUPTIVE_HH
+#define VN_ISA_DISRUPTIVE_HH
+
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace vn
+{
+
+/** All disruptive pseudo-instructions (stable addresses). */
+const std::vector<InstrDesc> &disruptiveInstrs();
+
+/** Lookup by mnemonic; fatal() when absent. */
+const InstrDesc &disruptiveInstr(const std::string &mnemonic);
+
+} // namespace vn
+
+#endif // VN_ISA_DISRUPTIVE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Instruction descriptors for the synthetic z-like CISC ISA.
+ *
+ * The library does not execute instruction semantics; the descriptor
+ * carries exactly the attributes the noise-characterization pipeline
+ * needs: which functional unit the instruction occupies, how many
+ * micro-ops it cracks into, its latency/pipelining behaviour, and its
+ * per-uop dynamic energy in model units. The measured
+ * energy-per-instruction ranking of the paper's Table I *emerges* from
+ * simulating these on the core model, it is not hard-coded.
+ */
+
+#ifndef VN_ISA_INSTR_HH
+#define VN_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vn
+{
+
+/** Functional units of the zEC12-like core. */
+enum class FuncUnit : uint8_t
+{
+    FXU,  //!< fixed point (2 instances)
+    BRU,  //!< branch / compare-and-branch (2 instances)
+    LSU,  //!< load/store (2 instances)
+    BFU,  //!< binary floating point (1 instance)
+    DFU,  //!< decimal floating point (1 instance, non-pipelined ops)
+    COP,  //!< co-processor (crypto/compression, 1 instance)
+    SYS,  //!< system/control (serializing)
+};
+
+/** Number of distinct FuncUnit values. */
+constexpr int kNumFuncUnits = 7;
+
+/** Human-readable unit name. */
+const char *funcUnitName(FuncUnit unit);
+
+/** Issue behaviour classes used for candidate categorization. */
+enum class IssueClass : uint8_t
+{
+    Pipelined,    //!< one uop per cycle per unit instance
+    NonPipelined, //!< occupies its unit for the full latency
+    Serializing,  //!< drains the pipeline, issues alone
+};
+
+/** Number of distinct IssueClass values. */
+constexpr int kNumIssueClasses = 3;
+
+/** Human-readable issue-class name. */
+const char *issueClassName(IssueClass issue);
+
+/**
+ * Static description of one ISA instruction.
+ */
+struct InstrDesc
+{
+    std::string mnemonic;
+    std::string description;
+    FuncUnit unit = FuncUnit::FXU;
+    IssueClass issue = IssueClass::Pipelined;
+    int uops = 1;          //!< micro-ops the instruction cracks into
+    int latency = 1;       //!< execution latency in cycles
+    double energy = 0.0;   //!< dynamic energy per instruction (model units)
+    bool is_branch = false;
+    bool is_memory = false;
+    bool is_prefetch = false;
+    int length_bytes = 4;  //!< encoded length (2, 4 or 6; CISC)
+
+    /** Energy attributed to each uop. */
+    double energyPerUop() const
+    {
+        return energy / static_cast<double>(uops);
+    }
+};
+
+/** Category key used by the stressmark candidate selection. */
+struct InstrCategory
+{
+    FuncUnit unit;
+    IssueClass issue;
+
+    bool
+    operator==(const InstrCategory &other) const
+    {
+        return unit == other.unit && issue == other.issue;
+    }
+};
+
+/** Dense index for an (unit, issue) category pair. */
+inline int
+categoryIndex(const InstrCategory &cat)
+{
+    return static_cast<int>(cat.unit) * kNumIssueClasses +
+           static_cast<int>(cat.issue);
+}
+
+/** Total number of category slots. */
+constexpr int kNumCategories = kNumFuncUnits * kNumIssueClasses;
+
+} // namespace vn
+
+#endif // VN_ISA_INSTR_HH

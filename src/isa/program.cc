@@ -1,0 +1,89 @@
+#include "isa/program.hh"
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+void
+Program::pushRepeated(const InstrDesc *instr, size_t count)
+{
+    if (instr == nullptr)
+        fatal("Program::pushRepeated(): null instruction");
+    body_.insert(body_.end(), count, instr);
+}
+
+void
+Program::append(const Program &other)
+{
+    body_.insert(body_.end(), other.body_.begin(), other.body_.end());
+}
+
+size_t
+Program::totalUops() const
+{
+    size_t total = 0;
+    for (const auto *instr : body_)
+        total += static_cast<size_t>(instr->uops);
+    return total;
+}
+
+double
+Program::totalEnergy() const
+{
+    double total = 0.0;
+    for (const auto *instr : body_)
+        total += instr->energy;
+    return total;
+}
+
+size_t
+Program::totalBytes() const
+{
+    size_t total = 0;
+    for (const auto *instr : body_)
+        total += static_cast<size_t>(instr->length_bytes);
+    return total;
+}
+
+size_t
+Program::branchCount() const
+{
+    size_t total = 0;
+    for (const auto *instr : body_)
+        if (instr->is_branch)
+            ++total;
+    return total;
+}
+
+size_t
+Program::prefetchCount() const
+{
+    size_t total = 0;
+    for (const auto *instr : body_)
+        if (instr->is_prefetch)
+            ++total;
+    return total;
+}
+
+std::string
+Program::toString() const
+{
+    std::string out;
+    for (size_t i = 0; i < body_.size(); ++i) {
+        if (i)
+            out += ' ';
+        out += body_[i]->mnemonic;
+    }
+    return out;
+}
+
+Program
+makeRepeatedProgram(const InstrDesc *instr, size_t reps)
+{
+    Program p;
+    p.pushRepeated(instr, reps);
+    return p;
+}
+
+} // namespace vn

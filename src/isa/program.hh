@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Program representation: an instruction sequence executed as the body
+ * of an endless loop (the micro-benchmark skeleton of the paper's
+ * methodology, section IV-A).
+ */
+
+#ifndef VN_ISA_PROGRAM_HH
+#define VN_ISA_PROGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace vn
+{
+
+/**
+ * A loop body of instructions. Instructions are referenced by pointer
+ * into the process-wide InstrTable (stable addresses).
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Create from an explicit sequence. */
+    explicit Program(std::vector<const InstrDesc *> body)
+        : body_(std::move(body))
+    {}
+
+    /** Append one instruction. */
+    void push(const InstrDesc *instr) { body_.push_back(instr); }
+
+    /** Append `count` repetitions of one instruction. */
+    void pushRepeated(const InstrDesc *instr, size_t count);
+
+    /** Append another sequence. */
+    void append(const Program &other);
+
+    /** Number of instructions in the body. */
+    size_t size() const { return body_.size(); }
+
+    bool empty() const { return body_.empty(); }
+
+    const InstrDesc *operator[](size_t i) const { return body_[i]; }
+
+    const std::vector<const InstrDesc *> &body() const { return body_; }
+
+    /** Total micro-ops in one body iteration. */
+    size_t totalUops() const;
+
+    /** Total dynamic energy of one body iteration (model units). */
+    double totalEnergy() const;
+
+    /** Total encoded bytes of one body iteration. */
+    size_t totalBytes() const;
+
+    /** Number of branch instructions in the body. */
+    size_t branchCount() const;
+
+    /** Number of prefetch instructions in the body. */
+    size_t prefetchCount() const;
+
+    /** Space-separated mnemonic listing (for reports). */
+    std::string toString() const;
+
+  private:
+    std::vector<const InstrDesc *> body_;
+};
+
+/**
+ * Convenience: build a single-instruction micro-benchmark body with
+ * `reps` repetitions (the EPI-profile skeleton uses 4000).
+ */
+Program makeRepeatedProgram(const InstrDesc *instr, size_t reps);
+
+} // namespace vn
+
+#endif // VN_ISA_PROGRAM_HH

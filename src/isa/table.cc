@@ -1,0 +1,650 @@
+#include "isa/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+const char *
+funcUnitName(FuncUnit unit)
+{
+    switch (unit) {
+      case FuncUnit::FXU: return "FXU";
+      case FuncUnit::BRU: return "BRU";
+      case FuncUnit::LSU: return "LSU";
+      case FuncUnit::BFU: return "BFU";
+      case FuncUnit::DFU: return "DFU";
+      case FuncUnit::COP: return "COP";
+      case FuncUnit::SYS: return "SYS";
+    }
+    return "?";
+}
+
+const char *
+issueClassName(IssueClass issue)
+{
+    switch (issue) {
+      case IssueClass::Pipelined: return "pipelined";
+      case IssueClass::NonPipelined: return "non-pipelined";
+      case IssueClass::Serializing: return "serializing";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** One synthesized instruction family. */
+struct FamilySpec
+{
+    const char *base;
+    const char *desc;
+    FuncUnit unit;
+    IssueClass issue;
+    int uops;
+    int latency;
+    double energy;   //!< family base dynamic energy (model units)
+    int variants;    //!< number of generated variants (incl. the base)
+    bool is_branch = false;
+    bool is_memory = false;
+    bool is_prefetch = false;
+    int length_bytes = 4;
+};
+
+/**
+ * Family catalogue. Energies respect the ranking constraints that keep
+ * the Table I anchors at the extremes of the measured EPI profile:
+ *  - pipelined non-anchors: energy <= 0.52 (the CIB anchor is 0.550)
+ *  - non-pipelined non-anchors: energy/latency >= 0.040
+ *  - serializing non-anchors: energy/latency >= 0.035
+ */
+const FamilySpec kFamilies[] = {
+    // Fixed-point arithmetic / logical (FXU, pipelined).
+    {"A", "Add (32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1, 0.42, 18,
+     false, false, false, 4},
+    {"S", "Subtract (32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.42, 18, false, false, false, 4},
+    {"M", "Multiply (64<32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 5,
+     0.48, 14, false, false, false, 4},
+    {"N", "And (32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1, 0.38,
+     14, false, false, false, 4},
+    {"O", "Or (32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1, 0.38, 14,
+     false, false, false, 4},
+    {"X", "Exclusive or (32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.38, 14, false, false, false, 4},
+    {"C", "Compare (32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.44, 20, false, false, false, 4},
+    {"CL", "Compare logical (32)", FuncUnit::FXU, IssueClass::Pipelined,
+     1, 1, 0.44, 16, false, false, false, 4},
+    {"SLL", "Shift left single logical", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.40, 12, false, false, false, 4},
+    {"SRL", "Shift right single logical", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.40, 12, false, false, false, 4},
+    {"RLL", "Rotate left single logical", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.41, 10, false, false, false, 6},
+    {"LCR", "Load complement (32)", FuncUnit::FXU, IssueClass::Pipelined,
+     1, 1, 0.37, 10, false, false, false, 2},
+    {"LPR", "Load positive (32)", FuncUnit::FXU, IssueClass::Pipelined, 1,
+     1, 0.37, 10, false, false, false, 2},
+    {"LNR", "Load negative (32)", FuncUnit::FXU, IssueClass::Pipelined, 1,
+     1, 0.37, 10, false, false, false, 2},
+    {"LT", "Load and test (32)", FuncUnit::FXU, IssueClass::Pipelined, 1,
+     1, 0.43, 12, false, false, false, 6},
+    {"IC", "Insert character", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.36, 10, false, false, false, 4},
+    {"STC", "Store character from register", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.36, 8, false, false, false, 4},
+    {"LA", "Load address", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.39, 10, false, false, false, 4},
+    {"AH", "Add halfword", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.42, 12, false, false, false, 4},
+    {"CH", "Compare halfword", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.45, 12, false, false, false, 4},
+    {"CIT", "Compare immediate and trap (32)", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.47, 10, false, false, false, 6},
+    {"CLFIT", "Compare logical immediate and trap", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.47, 8, false, false, false, 6},
+    {"ALC", "Add logical with carry", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 2, 0.44, 10, false, false, false, 4},
+    {"SLB", "Subtract logical with borrow", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 2, 0.44, 10, false, false, false, 4},
+    {"FLOGR", "Find leftmost one", FuncUnit::FXU, IssueClass::Pipelined,
+     1, 3, 0.46, 6, false, false, false, 4},
+    {"POPCNT", "Population count", FuncUnit::FXU, IssueClass::Pipelined,
+     1, 3, 0.46, 4, false, false, false, 4},
+    {"RISBG", "Rotate then insert selected bits", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 2, 0.49, 12, false, false, false, 6},
+    {"RNSBG", "Rotate then and selected bits", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 2, 0.49, 8, false, false, false, 6},
+    {"LOC", "Load on condition (32)", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.45, 10, false, false, false, 6},
+    {"MVI", "Move immediate", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.35, 8, false, false, false, 4},
+    {"TM", "Test under mask", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.41, 12, false, false, false, 4},
+    {"AL", "Add logical (32)", FuncUnit::FXU, IssueClass::Pipelined, 1,
+     1, 0.42, 12, false, false, false, 4},
+    {"SLG", "Subtract logical (64)", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.43, 10, false, false, false, 6},
+    {"MS", "Multiply single (32)", FuncUnit::FXU, IssueClass::Pipelined,
+     1, 5, 0.47, 10, false, false, false, 4},
+    {"MH", "Multiply halfword", FuncUnit::FXU, IssueClass::Pipelined, 1,
+     4, 0.45, 8, false, false, false, 4},
+    {"MSG", "Multiply single (64)", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 5, 0.49, 8, false, false, false, 6},
+    {"SLA", "Shift left single arithmetic", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.41, 8, false, false, false, 4},
+    {"SRA", "Shift right single arithmetic", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.41, 8, false, false, false, 4},
+    {"SLDA", "Shift left double arithmetic", FuncUnit::FXU,
+     IssueClass::Pipelined, 2, 2, 0.78, 6, false, false, false, 4},
+    {"SRDA", "Shift right double arithmetic", FuncUnit::FXU,
+     IssueClass::Pipelined, 2, 2, 0.78, 6, false, false, false, 4},
+    {"ICM", "Insert characters under mask", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 2, 0.43, 8, false, false, false, 4},
+    {"CLM", "Compare logical characters under mask", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 2, 0.45, 8, false, false, false, 4},
+    {"NI", "And immediate (storage)", FuncUnit::FXU,
+     IssueClass::Pipelined, 2, 3, 0.70, 8, false, true, false, 4},
+    {"OI", "Or immediate (storage)", FuncUnit::FXU,
+     IssueClass::Pipelined, 2, 3, 0.70, 8, false, true, false, 4},
+    {"XI", "Exclusive or immediate (storage)", FuncUnit::FXU,
+     IssueClass::Pipelined, 2, 3, 0.70, 6, false, true, false, 4},
+    {"LGF", "Load (64<32)", FuncUnit::FXU, IssueClass::Pipelined, 1, 1,
+     0.39, 8, false, false, false, 6},
+    {"LTGF", "Load and test (64<32)", FuncUnit::FXU,
+     IssueClass::Pipelined, 1, 1, 0.43, 6, false, false, false, 6},
+    {"LRV", "Load reversed (32)", FuncUnit::FXU, IssueClass::Pipelined,
+     1, 2, 0.42, 6, false, false, false, 4},
+    {"CKSM", "Checksum", FuncUnit::FXU, IssueClass::NonPipelined, 2, 14,
+     1.20, 4, false, true, false, 4},
+    {"DR", "Divide (32)", FuncUnit::FXU, IssueClass::NonPipelined, 1, 24,
+     1.30, 10, false, false, false, 2},
+    {"DSG", "Divide single (64)", FuncUnit::FXU, IssueClass::NonPipelined,
+     1, 26, 1.40, 8, false, false, false, 6},
+    {"CVB", "Convert to binary", FuncUnit::FXU,
+     IssueClass::NonPipelined, 2, 12, 1.00, 6, false, true, false, 4},
+    {"CVD", "Convert to decimal", FuncUnit::FXU,
+     IssueClass::NonPipelined, 2, 12, 1.00, 6, false, true, false, 4},
+
+    // Loads / stores / storage ops (LSU).
+    {"L", "Load (32)", FuncUnit::LSU, IssueClass::Pipelined, 1, 4, 0.50,
+     20, false, true, false, 4},
+    {"LG", "Load (64)", FuncUnit::LSU, IssueClass::Pipelined, 1, 4, 0.51,
+     16, false, true, false, 6},
+    {"LH", "Load halfword (32<16)", FuncUnit::LSU, IssueClass::Pipelined,
+     1, 4, 0.47, 12, false, true, false, 4},
+    {"LLC", "Load logical character", FuncUnit::LSU,
+     IssueClass::Pipelined, 1, 4, 0.46, 10, false, true, false, 6},
+    {"ST", "Store (32)", FuncUnit::LSU, IssueClass::Pipelined, 1, 2, 0.40,
+     16, false, true, false, 4},
+    {"STG", "Store (64)", FuncUnit::LSU, IssueClass::Pipelined, 1, 2,
+     0.41, 12, false, true, false, 6},
+    {"STH", "Store halfword", FuncUnit::LSU, IssueClass::Pipelined, 1, 2,
+     0.38, 10, false, true, false, 4},
+    {"LM", "Load multiple", FuncUnit::LSU, IssueClass::Pipelined, 3, 6,
+     0.90, 10, false, true, false, 4},
+    {"STM", "Store multiple", FuncUnit::LSU, IssueClass::Pipelined, 3, 5,
+     0.84, 10, false, true, false, 4},
+    {"MVC", "Move character (storage-storage)", FuncUnit::LSU,
+     IssueClass::Pipelined, 2, 6, 0.70, 12, false, true, false, 6},
+    {"CLC", "Compare logical character", FuncUnit::LSU,
+     IssueClass::Pipelined, 2, 6, 0.72, 10, false, true, false, 6},
+    {"XC", "Exclusive or character", FuncUnit::LSU,
+     IssueClass::Pipelined, 2, 6, 0.74, 8, false, true, false, 6},
+    {"OC", "Or character", FuncUnit::LSU, IssueClass::Pipelined, 2, 6,
+     0.72, 8, false, true, false, 6},
+    {"NC", "And character", FuncUnit::LSU, IssueClass::Pipelined, 2, 6,
+     0.72, 8, false, true, false, 6},
+    {"PFD", "Prefetch data", FuncUnit::LSU, IssueClass::Pipelined, 1, 2,
+     0.30, 6, false, true, true, 6},
+    {"PFDRL", "Prefetch data relative long", FuncUnit::LSU,
+     IssueClass::Pipelined, 1, 2, 0.30, 4, false, true, true, 6},
+    {"LAA", "Load and add (atomic)", FuncUnit::LSU,
+     IssueClass::NonPipelined, 2, 12, 0.60, 8, false, true, false, 6},
+    {"CS", "Compare and swap", FuncUnit::LSU, IssueClass::NonPipelined, 2,
+     14, 0.66, 8, false, true, false, 4},
+    {"LPQ", "Load pair from quadword", FuncUnit::LSU,
+     IssueClass::NonPipelined, 2, 10, 0.52, 4, false, true, false, 6},
+    {"MVCL", "Move character long", FuncUnit::LSU,
+     IssueClass::NonPipelined, 3, 20, 2.40, 4, false, true, false, 4},
+    {"TR", "Translate", FuncUnit::LSU, IssueClass::NonPipelined, 2, 10,
+     0.90, 6, false, true, false, 6},
+    {"TRT", "Translate and test", FuncUnit::LSU,
+     IssueClass::NonPipelined, 2, 10, 0.90, 6, false, true, false, 6},
+    {"SRST", "Search string", FuncUnit::LSU, IssueClass::NonPipelined,
+     2, 16, 1.40, 4, false, true, false, 4},
+    {"CUSE", "Compare until substring equal", FuncUnit::LSU,
+     IssueClass::NonPipelined, 3, 18, 2.30, 4, false, true, false, 4},
+    {"STCM", "Store characters under mask", FuncUnit::LSU,
+     IssueClass::Pipelined, 1, 2, 0.40, 8, false, true, false, 4},
+    {"LRVG", "Load reversed (64)", FuncUnit::LSU,
+     IssueClass::Pipelined, 1, 4, 0.48, 6, false, true, false, 6},
+    {"STRV", "Store reversed (32)", FuncUnit::LSU,
+     IssueClass::Pipelined, 1, 2, 0.41, 6, false, true, false, 6},
+    {"MVHI", "Move immediate to storage (32)", FuncUnit::LSU,
+     IssueClass::Pipelined, 1, 2, 0.40, 6, false, true, false, 6},
+    {"PKA", "Pack ASCII", FuncUnit::LSU, IssueClass::NonPipelined, 2,
+     10, 0.85, 4, false, true, false, 6},
+    {"UNPKA", "Unpack ASCII", FuncUnit::LSU, IssueClass::NonPipelined,
+     2, 10, 0.85, 4, false, true, false, 6},
+
+    // Branches (BRU).
+    {"BC", "Branch on condition", FuncUnit::BRU, IssueClass::Pipelined, 1,
+     1, 0.46, 12, true, false, false, 4},
+    {"BCT", "Branch on count (32)", FuncUnit::BRU, IssueClass::Pipelined,
+     1, 1, 0.48, 10, true, false, false, 4},
+    {"BRAS", "Branch relative and save", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.45, 8, true, false, false, 4},
+    {"BRC", "Branch relative on condition", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.46, 10, true, false, false, 4},
+    {"CRJ", "Compare and branch relative (32)", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.51, 12, true, false, false, 6},
+    {"CGRJ", "Compare and branch relative (64)", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.51, 10, true, false, false, 6},
+    {"CLRJ", "Compare logical and branch relative", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.50, 10, true, false, false, 6},
+    {"CIJ", "Compare immediate and branch relative", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.52, 12, true, false, false, 6},
+    {"BAL", "Branch and link", FuncUnit::BRU, IssueClass::Pipelined, 1,
+     1, 0.44, 8, true, false, false, 4},
+    {"BAS", "Branch and save", FuncUnit::BRU, IssueClass::Pipelined, 1,
+     1, 0.44, 8, true, false, false, 4},
+    {"BRXH", "Branch relative on index high", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.50, 8, true, false, false, 4},
+    {"BRXLE", "Branch relative on index low or equal", FuncUnit::BRU,
+     IssueClass::Pipelined, 1, 1, 0.50, 8, true, false, false, 4},
+    {"CLGIB", "Compare logical immediate and branch (64)",
+     FuncUnit::BRU, IssueClass::Pipelined, 1, 1, 0.515, 10, true, false,
+     false, 6},
+    {"CLIB", "Compare logical immediate and branch (32)",
+     FuncUnit::BRU, IssueClass::Pipelined, 1, 1, 0.515, 10, true, false,
+     false, 6},
+
+    // Binary floating point (BFU).
+    {"AEBR", "Add (short BFP)", FuncUnit::BFU, IssueClass::Pipelined, 1,
+     6, 0.44, 14, false, false, false, 4},
+    {"ADBR", "Add (long BFP)", FuncUnit::BFU, IssueClass::Pipelined, 1, 6,
+     0.46, 14, false, false, false, 4},
+    {"SDBR", "Subtract (long BFP)", FuncUnit::BFU, IssueClass::Pipelined,
+     1, 6, 0.46, 12, false, false, false, 4},
+    {"MEEBR", "Multiply (short BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 7, 0.50, 10, false, false, false, 4},
+    {"MDBR", "Multiply (long BFP)", FuncUnit::BFU, IssueClass::Pipelined,
+     1, 7, 0.52, 12, false, false, false, 4},
+    {"MAEBR", "Multiply and add (short BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 7, 0.52, 10, false, false, false, 4},
+    {"MADBR", "Multiply and add (long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 7, 0.52, 10, false, false, false, 4},
+    {"CEBR", "Compare (short BFP)", FuncUnit::BFU, IssueClass::Pipelined,
+     1, 4, 0.40, 10, false, false, false, 4},
+    {"CDBR", "Compare (long BFP)", FuncUnit::BFU, IssueClass::Pipelined,
+     1, 4, 0.40, 10, false, false, false, 4},
+    {"LEDBR", "Load rounded (short<long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 5, 0.38, 8, false, false, false, 4},
+    {"LDEBR", "Load lengthened (long<short BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 5, 0.38, 8, false, false, false, 4},
+    {"FIDBR", "Load FP integer (long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 5, 0.42, 8, false, false, false, 4},
+    {"CFDBR", "Convert to fixed (long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 6, 0.44, 10, false, false, false, 4},
+    {"CDFBR", "Convert from fixed (long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 6, 0.44, 10, false, false, false, 4},
+    {"DEBR", "Divide (short BFP)", FuncUnit::BFU, IssueClass::NonPipelined,
+     1, 22, 1.10, 8, false, false, false, 4},
+    {"DDBR", "Divide (long BFP)", FuncUnit::BFU, IssueClass::NonPipelined,
+     1, 30, 1.50, 8, false, false, false, 4},
+    {"SQEBR", "Square root (short BFP)", FuncUnit::BFU,
+     IssueClass::NonPipelined, 1, 24, 1.20, 8, false, false, false, 4},
+    {"SQDBR", "Square root (long BFP)", FuncUnit::BFU,
+     IssueClass::NonPipelined, 1, 34, 1.70, 8, false, false, false, 4},
+    {"AXBR", "Add (extended BFP)", FuncUnit::BFU,
+     IssueClass::NonPipelined, 2, 12, 1.00, 6, false, false, false, 4},
+    {"MXBR", "Multiply (extended BFP)", FuncUnit::BFU,
+     IssueClass::NonPipelined, 2, 18, 1.50, 6, false, false, false, 4},
+    {"DXBR", "Divide (extended BFP)", FuncUnit::BFU,
+     IssueClass::NonPipelined, 2, 44, 3.60, 4, false, false, false, 4},
+    {"LXDBR", "Load lengthened (extended<long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 6, 0.40, 6, false, false, false, 4},
+    {"TCEB", "Test data class (short BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 3, 0.34, 6, false, false, false, 4},
+    {"LPDBR", "Load positive (long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 3, 0.33, 6, false, false, false, 4},
+    {"LCDBR", "Load complement (long BFP)", FuncUnit::BFU,
+     IssueClass::Pipelined, 1, 3, 0.33, 6, false, false, false, 4},
+
+    // Decimal floating point (DFU). Mostly non-pipelined, long latency:
+    // these are the natural minimum-power candidates the paper calls out.
+    {"ADTR", "Add (long DFP)", FuncUnit::DFU, IssueClass::NonPipelined, 1,
+     12, 0.60, 12, false, false, false, 4},
+    {"SDTR", "Subtract (long DFP)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 12, 0.60, 12, false, false, false, 4},
+    {"MDTR", "Multiply (long DFP)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 18, 0.95, 10, false, false, false, 4},
+    {"DDTR", "Divide (long DFP)", FuncUnit::DFU, IssueClass::NonPipelined,
+     1, 28, 1.45, 10, false, false, false, 4},
+    {"DXTR", "Divide (extended DFP)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 40, 2.10, 8, false, false, false, 4},
+    {"QADTR", "Quantize (long DFP)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 14, 0.72, 8, false, false, false, 4},
+    {"RRDTR", "Reround (long DFP)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 14, 0.72, 6, false, false, false, 4},
+    {"CDSTR", "Convert from signed packed", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 12, 0.62, 8, false, false, false, 4},
+    {"CSDTR", "Convert to signed packed", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 12, 0.62, 8, false, false, false, 4},
+    {"CGDTR", "Convert to fixed (long DFP)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 1, 16, 0.82, 8, false, false, false, 4},
+    {"AP", "Add decimal (packed)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 16, 0.84, 10, false, true, false, 6},
+    {"ZAP", "Zero and add decimal", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 16, 0.84, 8, false, true, false, 6},
+    {"TDCDT", "Test data class (long DFP)", FuncUnit::DFU,
+     IssueClass::Pipelined, 1, 4, 0.34, 8, false, false, false, 4},
+    {"LTDTR", "Load and test (long DFP)", FuncUnit::DFU,
+     IssueClass::Pipelined, 1, 4, 0.34, 8, false, false, false, 4},
+    {"IEDTR", "Insert biased exponent (long DFP)", FuncUnit::DFU,
+     IssueClass::Pipelined, 1, 4, 0.36, 8, false, false, false, 4},
+    {"SP", "Subtract decimal (packed)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 16, 1.30, 8, false, true, false, 6},
+    {"MP", "Multiply decimal (packed)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 24, 2.00, 6, false, true, false, 6},
+    {"DP", "Divide decimal (packed)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 38, 3.10, 6, false, true, false, 6},
+    {"CP", "Compare decimal (packed)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 12, 1.00, 6, false, true, false, 6},
+    {"SRP", "Shift and round decimal", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 14, 1.15, 6, false, true, false, 6},
+    {"ED", "Edit (decimal to characters)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 3, 20, 2.45, 4, false, true, false, 6},
+    {"EDMK", "Edit and mark", FuncUnit::DFU, IssueClass::NonPipelined,
+     3, 20, 2.45, 4, false, true, false, 6},
+    {"PACK", "Pack (zoned to packed decimal)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 10, 0.85, 6, false, true, false, 6},
+    {"UNPK", "Unpack (packed to zoned decimal)", FuncUnit::DFU,
+     IssueClass::NonPipelined, 2, 10, 0.85, 6, false, true, false, 6},
+    {"TP", "Test decimal", FuncUnit::DFU, IssueClass::NonPipelined, 1,
+     8, 0.40, 4, false, true, false, 4},
+
+    // Co-processor ops (crypto / compression).
+    {"KM", "Cipher message", FuncUnit::COP, IssueClass::NonPipelined, 2,
+     20, 1.10, 10, false, true, false, 4},
+    {"KMC", "Cipher message with chaining", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 22, 1.20, 8, false, true, false, 4},
+    {"KIMD", "Compute intermediate message digest", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 18, 0.95, 8, false, true, false, 4},
+    {"KLMD", "Compute last message digest", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 18, 0.95, 6, false, true, false, 4},
+    {"CMPSC", "Compression call", FuncUnit::COP, IssueClass::NonPipelined,
+     3, 30, 1.60, 6, false, true, false, 4},
+    {"PCC", "Perform cryptographic computation", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 24, 1.30, 8, false, false, false, 4},
+
+    // System / control (serializing).
+    {"IPM", "Insert program mask", FuncUnit::SYS, IssueClass::Serializing,
+     1, 14, 0.55, 6, false, false, false, 4},
+    {"SPM", "Set program mask", FuncUnit::SYS, IssueClass::Serializing, 1,
+     14, 0.55, 6, false, false, false, 2},
+    {"STCKF", "Store clock fast", FuncUnit::SYS, IssueClass::Serializing,
+     1, 18, 0.70, 4, false, false, false, 4},
+    {"STCKE", "Store clock extended", FuncUnit::SYS,
+     IssueClass::Serializing, 1, 26, 1.05, 4, false, false, false, 4},
+    {"STFLE", "Store facility list extended", FuncUnit::SYS,
+     IssueClass::Serializing, 1, 24, 0.95, 4, false, false, false, 4},
+    {"EPSW", "Extract PSW", FuncUnit::SYS, IssueClass::Serializing, 1, 16,
+     0.65, 4, false, false, false, 4},
+    {"STFPC", "Store FPC", FuncUnit::SYS, IssueClass::Serializing, 1, 15,
+     0.60, 4, false, false, false, 4},
+    {"SFPC", "Set FPC", FuncUnit::SYS, IssueClass::Serializing, 1, 16,
+     0.64, 4, false, false, false, 4},
+    {"EX", "Execute (target instruction)", FuncUnit::SYS,
+     IssueClass::Serializing, 1, 20, 0.80, 4, false, false, false, 4},
+    {"SVC", "Supervisor call", FuncUnit::SYS, IssueClass::Serializing,
+     1, 30, 1.20, 2, false, false, false, 2},
+    {"PC", "Program call", FuncUnit::SYS, IssueClass::Serializing, 1,
+     28, 1.10, 2, false, false, false, 4},
+    {"PR", "Program return", FuncUnit::SYS, IssueClass::Serializing, 1,
+     26, 1.05, 2, false, false, false, 2},
+    {"TRAP4", "Trap", FuncUnit::SYS, IssueClass::Serializing, 1, 24,
+     0.95, 2, false, false, false, 4},
+    {"SSM", "Set system mask", FuncUnit::SYS, IssueClass::Serializing,
+     1, 18, 0.72, 2, false, false, false, 4},
+    {"STOSM", "Store then or system mask", FuncUnit::SYS,
+     IssueClass::Serializing, 1, 18, 0.72, 2, false, false, false, 4},
+    {"STNSM", "Store then and system mask", FuncUnit::SYS,
+     IssueClass::Serializing, 1, 18, 0.72, 2, false, false, false, 4},
+
+    // Co-processor extras.
+    {"KMAC", "Compute message authentication code", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 20, 1.80, 6, false, true, false, 4},
+    {"KMF", "Cipher message with cipher feedback", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 22, 1.95, 6, false, true, false, 4},
+    {"KMO", "Cipher message with output feedback", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 22, 1.95, 6, false, true, false, 4},
+    {"KMCTR", "Cipher message with counter", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 22, 1.95, 6, false, true, false, 4},
+    {"PCKMO", "Perform crypto key management", FuncUnit::COP,
+     IssueClass::NonPipelined, 2, 26, 2.30, 4, false, false, false, 4},
+};
+
+/** Variant suffix alphabet (deterministic, readable mnemonic variants). */
+const char *const kSuffixes[] = {
+    "",   "R",   "G",   "GR",  "Y",   "RL",  "I",   "HI",  "GHI", "F",
+    "FI", "H",   "HY",  "GF",  "GFR", "L",   "LR",  "LG",  "LGR", "LY",
+    "E",  "D",   "X",   "A",   "B",   "K",   "T",   "U",   "V",   "W",
+    "Z",  "Q",   "P",   "J",   "M",   "S",
+};
+constexpr size_t kNumSuffixes = sizeof(kSuffixes) / sizeof(kSuffixes[0]);
+
+std::string
+variantMnemonic(const FamilySpec &family, int index)
+{
+    if (index == 0)
+        return family.base;
+    if (static_cast<size_t>(index) < kNumSuffixes)
+        return std::string(family.base) + kSuffixes[index];
+    return std::string(family.base) + std::to_string(index);
+}
+
+/** Clamp a candidate energy to the ranking constraints. */
+double
+clampEnergy(const FamilySpec &family, double energy, int latency)
+{
+    // Non-pipelined/serializing instructions occupy their unit for
+    // latency cycles *per uop*, so the floor scales with uops too;
+    // otherwise multi-uop co-processor ops would sink below the DFU
+    // anchors at the bottom of Table I.
+    double uops = static_cast<double>(family.uops);
+    switch (family.issue) {
+      case IssueClass::Pipelined:
+        // Keep below the CIB/CHHSI anchors (0.52 per uop).
+        return std::min(energy, 0.52 * uops);
+      case IssueClass::NonPipelined:
+        return std::max(energy,
+                        0.040 * static_cast<double>(latency) * uops);
+      case IssueClass::Serializing:
+        return std::max(energy,
+                        0.035 * static_cast<double>(latency) * uops);
+    }
+    return energy;
+}
+
+} // namespace
+
+InstrTable::InstrTable()
+{
+    instrs_.reserve(kIsaSize);
+
+    // Table I anchors (paper, first and last five of the EPI profile).
+    // Energies are chosen so the *measured* profile on the core model
+    // normalizes to the paper's values (CIB 1.58 ... SRNM 1.00).
+    auto anchor = [&](const char *mnem, const char *desc, FuncUnit unit,
+                      IssueClass issue, int lat, double energy,
+                      bool branch, int len) {
+        InstrDesc d;
+        d.mnemonic = mnem;
+        d.description = desc;
+        d.unit = unit;
+        d.issue = issue;
+        d.uops = 1;
+        d.latency = lat;
+        d.energy = energy;
+        d.is_branch = branch;
+        d.length_bytes = len;
+        instrs_.push_back(std::move(d));
+    };
+
+    anchor("CIB", "Compare immediate and branch (32<8)", FuncUnit::BRU,
+           IssueClass::Pipelined, 1, 0.550, true, 6);
+    anchor("CRB", "Compare and branch (32)", FuncUnit::BRU,
+           IssueClass::Pipelined, 1, 0.543, true, 6);
+    anchor("BXHG", "Branch on index high (64)", FuncUnit::BRU,
+           IssueClass::Pipelined, 1, 0.5425, true, 6);
+    anchor("CGIB", "Compare immediate and branch (64<8)", FuncUnit::BRU,
+           IssueClass::Pipelined, 1, 0.5265, true, 6);
+    anchor("CHHSI", "Compare halfword immediate (16<16)", FuncUnit::FXU,
+           IssueClass::Pipelined, 1, 0.526, false, 6);
+    anchor("DDTRA", "Divide long DFP with rounding mode", FuncUnit::DFU,
+           IssueClass::NonPipelined, 30, 0.90, false, 4);
+    anchor("MXTRA", "Multiply extended DFP with rounding mode",
+           FuncUnit::DFU, IssueClass::NonPipelined, 28, 0.75, false, 4);
+    anchor("MDTRA", "Multiply long DFP with rounding mode", FuncUnit::DFU,
+           IssueClass::NonPipelined, 22, 0.45, false, 4);
+    anchor("STCK", "Store clock", FuncUnit::SYS, IssueClass::Serializing,
+           25, 0.35, false, 4);
+    anchor("SRNM", "Set rounding mode", FuncUnit::SYS,
+           IssueClass::Serializing, 22, 0.30, false, 4);
+
+    // Synthesized families; a fixed seed keeps every build identical.
+    Rng rng(0xEC12);
+    constexpr size_t num_families = sizeof(kFamilies) / sizeof(kFamilies[0]);
+    int next_variant[num_families];
+
+    std::set<std::string> used;
+    for (const auto &d : instrs_)
+        used.insert(d.mnemonic);
+
+    auto emit_variant = [&](size_t fi, int v) {
+        const FamilySpec &family = kFamilies[fi];
+        InstrDesc d;
+        d.mnemonic = variantMnemonic(family, v);
+        // Suffixed variants can collide with another family's base
+        // (e.g. "C"+"L" vs the CL family); disambiguate with an
+        // underscore-numbered form, which no suffix ever produces.
+        if (used.count(d.mnemonic))
+            d.mnemonic = std::string(family.base) + "_" + std::to_string(v);
+        used.insert(d.mnemonic);
+        d.description = family.desc;
+        if (v > 0)
+            d.description += " [variant " + std::to_string(v) + "]";
+        d.unit = family.unit;
+        d.issue = family.issue;
+        d.uops = family.uops;
+        d.latency = family.latency;
+        if (family.latency > 4 && v > 0) {
+            // Latency jitter for long operations.
+            d.latency += static_cast<int>(rng.below(3)) - 1;
+        }
+        double jitter = 1.0 + rng.uniform(-0.04, 0.04);
+        d.energy = clampEnergy(family, family.energy * jitter, d.latency);
+        d.is_branch = family.is_branch;
+        d.is_memory = family.is_memory;
+        d.is_prefetch = family.is_prefetch;
+        d.length_bytes = family.length_bytes;
+        instrs_.push_back(std::move(d));
+    };
+
+    // Emit variants round-robin across the families (variant 0 of
+    // every family first, then variant 1, ...) so each family is
+    // represented even if the catalogue's total exceeds the ISA size;
+    // the budget truncates the tails of the biggest families.
+    for (size_t fi = 0; fi < num_families; ++fi)
+        next_variant[fi] = 0;
+    bool progress = true;
+    for (int v = 0; progress && instrs_.size() < kIsaSize; ++v) {
+        progress = false;
+        for (size_t fi = 0;
+             fi < num_families && instrs_.size() < kIsaSize; ++fi) {
+            if (v < kFamilies[fi].variants) {
+                emit_variant(fi, v);
+                next_variant[fi] = v + 1;
+                progress = true;
+            }
+        }
+    }
+
+    // If the catalogue under-fills the 1301 entries, keep rotating the
+    // execution families with further variants.
+    size_t fi = 0;
+    while (instrs_.size() < kIsaSize) {
+        if (kFamilies[fi].issue != IssueClass::Serializing)
+            emit_variant(fi, next_variant[fi]++);
+        fi = (fi + 1) % num_families;
+    }
+
+    if (instrs_.size() != kIsaSize)
+        panic("InstrTable: generated ", instrs_.size(),
+              " instructions, expected ", kIsaSize);
+}
+
+const InstrDesc &
+InstrTable::find(const std::string &mnemonic) const
+{
+    for (const auto &d : instrs_)
+        if (d.mnemonic == mnemonic)
+            return d;
+    fatal("InstrTable::find(): unknown mnemonic '", mnemonic, "'");
+}
+
+bool
+InstrTable::contains(const std::string &mnemonic) const
+{
+    for (const auto &d : instrs_)
+        if (d.mnemonic == mnemonic)
+            return true;
+    return false;
+}
+
+std::vector<const InstrDesc *>
+InstrTable::byUnit(FuncUnit unit) const
+{
+    std::vector<const InstrDesc *> out;
+    for (const auto &d : instrs_)
+        if (d.unit == unit)
+            out.push_back(&d);
+    return out;
+}
+
+std::vector<const InstrDesc *>
+InstrTable::byCategory(InstrCategory cat) const
+{
+    std::vector<const InstrDesc *> out;
+    for (const auto &d : instrs_)
+        if (d.unit == cat.unit && d.issue == cat.issue)
+            out.push_back(&d);
+    return out;
+}
+
+std::vector<const InstrDesc *>
+InstrTable::all() const
+{
+    std::vector<const InstrDesc *> out;
+    out.reserve(instrs_.size());
+    for (const auto &d : instrs_)
+        out.push_back(&d);
+    return out;
+}
+
+const InstrTable &
+instrTable()
+{
+    static InstrTable table;
+    return table;
+}
+
+} // namespace vn

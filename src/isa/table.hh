@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The full instruction table of the synthetic z-like ISA.
+ *
+ * The table contains exactly 1301 instructions (the size of the zEC12
+ * EPI profile in the paper's Table I). Ten instructions are anchored
+ * verbatim from Table I; the rest are synthesized families with
+ * realistic unit/latency/energy distributions, generated
+ * deterministically (fixed seed) so every build ranks identically.
+ */
+
+#ifndef VN_ISA_TABLE_HH
+#define VN_ISA_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace vn
+{
+
+/** Size of the generated ISA (matches the paper's EPI profile). */
+constexpr size_t kIsaSize = 1301;
+
+/**
+ * Immutable instruction table. Obtain the process-wide instance via
+ * instrTable().
+ */
+class InstrTable
+{
+  public:
+    /** Build the full table (called once by instrTable()). */
+    InstrTable();
+
+    /** Number of instructions. */
+    size_t size() const { return instrs_.size(); }
+
+    /** Instruction by dense index. */
+    const InstrDesc &operator[](size_t i) const { return instrs_[i]; }
+
+    /** Find by mnemonic; fatal() when absent. */
+    const InstrDesc &find(const std::string &mnemonic) const;
+
+    /** True when the mnemonic exists. */
+    bool contains(const std::string &mnemonic) const;
+
+    /** All instructions of one functional unit. */
+    std::vector<const InstrDesc *> byUnit(FuncUnit unit) const;
+
+    /** All instructions of one (unit, issue) category. */
+    std::vector<const InstrDesc *> byCategory(InstrCategory cat) const;
+
+    /** Whole table as a vector of pointers (stable addresses). */
+    std::vector<const InstrDesc *> all() const;
+
+  private:
+    std::vector<InstrDesc> instrs_;
+};
+
+/** The process-wide instruction table. */
+const InstrTable &instrTable();
+
+} // namespace vn
+
+#endif // VN_ISA_TABLE_HH

@@ -1,0 +1,43 @@
+#include "measure/critpath.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+CriticalPathMonitor::CriticalPathMonitor(CritPathParams params)
+    : params_(params)
+{
+    if (params_.vth >= params_.vnom)
+        fatal("CriticalPathMonitor: vth must be below vnom");
+    if (params_.nominal_path_fraction <= 0.0 ||
+        params_.nominal_path_fraction >= 1.0) {
+        fatal("CriticalPathMonitor: nominal_path_fraction must be in "
+              "(0, 1), got ",
+              params_.nominal_path_fraction);
+    }
+
+    double period = 1.0 / params_.clock_hz;
+    d0_ = params_.nominal_path_fraction * period;
+
+    // Solve d(v_crit) = period for v_crit:
+    //   v_crit = vth + (vnom - vth) * (d0 / period)^(1/alpha)
+    v_crit_ = params_.vth +
+              (params_.vnom - params_.vth) *
+                  std::pow(params_.nominal_path_fraction,
+                           1.0 / params_.alpha);
+}
+
+double
+CriticalPathMonitor::pathDelay(double v) const
+{
+    double headroom = v - params_.vth;
+    if (headroom <= 0.0)
+        return 1.0; // effectively infinite: the path never resolves
+    return d0_ * std::pow((params_.vnom - params_.vth) / headroom,
+                          params_.alpha);
+}
+
+} // namespace vn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Critical-path timing model and failure predicate for Vmin
+ * experiments.
+ *
+ * The recovery unit (R-Unit) of the modelled machine detects an error
+ * when the instantaneous supply voltage of any core drops low enough
+ * that the slowest protected path no longer meets the cycle time. Under
+ * the alpha-power law the path delay at voltage v is
+ *
+ *   d(v) = d0 * ((vnom - vth) / (v - vth))^alpha
+ *
+ * so "d(v) > Tcycle" reduces to a critical-voltage threshold. The Vmin
+ * experiment of the paper (section III) lowers the operating voltage in
+ * 0.5% steps until this first failure; the bias at failure is the
+ * "available margin" reported in Fig. 12.
+ */
+
+#ifndef VN_MEASURE_CRITPATH_HH
+#define VN_MEASURE_CRITPATH_HH
+
+namespace vn
+{
+
+/** Timing parameters of the R-Unit-protected critical path. */
+struct CritPathParams
+{
+    double vnom = 1.05;       //!< nominal supply
+    double vth = 0.37;        //!< effective device threshold
+    double alpha = 1.3;       //!< alpha-power-law exponent
+    double clock_hz = 5.5e9;
+
+    /**
+     * Fraction of the cycle the critical path consumes at vnom. The
+     * remaining slack is the voltage margin the Vmin experiment
+     * measures; 0.72 yields a critical voltage near 0.90 V for the
+     * default supply, so the worst-case synchronized stressmark sits
+     * right at the edge of failure at nominal voltage (as the measured
+     * machine's margins are provisioned).
+     */
+    double nominal_path_fraction = 0.70;
+};
+
+/**
+ * Precomputed critical-path monitor.
+ */
+class CriticalPathMonitor
+{
+  public:
+    explicit CriticalPathMonitor(CritPathParams params = CritPathParams{});
+
+    /** Path delay at voltage v, in seconds. */
+    double pathDelay(double v) const;
+
+    /**
+     * The voltage below which the path misses timing: the single
+     * threshold the R-Unit effectively enforces.
+     */
+    double criticalVoltage() const { return v_crit_; }
+
+    /** True when the instantaneous voltage implies a timing violation. */
+    bool violates(double v) const { return v < v_crit_; }
+
+    const CritPathParams &params() const { return params_; }
+
+  private:
+    CritPathParams params_;
+    double d0_;
+    double v_crit_;
+};
+
+} // namespace vn
+
+#endif // VN_MEASURE_CRITPATH_HH

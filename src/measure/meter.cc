@@ -1,0 +1,35 @@
+#include "measure/meter.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+long
+PowerMeter::averageMilliwatts() const
+{
+    return static_cast<long>(std::llround(averageWatts() * 1000.0));
+}
+
+Oscilloscope::Oscilloscope(double dt, unsigned decimation)
+    : decimation_(decimation),
+      trace_(dt * static_cast<double>(decimation))
+{
+    if (decimation_ == 0)
+        fatal("Oscilloscope: decimation must be >= 1");
+    if (dt <= 0.0)
+        fatal("Oscilloscope: dt must be > 0");
+}
+
+void
+Oscilloscope::sample(double v)
+{
+    if (phase_ == 0)
+        trace_.push(v);
+    if (++phase_ == decimation_)
+        phase_ = 0;
+}
+
+} // namespace vn

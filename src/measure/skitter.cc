@@ -1,0 +1,103 @@
+#include "measure/skitter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/waveform.hh"
+#include "util/logging.hh"
+
+namespace vn
+{
+
+Skitter::Skitter(SkitterParams params)
+    : params_(params)
+{
+    if (params_.inverters < 2)
+        fatal("Skitter: need at least 2 inverters");
+    if (params_.vth >= params_.vnom)
+        fatal("Skitter: vth must be below vnom");
+    if (params_.nominal_delay_s <= 0.0 || params_.clock_hz <= 0.0)
+        fatal("Skitter: delays and clock must be positive");
+
+    double period = 1.0 / params_.clock_hz;
+    nominal_position_ =
+        std::min(period / params_.nominal_delay_s,
+                 static_cast<double>(params_.inverters));
+    reset();
+}
+
+double
+Skitter::edgePosition(double v) const
+{
+    // Inverter delay grows as (v - vth)^-alpha; the edge travels
+    // period/delay stages per cycle. The gain knob models the compound
+    // sensitivity of the real macro (threshold-referenced stage delays
+    // plus clock-path jitter accumulation).
+    double headroom = v - params_.vth;
+    if (headroom <= 0.0)
+        return 0.0; // line stalled: edge never propagates
+    double nominal_headroom = params_.vnom - params_.vth;
+    double speed = std::pow(headroom / nominal_headroom,
+                            params_.alpha * params_.gain);
+    double pos = nominal_position_ * speed;
+    return std::clamp(pos, 0.0, static_cast<double>(params_.inverters));
+}
+
+int
+Skitter::latchedPosition(double v) const
+{
+    return static_cast<int>(std::floor(edgePosition(v)));
+}
+
+void
+Skitter::sample(double v)
+{
+    int pos = latchedPosition(v);
+    if (samples_ == 0) {
+        min_pos_ = max_pos_ = pos;
+    } else {
+        min_pos_ = std::min(min_pos_, pos);
+        max_pos_ = std::max(max_pos_, pos);
+    }
+    ++samples_;
+}
+
+void
+Skitter::reset()
+{
+    samples_ = 0;
+    min_pos_ = 0;
+    max_pos_ = 0;
+}
+
+int
+Skitter::minPosition() const
+{
+    return samples_ ? min_pos_ : 0;
+}
+
+int
+Skitter::maxPosition() const
+{
+    return samples_ ? max_pos_ : 0;
+}
+
+double
+Skitter::percentP2p() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(max_pos_ - min_pos_) /
+           nominal_position_;
+}
+
+double
+replaySkitter(const Waveform &trace, SkitterParams params)
+{
+    Skitter skitter(params);
+    for (size_t i = 0; i < trace.size(); ++i)
+        skitter.sample(trace[i]);
+    return skitter.percentP2p();
+}
+
+} // namespace vn

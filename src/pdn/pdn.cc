@@ -1,0 +1,163 @@
+#include "pdn/pdn.hh"
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+/** Add a decap branch (C with series ESR) from `node` to ground. */
+void
+addDecap(Netlist &net, NodeId node, double farads, double esr,
+         const std::string &name)
+{
+    NodeId mid = net.addNode(name + ".esr");
+    net.addResistor(node, mid, esr, name + ".resr");
+    net.addCapacitor(mid, Netlist::ground, farads, name + ".c");
+}
+
+} // namespace
+
+ChipPdn
+buildZec12Pdn(const PdnConfig &config)
+{
+    for (int core = 0; core < kNumCores; ++core) {
+        if (config.rail_res_scale[core] <= 0.0)
+            fatal("buildZec12Pdn: rail_res_scale[", core, "] must be > 0");
+        if (config.decap_scale[core] <= 0.0)
+            fatal("buildZec12Pdn: decap_scale[", core, "] must be > 0");
+    }
+
+    ChipPdn pdn;
+    Netlist &net = pdn.netlist;
+    pdn.vnom = config.vnom;
+
+    // VRM and motherboard.
+    NodeId vrm = net.addNode("vrm");
+    net.addVoltageSource(vrm, Netlist::ground, config.vnom, "vrm.src");
+
+    pdn.board_node = net.addNode("board");
+    net.addResistor(vrm, pdn.board_node, config.r_mb, "mb.r");
+    // Board inductance sits between the bulk caps and the package caps so
+    // it resonates with Cpkg (the ~40 kHz band).
+    addDecap(net, pdn.board_node, config.c_mb, config.c_mb_esr, "mb.decap");
+
+    pdn.pkg_node = net.addNode("pkg");
+    NodeId mb_mid = net.addNode("mb.mid");
+    net.addInductor(pdn.board_node, mb_mid, config.l_mb, "mb.l");
+    net.addResistor(mb_mid, pdn.pkg_node, config.r_pkg1, "pkg1.r");
+    // l_pkg1 folds into the same branch.
+    // (modelled as one series chain: Lmb -> Rpkg1 -> Lpkg1 -> pkg)
+    // For clarity keep Lpkg1 explicit:
+    NodeId pkg_in = net.addNode("pkg.in");
+    net.addInductor(pdn.pkg_node, pkg_in, config.l_pkg1, "pkg1.l");
+    addDecap(net, pkg_in, config.c_pkg, config.c_pkg_esr, "pkg.decap");
+
+    // Two on-chip voltage domains sharing the package domain.
+    pdn.dom_upper_node = net.addNode("domU");
+    pdn.dom_lower_node = net.addNode("domL");
+    for (auto [dom, tag] : {std::pair{pdn.dom_upper_node, "u"},
+                            std::pair{pdn.dom_lower_node, "l"}}) {
+        std::string base = std::string("pkg2.") + tag;
+        NodeId mid = net.addNode(base + ".mid");
+        net.addResistor(pkg_in, mid, config.r_pkg2, base + ".r");
+        net.addInductor(mid, dom, config.l_pkg2, base + ".l");
+        addDecap(net, dom, config.c_die_fast, config.c_die_fast_esr,
+                 base + ".fast");
+        addDecap(net, dom, config.c_die_damp, config.c_die_damp_esr,
+                 base + ".damp");
+    }
+
+    // L3 / nest: big eDRAM decap bridging the domains.
+    pdn.l3_node = net.addNode("l3");
+    net.addResistor(pdn.dom_upper_node, pdn.l3_node, config.r_dom_l3,
+                    "l3.bridge.u");
+    net.addResistor(pdn.dom_lower_node, pdn.l3_node, config.r_dom_l3,
+                    "l3.bridge.l");
+    addDecap(net, pdn.l3_node, config.c_l3, config.c_l3_esr, "l3.decap");
+
+    // Per-core rails. Physical layout (paper Fig. 3): cores 0, 2, 4
+    // across the top edge, cores 1, 3, 5 across the bottom edge, with
+    // the L3 in the middle.
+    for (int core = 0; core < kNumCores; ++core) {
+        std::string base = "core" + std::to_string(core);
+        pdn.core_node[core] = net.addNode(base);
+        NodeId dom = ChipPdn::upperDomain(core) ? pdn.dom_upper_node
+                                                : pdn.dom_lower_node;
+        NodeId mid = net.addNode(base + ".rail");
+        net.addResistor(dom, mid,
+                        config.r_rail * config.rail_res_scale[core],
+                        base + ".rail.r");
+        net.addInductor(mid, pdn.core_node[core], config.l_rail,
+                        base + ".rail.l");
+        addDecap(net, pdn.core_node[core],
+                 config.c_core * config.decap_scale[core],
+                 config.c_core_esr, base + ".decap");
+    }
+
+    // Grid coupling between physically adjacent cores of a domain.
+    auto couple = [&](int a, int b) {
+        net.addResistor(pdn.core_node[a], pdn.core_node[b],
+                        config.r_neighbor,
+                        "grid.c" + std::to_string(a) + "c" +
+                            std::to_string(b));
+    };
+    couple(0, 2);
+    couple(2, 4);
+    couple(1, 3);
+    couple(3, 5);
+
+    // MCU on the left (upper domain side), GX on the right (lower side).
+    pdn.mcu_node = net.addNode("mcu");
+    net.addResistor(pdn.dom_upper_node, pdn.mcu_node, config.r_mcu,
+                    "mcu.r");
+    addDecap(net, pdn.mcu_node, config.c_mcu, config.c_mcu_esr,
+             "mcu.decap");
+
+    pdn.gx_node = net.addNode("gx");
+    net.addResistor(pdn.dom_lower_node, pdn.gx_node, config.r_gx, "gx.r");
+    addDecap(net, pdn.gx_node, config.c_gx, config.c_gx_esr, "gx.decap");
+
+    // Ports: cores first (order matters for the chip model), then nest,
+    // MCU and GX.
+    for (int core = 0; core < kNumCores; ++core) {
+        pdn.core_port[core] = net.addCurrentPort(
+            pdn.core_node[core], Netlist::ground,
+            "core" + std::to_string(core) + ".load");
+    }
+    pdn.l3_port = net.addCurrentPort(pdn.l3_node, Netlist::ground,
+                                     "l3.load");
+    pdn.mcu_port = net.addCurrentPort(pdn.mcu_node, Netlist::ground,
+                                      "mcu.load");
+    pdn.gx_port = net.addCurrentPort(pdn.gx_node, Netlist::ground,
+                                     "gx.load");
+
+    return pdn;
+}
+
+ImpedanceProfile
+impedanceProfile(const ChipPdn &pdn, int core, double f_lo, double f_hi,
+                 size_t points)
+{
+    if (core < 0 || core >= kNumCores)
+        fatal("impedanceProfile: bad core ", core);
+
+    AcAnalysis ac(pdn.netlist);
+    ImpedanceProfile profile;
+    profile.points = ac.sweep(pdn.core_port[core], f_lo, f_hi, points);
+
+    constexpr double band_split_hz = 300e3;
+    profile.board_resonance_hz =
+        ac.resonanceFrequency(pdn.core_port[core], f_lo,
+                              std::min(band_split_hz, f_hi));
+    profile.die_resonance_hz =
+        ac.resonanceFrequency(pdn.core_port[core],
+                              std::max(band_split_hz, f_lo), f_hi);
+    return profile;
+}
+
+} // namespace vn

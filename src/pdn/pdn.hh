@@ -1,0 +1,171 @@
+/**
+ * @file
+ * zEC12-like power distribution network model.
+ *
+ * Topology (see paper Fig. 1-3 and DESIGN.md section 5):
+ *
+ *   VRM --Rmb/Lmb--> board --Rpkg1/Lpkg1--> pkg
+ *                                |               \
+ *                           Cmb(+ESR)        Cpkg(+ESR)
+ *
+ *   pkg --Rpkg2/Lpkg2--> domU (on-chip domain, cores 0/2/4, MCU side)
+ *   pkg --Rpkg2/Lpkg2--> domL (on-chip domain, cores 1/3/5, GX side)
+ *
+ *   domU --rail R/L--> core0, core2, core4   (plus neighbour resistors
+ *   domL --rail R/L--> core1, core3, core5    core0-core2-core4 etc.)
+ *
+ *   l3/nest node with the large deep-trench eDRAM decap bridges the two
+ *   domains through small resistances: it is the damping element the
+ *   paper identifies ("the L3 ... isolates the noise coming from
+ *   different cores", section VI).
+ *
+ * Default element values are calibrated so that the impedance profile
+ * seen from a core port shows the paper's two resonant bands: a board
+ * band near 40 kHz and the shifted '1st droop' band near 2 MHz, with no
+ * oscillatory behaviour above ~5 MHz.
+ */
+
+#ifndef VN_PDN_PDN_HH
+#define VN_PDN_PDN_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "circuit/ac.hh"
+#include "circuit/netlist.hh"
+
+namespace vn
+{
+
+/** Number of cores on the zEC12 CP chip. */
+constexpr int kNumCores = 6;
+
+/**
+ * Element values for the zEC12-like PDN. All values SI. The defaults
+ * reproduce the paper's qualitative impedance profile; every knob is
+ * exposed so the sensitivity of the characterization to PDN design can
+ * be studied (decap sizing, domain split, L3 bridging).
+ */
+struct PdnConfig
+{
+    double vnom = 1.05;              //!< nominal VRM output (V)
+
+    // Motherboard stage.
+    double r_mb = 60e-6;             //!< board spreading resistance
+    double l_mb = 3e-9;              //!< effective board inductance
+    double c_mb = 30e-3;             //!< bulk board decap
+    double c_mb_esr = 0.2e-3;
+
+    // Package stage 1 (module).
+    double r_pkg1 = 40e-6;
+    double l_pkg1 = 60e-12;
+    double c_pkg = 12e-3;            //!< module decap -> ~30-40 kHz band
+    double c_pkg_esr = 0.4e-3;
+
+    // Package stage 2, one branch per on-chip voltage domain. The tiny
+    // effective inductance reflects thousands of C4s in parallel; with
+    // the deep-trench on-die decap (~tens of uF) it resonates near 2 MHz.
+    double r_pkg2 = 60e-6;
+    double l_pkg2 = 80e-12;
+
+    // Per-domain on-die decap, split into a low-ESR logic-decap branch
+    // and the lossier deep-trench branch that damps the tank (the 40x
+    // on-chip capacitance increase of section V-A).
+    double c_die_fast = 6e-6;
+    double c_die_fast_esr = 0.10e-3;
+    double c_die_damp = 22e-6;
+    double c_die_damp_esr = 0.7e-3;
+
+    // L3 / nest: additional deep-trench eDRAM decap bridging the two
+    // domains.
+    double c_l3 = 8e-6;
+    double c_l3_esr = 0.6e-3;
+    double r_dom_l3 = 0.25e-3;       //!< domain rail to L3 bridge
+
+    // Per-core local rail and decap.
+    double r_rail = 90e-6;
+    double l_rail = 3e-12;
+    double c_core = 3e-6;
+    double c_core_esr = 0.3e-3;
+    double r_neighbor = 0.16e-3;     //!< grid coupling between adjacent
+                                     //!< cores of the same domain
+
+    // MCU (memory controller, left of chip) and GX (I/O, right of chip).
+    double r_mcu = 0.3e-3;
+    double c_mcu = 0.05e-6;
+    double c_mcu_esr = 0.4e-3;
+    double r_gx = 0.3e-3;
+    double c_gx = 0.05e-6;
+    double c_gx_esr = 0.4e-3;
+
+    // Per-core multiplicative scaling (process variation / layout); the
+    // chip model fills these from its variation profile.
+    std::array<double, kNumCores> rail_res_scale{1, 1, 1, 1, 1, 1};
+    std::array<double, kNumCores> decap_scale{1, 1, 1, 1, 1, 1};
+};
+
+/**
+ * A built PDN: the netlist plus the ids of the nodes/ports the rest of
+ * the library needs to reference.
+ */
+struct ChipPdn
+{
+    Netlist netlist;
+
+    std::array<NodeId, kNumCores> core_node{};
+    std::array<PortId, kNumCores> core_port{};
+    NodeId l3_node = 0;
+    PortId l3_port = 0;
+    NodeId mcu_node = 0;
+    PortId mcu_port = 0;
+    NodeId gx_node = 0;
+    PortId gx_port = 0;
+    NodeId dom_upper_node = 0;
+    NodeId dom_lower_node = 0;
+    NodeId pkg_node = 0;
+    NodeId board_node = 0;
+
+    double vnom = 0.0;
+
+    /** Total number of current ports (cores + l3 + mcu + gx). */
+    size_t portCount() const { return netlist.ports().size(); }
+
+    /** True when the core belongs to the upper on-chip domain (0/2/4). */
+    static bool upperDomain(int core) { return core % 2 == 0; }
+};
+
+/**
+ * Build the zEC12-like PDN from a configuration.
+ *
+ * Port order: core0..core5, then l3/nest, mcu, gx.
+ */
+ChipPdn buildZec12Pdn(const PdnConfig &config = PdnConfig{});
+
+/**
+ * Convenience wrapper producing the paper's Fig. 7b artifact: |Z(f)| seen
+ * from a given core's load port plus the located resonant bands.
+ */
+struct ImpedanceProfile
+{
+    std::vector<ImpedancePoint> points;
+    double board_resonance_hz = 0.0;  //!< peak below 300 kHz
+    double die_resonance_hz = 0.0;    //!< peak above 300 kHz
+};
+
+/**
+ * Sweep the impedance profile seen from `core`'s port.
+ *
+ * @param pdn    built PDN
+ * @param core   observing core (0-based)
+ * @param f_lo   sweep start (Hz)
+ * @param f_hi   sweep end (Hz)
+ * @param points sample count
+ */
+ImpedanceProfile impedanceProfile(const ChipPdn &pdn, int core,
+                                  double f_lo = 1e3, double f_hi = 1e8,
+                                  size_t points = 200);
+
+} // namespace vn
+
+#endif // VN_PDN_PDN_HH

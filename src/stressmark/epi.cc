@@ -1,0 +1,69 @@
+#include "stressmark/epi.hh"
+
+#include <algorithm>
+
+#include "isa/program.hh"
+#include "util/logging.hh"
+
+namespace vn
+{
+
+EpiProfiler::EpiProfiler(const CoreModel &core, size_t reps)
+    : core_(core), reps_(reps)
+{
+    if (reps_ == 0)
+        fatal("EpiProfiler: reps must be > 0");
+}
+
+EpiEntry
+EpiProfiler::measure(const InstrDesc &instr) const
+{
+    // Micro-benchmark skeleton: an endless loop of `reps` dependence-
+    // free repetitions; run long enough for steady state.
+    Program bench = makeRepeatedProgram(&instr, reps_);
+    uint64_t cap = reps_ * static_cast<uint64_t>(instr.latency + 4) + 4096;
+    RunResult r = core_.run(bench, reps_, cap);
+
+    EpiEntry entry;
+    entry.instr = &instr;
+    entry.power = r.avg_power;
+    entry.ipc = r.ipc();
+    return entry;
+}
+
+std::vector<EpiEntry>
+EpiProfiler::profile(const InstrTable &table) const
+{
+    std::vector<EpiEntry> entries;
+    entries.reserve(table.size());
+    for (size_t i = 0; i < table.size(); ++i)
+        entries.push_back(measure(table[i]));
+
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const EpiEntry &a, const EpiEntry &b) {
+                         return a.power > b.power;
+                     });
+
+    double floor_power = entries.back().power;
+    if (floor_power <= 0.0)
+        panic("EpiProfiler: non-positive floor power");
+    for (auto &e : entries)
+        e.normalized = e.power / floor_power;
+    return entries;
+}
+
+std::vector<EpiEntry>
+epiTop(const std::vector<EpiEntry> &profile, size_t n)
+{
+    n = std::min(n, profile.size());
+    return {profile.begin(), profile.begin() + static_cast<long>(n)};
+}
+
+std::vector<EpiEntry>
+epiBottom(const std::vector<EpiEntry> &profile, size_t n)
+{
+    n = std::min(n, profile.size());
+    return {profile.end() - static_cast<long>(n), profile.end()};
+}
+
+} // namespace vn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Energy-per-instruction (EPI) profiling: the first stage of the
+ * stressmark generation methodology (paper section IV-A, Table I).
+ *
+ * One micro-benchmark per ISA instruction - an endless loop of 4000
+ * dependence-free repetitions - is run on the core model; measured
+ * average power ranks the full ISA. The ranking feeds the max-power
+ * candidate selection, and its tail supplies the minimum-power sequence
+ * (long-latency instructions beat NOPs because they stall the whole
+ * pipeline).
+ */
+
+#ifndef VN_STRESSMARK_EPI_HH
+#define VN_STRESSMARK_EPI_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/table.hh"
+#include "uarch/core.hh"
+
+namespace vn
+{
+
+/** One row of the EPI profile. */
+struct EpiEntry
+{
+    const InstrDesc *instr = nullptr;
+    double power = 0.0;      //!< measured average power (model units)
+    double normalized = 0.0; //!< power / power(last-ranked instruction)
+    double ipc = 0.0;        //!< measured uops per cycle
+};
+
+/**
+ * Generates EPI profiles on a given core model.
+ */
+class EpiProfiler
+{
+  public:
+    /**
+     * @param core core model to measure on
+     * @param reps repetitions per micro-benchmark (paper uses 4000;
+     *             tests may reduce for speed)
+     */
+    explicit EpiProfiler(const CoreModel &core, size_t reps = 4000);
+
+    /**
+     * Profile every instruction of the table and return entries sorted
+     * by descending measured power. Normalization follows Table I: all
+     * powers relative to the last-ranked (lowest-power) instruction.
+     */
+    std::vector<EpiEntry> profile(const InstrTable &table = instrTable())
+        const;
+
+    /** Measure a single instruction's micro-benchmark. */
+    EpiEntry measure(const InstrDesc &instr) const;
+
+  private:
+    const CoreModel &core_;
+    size_t reps_;
+};
+
+/** First `n` entries of a profile (highest power). */
+std::vector<EpiEntry> epiTop(const std::vector<EpiEntry> &profile,
+                             size_t n);
+
+/** Last `n` entries of a profile (lowest power), lowest last. */
+std::vector<EpiEntry> epiBottom(const std::vector<EpiEntry> &profile,
+                                size_t n);
+
+} // namespace vn
+
+#endif // VN_STRESSMARK_EPI_HH

@@ -1,0 +1,143 @@
+#include "stressmark/genetic.hh"
+
+#include <algorithm>
+
+#include "isa/table.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn
+{
+
+std::vector<const InstrDesc *>
+pipelinedAlphabet()
+{
+    std::vector<const InstrDesc *> out;
+    const auto &table = instrTable();
+    for (size_t i = 0; i < table.size(); ++i)
+        if (table[i].issue == IssueClass::Pipelined)
+            out.push_back(&table[i]);
+    return out;
+}
+
+GeneticSequenceSearch::GeneticSequenceSearch(const CoreModel &core,
+                                             GeneticSearchParams params)
+    : core_(core), params_(params)
+{
+    if (params_.population < 4)
+        fatal("GeneticSequenceSearch: population must be >= 4");
+    if (params_.generations < 1)
+        fatal("GeneticSequenceSearch: generations must be >= 1");
+    if (params_.sequence_length < 1)
+        fatal("GeneticSequenceSearch: sequence_length must be >= 1");
+    if (params_.elite < 0 || params_.elite >= params_.population)
+        fatal("GeneticSequenceSearch: elite must be in [0, population)");
+    if (params_.tournament < 1)
+        fatal("GeneticSequenceSearch: tournament must be >= 1");
+    if (params_.mutation_rate < 0.0 || params_.mutation_rate > 1.0)
+        fatal("GeneticSequenceSearch: mutation_rate must be in [0, 1]");
+}
+
+GeneticSearchResult
+GeneticSequenceSearch::run(
+    const std::vector<const InstrDesc *> &alphabet) const
+{
+    if (alphabet.empty())
+        fatal("GeneticSequenceSearch: empty alphabet");
+
+    Rng rng(params_.seed);
+    const size_t len = static_cast<size_t>(params_.sequence_length);
+    const size_t pop_size = static_cast<size_t>(params_.population);
+
+    using Genome = std::vector<uint32_t>;
+    auto random_genome = [&] {
+        Genome g(len);
+        for (auto &gene : g)
+            gene = static_cast<uint32_t>(rng.below(alphabet.size()));
+        return g;
+    };
+    auto decode = [&](const Genome &g) {
+        Program p;
+        for (uint32_t gene : g)
+            p.push(alphabet[gene]);
+        return p;
+    };
+
+    GeneticSearchResult result;
+    auto fitness = [&](const Genome &g) {
+        ++result.evaluations;
+        Program p = decode(g);
+        RunResult r = core_.run(p, params_.eval_instrs,
+                                params_.eval_instrs * 60);
+        return r.avg_power;
+    };
+
+    std::vector<Genome> population;
+    std::vector<double> scores;
+    population.reserve(pop_size);
+    for (size_t i = 0; i < pop_size; ++i) {
+        population.push_back(random_genome());
+        scores.push_back(fitness(population.back()));
+    }
+
+    auto tournament_pick = [&]() -> const Genome & {
+        size_t best = rng.below(pop_size);
+        for (int t = 1; t < params_.tournament; ++t) {
+            size_t challenger = rng.below(pop_size);
+            if (scores[challenger] > scores[best])
+                best = challenger;
+        }
+        return population[best];
+    };
+
+    for (int gen = 0; gen < params_.generations; ++gen) {
+        // Rank for elitism.
+        std::vector<size_t> order(pop_size);
+        for (size_t i = 0; i < pop_size; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return scores[a] > scores[b];
+        });
+        result.best_per_generation.push_back(scores[order[0]]);
+
+        std::vector<Genome> next;
+        std::vector<double> next_scores;
+        next.reserve(pop_size);
+        for (int e = 0; e < params_.elite; ++e) {
+            next.push_back(population[order[static_cast<size_t>(e)]]);
+            next_scores.push_back(scores[order[static_cast<size_t>(e)]]);
+        }
+        while (next.size() < pop_size) {
+            const Genome &a = tournament_pick();
+            const Genome &b = tournament_pick();
+            // Single-point crossover.
+            size_t cut = 1 + rng.below(len > 1 ? len - 1 : 1);
+            Genome child(len);
+            for (size_t i = 0; i < len; ++i)
+                child[i] = i < cut ? a[i] : b[i];
+            // Mutation.
+            for (auto &gene : child) {
+                if (rng.uniform() < params_.mutation_rate)
+                    gene = static_cast<uint32_t>(
+                        rng.below(alphabet.size()));
+            }
+            next_scores.push_back(fitness(child));
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+        scores = std::move(next_scores);
+    }
+
+    size_t best = 0;
+    for (size_t i = 1; i < pop_size; ++i)
+        if (scores[i] > scores[best])
+            best = i;
+    result.best = decode(population[best]);
+    RunResult final_run = core_.run(result.best, 3000, 200000);
+    result.best_power = final_run.avg_power;
+    result.best_ipc = final_run.ipc();
+    result.best_per_generation.push_back(scores[best]);
+    return result;
+}
+
+} // namespace vn

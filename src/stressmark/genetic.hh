@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Genetic-algorithm maximum-power sequence search.
+ *
+ * The paper's methodology is a 'white-box' exhaustive funnel; it notes
+ * (section IV-C) that "it would be possible to implement optimization
+ * algorithms - such as the genetic algorithms employed in previous
+ * works [AUDIT, Kim et al.] - on top of the presented solution". This
+ * module does exactly that: a seeded, tournament-selection GA over
+ * instruction sequences with the measured core power as fitness. The
+ * ext_genetic bench compares it against the exhaustive funnel.
+ */
+
+#ifndef VN_STRESSMARK_GENETIC_HH
+#define VN_STRESSMARK_GENETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "uarch/core.hh"
+
+namespace vn
+{
+
+/** GA tunables. */
+struct GeneticSearchParams
+{
+    int population = 64;
+    int generations = 40;
+    int sequence_length = 6;
+    int elite = 4;             //!< genomes copied unchanged per gen
+    int tournament = 3;        //!< tournament selection size
+    double mutation_rate = 0.12; //!< per-gene mutation probability
+    uint64_t seed = 0xA0D17;   //!< RNG seed (deterministic runs)
+    uint64_t eval_instrs = 900; //!< instructions per fitness evaluation
+};
+
+/** GA outcome. */
+struct GeneticSearchResult
+{
+    Program best;
+    double best_power = 0.0;
+    double best_ipc = 0.0;
+    size_t evaluations = 0; //!< fitness evaluations performed
+    std::vector<double> best_per_generation;
+};
+
+/**
+ * Genetic search for the maximum-power sequence over an instruction
+ * alphabet (typically every pipelined instruction, i.e. a much larger
+ * space than the funnel's 9 candidates).
+ */
+class GeneticSequenceSearch
+{
+  public:
+    GeneticSequenceSearch(const CoreModel &core,
+                          GeneticSearchParams params =
+                              GeneticSearchParams{});
+
+    /**
+     * Run the GA. The alphabet must be non-empty; duplicate entries
+     * simply bias the initial distribution.
+     */
+    GeneticSearchResult
+    run(const std::vector<const InstrDesc *> &alphabet) const;
+
+  private:
+    const CoreModel &core_;
+    GeneticSearchParams params_;
+};
+
+/** Convenience alphabet: every pipelined instruction in the table. */
+std::vector<const InstrDesc *> pipelinedAlphabet();
+
+} // namespace vn
+
+#endif // VN_STRESSMARK_GENETIC_HH

@@ -1,0 +1,150 @@
+#include "stressmark/kit.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+/** Parse one space-separated mnemonic line into a Program. */
+bool
+parseSequenceLine(const std::string &line, Program &out)
+{
+    std::istringstream iss(line);
+    std::string mnemonic;
+    const auto &table = instrTable();
+    while (iss >> mnemonic) {
+        if (!table.contains(mnemonic))
+            return false;
+        out.push(&table.find(mnemonic));
+    }
+    return !out.empty();
+}
+
+} // namespace
+
+StressmarkKit
+StressmarkKit::standard(const CoreModel &core)
+{
+    StressmarkKitParams params;
+    params.epi_reps = 600;
+    params.search.ipc_filter_keep = 64;
+    params.search.ipc_eval_instrs = 240;
+    params.search.power_eval_instrs = 1200;
+    return StressmarkKit(core, params);
+}
+
+StressmarkKit
+StressmarkKit::fullScale(const CoreModel &core)
+{
+    StressmarkKitParams params;
+    params.epi_reps = 4000;
+    params.search.ipc_filter_keep = 1000;
+    params.search.ipc_eval_instrs = 600;
+    params.search.power_eval_instrs = 3000;
+    return StressmarkKit(core, params);
+}
+
+StressmarkKit::StressmarkKit(const CoreModel &core,
+                             StressmarkKitParams params)
+    : core_(core)
+{
+    inform("StressmarkKit: profiling ", instrTable().size(),
+           " instructions (", params.epi_reps, " reps each)");
+    EpiProfiler profiler(core_, params.epi_reps);
+    profile_ = profiler.profile();
+
+    inform("StressmarkKit: searching max-power sequence (",
+           params.search.num_candidates, "^",
+           params.search.sequence_length, " combinations)");
+    SequenceSearch search(core_, params.search);
+    search_ = search.run(profile_);
+
+    min_seq_ = makeMinPowerSequence(profile_,
+                                    search_.best_sequence.size());
+    max_builder_ = std::make_unique<StressmarkBuilder>(
+        core_, search_.best_sequence, min_seq_);
+
+    double target =
+        0.5 * (max_builder_->highPower() + max_builder_->lowPower());
+    medium_seq_ = makeMediumPowerSequence(core_, search_.best_sequence,
+                                          profile_, target);
+    medium_builder_ = std::make_unique<StressmarkBuilder>(
+        core_, medium_seq_, min_seq_);
+
+    inform("StressmarkKit: max=", max_builder_->highPower(),
+           " med=", medium_builder_->highPower(),
+           " min=", max_builder_->lowPower(), " (model units)");
+}
+
+StressmarkKit::StressmarkKit(const CoreModel &core, Program max_seq,
+                             Program min_seq, Program medium_seq)
+    : core_(core), min_seq_(std::move(min_seq)),
+      medium_seq_(std::move(medium_seq))
+{
+    search_.best_sequence = std::move(max_seq);
+    max_builder_ = std::make_unique<StressmarkBuilder>(
+        core_, search_.best_sequence, min_seq_);
+    medium_builder_ = std::make_unique<StressmarkBuilder>(
+        core_, medium_seq_, min_seq_);
+    search_.best_power = max_builder_->highPower();
+}
+
+StressmarkKit
+StressmarkKit::cached(const CoreModel &core, const std::string &cache_path)
+{
+    std::ifstream ifs(cache_path);
+    if (ifs) {
+        std::string max_line, min_line, med_line;
+        if (std::getline(ifs, max_line) && std::getline(ifs, min_line) &&
+            std::getline(ifs, med_line)) {
+            Program max_seq, min_seq, med_seq;
+            if (parseSequenceLine(max_line, max_seq) &&
+                parseSequenceLine(min_line, min_seq) &&
+                parseSequenceLine(med_line, med_seq)) {
+                inform("StressmarkKit: loaded sequences from ",
+                       cache_path);
+                return StressmarkKit(core, std::move(max_seq),
+                                     std::move(min_seq),
+                                     std::move(med_seq));
+            }
+        }
+        warn("StressmarkKit: cache file ", cache_path,
+             " unreadable; re-running the search");
+    }
+    StressmarkKit kit = standard(core);
+    kit.saveCache(cache_path);
+    return kit;
+}
+
+void
+StressmarkKit::saveCache(const std::string &cache_path) const
+{
+    std::ofstream ofs(cache_path);
+    if (!ofs) {
+        warn("StressmarkKit: cannot write cache to ", cache_path);
+        return;
+    }
+    ofs << maxSequence().toString() << "\n"
+        << minSequence().toString() << "\n"
+        << mediumSequence().toString() << "\n";
+}
+
+Stressmark
+StressmarkKit::make(const StressmarkSpec &spec) const
+{
+    return max_builder_->build(spec);
+}
+
+Stressmark
+StressmarkKit::makeMedium(const StressmarkSpec &spec) const
+{
+    return medium_builder_->build(spec);
+}
+
+} // namespace vn

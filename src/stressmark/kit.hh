@@ -1,0 +1,115 @@
+/**
+ * @file
+ * StressmarkKit: one-stop bundle of the full generation methodology
+ * (Fig. 4): EPI profile -> max/min/medium power sequences -> builders.
+ *
+ * Every characterization harness (Figs. 7-15) needs the same
+ * discovered sequences; the kit runs the pipeline once and hands out
+ * stressmarks for any spec.
+ */
+
+#ifndef VN_STRESSMARK_KIT_HH
+#define VN_STRESSMARK_KIT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stressmark/epi.hh"
+#include "stressmark/sequences.hh"
+#include "stressmark/stressmark.hh"
+#include "uarch/core.hh"
+
+namespace vn
+{
+
+/** Cost knobs for kit construction. */
+struct StressmarkKitParams
+{
+    size_t epi_reps = 600;
+    SequenceSearchParams search;
+};
+
+/**
+ * The assembled methodology output. Construction runs the EPI profile
+ * and the sequence searches on the given core model; the core model
+ * must outlive the kit.
+ */
+class StressmarkKit
+{
+  public:
+    /**
+     * Reduced-cost pipeline: full candidate selection and filtering but
+     * smaller evaluation budgets. Suitable for harnesses and tests.
+     */
+    static StressmarkKit standard(const CoreModel &core);
+
+    /**
+     * Paper-scale pipeline: 4000-rep EPI benchmarks, 9^6 combinations,
+     * IPC filter keeping the top 1000. Minutes of compute; used by the
+     * Table I / Fig. 5 reproduction binaries.
+     */
+    static StressmarkKit fullScale(const CoreModel &core);
+
+    /**
+     * Like standard(), but memoized through a small text file holding
+     * the discovered sequences: if `cache_path` exists and parses, the
+     * EPI profile and combination search are skipped (sequence powers
+     * are always re-measured, which is cheap). Used by the benchmark
+     * binaries so each one does not redo the search.
+     *
+     * A kit loaded from cache has an empty profile() and searchResult().
+     */
+    static StressmarkKit cached(const CoreModel &core,
+                                const std::string &cache_path);
+
+    StressmarkKit(const CoreModel &core, StressmarkKitParams params);
+
+    /** Construct directly from known sequences (skips the search). */
+    StressmarkKit(const CoreModel &core, Program max_seq, Program min_seq,
+                  Program medium_seq);
+
+    /** Persist the discovered sequences for cached(). */
+    void saveCache(const std::string &cache_path) const;
+
+    /** The sorted EPI profile (Table I). */
+    const std::vector<EpiEntry> &profile() const { return profile_; }
+
+    /** Funnel statistics of the max-power search (Fig. 5). */
+    const SequenceSearchResult &searchResult() const { return search_; }
+
+    /** Maximum-power instruction sequence. */
+    const Program &maxSequence() const { return search_.best_sequence; }
+
+    /** Minimum-power instruction sequence. */
+    const Program &minSequence() const { return min_seq_; }
+
+    /** Medium-power sequence (midpoint of max and min, Fig. 11). */
+    const Program &mediumSequence() const { return medium_seq_; }
+
+    /** Measured powers of the three sequences (model units). */
+    double maxPower() const { return max_builder_->highPower(); }
+    double minPower() const { return max_builder_->lowPower(); }
+    double mediumPower() const { return medium_builder_->highPower(); }
+
+    /** Build a maximum-deltaI stressmark. */
+    Stressmark make(const StressmarkSpec &spec) const;
+
+    /** Build a medium-deltaI stressmark (medium vs min sequences). */
+    Stressmark makeMedium(const StressmarkSpec &spec) const;
+
+    const CoreModel &core() const { return core_; }
+
+  private:
+    const CoreModel &core_;
+    std::vector<EpiEntry> profile_;
+    SequenceSearchResult search_;
+    Program min_seq_;
+    Program medium_seq_;
+    std::unique_ptr<StressmarkBuilder> max_builder_;
+    std::unique_ptr<StressmarkBuilder> medium_builder_;
+};
+
+} // namespace vn
+
+#endif // VN_STRESSMARK_KIT_HH

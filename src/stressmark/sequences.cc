@@ -1,0 +1,289 @@
+#include "stressmark/sequences.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+SequenceSearch::SequenceSearch(const CoreModel &core,
+                               SequenceSearchParams params)
+    : core_(core), params_(params)
+{
+    if (params_.num_candidates < 1)
+        fatal("SequenceSearch: need at least one candidate");
+    if (params_.sequence_length < 1 || params_.sequence_length > 12)
+        fatal("SequenceSearch: sequence_length must be in [1, 12]");
+    if (params_.ipc_filter_keep < 1)
+        fatal("SequenceSearch: ipc_filter_keep must be >= 1");
+
+    double combos = std::pow(static_cast<double>(params_.num_candidates),
+                             params_.sequence_length);
+    if (combos > 64e6)
+        fatal("SequenceSearch: design space of ", combos,
+              " combinations is too large; reduce candidates or length");
+}
+
+std::vector<const InstrDesc *>
+SequenceSearch::selectCandidates(const std::vector<EpiEntry> &profile) const
+{
+    if (profile.empty())
+        fatal("SequenceSearch: empty EPI profile");
+
+    // Group profile entries (already sorted by power, descending) by
+    // (unit, issue) category.
+    std::vector<std::vector<const EpiEntry *>> by_category(kNumCategories);
+    for (const auto &entry : profile) {
+        InstrCategory cat{entry.instr->unit, entry.instr->issue};
+        by_category[categoryIndex(cat)].push_back(&entry);
+    }
+
+    double global_top = profile.front().power;
+
+    // Keep categories whose best representative is fast and hot enough;
+    // this mirrors the paper's pruning of low-power / low-IPC
+    // categories to avoid design-space explosion.
+    struct LiveCategory
+    {
+        const std::vector<const EpiEntry *> *entries;
+        size_t next = 0;
+    };
+    std::vector<LiveCategory> live;
+    for (const auto &entries : by_category) {
+        if (entries.empty())
+            continue;
+        const EpiEntry *top = entries.front();
+        if (top->ipc < params_.min_category_ipc)
+            continue;
+        if (top->power <
+            params_.min_category_power_fraction * global_top) {
+            continue;
+        }
+        live.push_back({&entries, 0});
+    }
+    if (live.empty())
+        fatal("SequenceSearch: every category was filtered out");
+
+    std::sort(live.begin(), live.end(),
+              [](const LiveCategory &a, const LiveCategory &b) {
+                  return a.entries->front()->power >
+                         b.entries->front()->power;
+              });
+
+    // Round-robin over the surviving categories, hottest first, taking
+    // each category's next-best instruction until the candidate budget
+    // is filled.
+    std::vector<const InstrDesc *> candidates;
+    while (candidates.size() <
+           static_cast<size_t>(params_.num_candidates)) {
+        bool progressed = false;
+        for (auto &cat : live) {
+            if (candidates.size() >=
+                static_cast<size_t>(params_.num_candidates)) {
+                break;
+            }
+            if (cat.next < cat.entries->size()) {
+                candidates.push_back((*cat.entries)[cat.next]->instr);
+                ++cat.next;
+                progressed = true;
+            }
+        }
+        if (!progressed)
+            break; // categories exhausted
+    }
+    return candidates;
+}
+
+bool
+SequenceSearch::passesUarchFilter(
+    const std::vector<const InstrDesc *> &seq) const
+{
+    const CoreParams &core = core_.params();
+
+    int total_uops = 0;
+    int unit_uops[kNumFuncUnits] = {};
+    int branches = 0;
+    int prefetches = 0;
+    for (const auto *instr : seq) {
+        if (instr->issue != IssueClass::Pipelined)
+            return false; // stalls kill the dispatch-group size
+        total_uops += instr->uops;
+        unit_uops[static_cast<int>(instr->unit)] += instr->uops;
+        if (instr->is_branch)
+            ++branches;
+        if (instr->is_prefetch)
+            ++prefetches;
+    }
+    if (branches > params_.max_branches)
+        return false;
+    if (prefetches > params_.max_prefetches)
+        return false;
+
+    // Sustainable full-width dispatch: no unit may be asked for more
+    // than instances/width of the uop stream.
+    for (int u = 0; u < kNumFuncUnits; ++u) {
+        if (unit_uops[u] * core.dispatch_width >
+            core.unit_instances[u] * total_uops) {
+            return false;
+        }
+    }
+    // Branch issue bandwidth: at full width the stream presents
+    // width * branches/total uops of branch work per cycle.
+    if (branches * core.dispatch_width >
+        core.max_branches_per_cycle * total_uops) {
+        return false;
+    }
+    return true;
+}
+
+SequenceSearchResult
+SequenceSearch::run(const std::vector<EpiEntry> &profile) const
+{
+    SequenceSearchResult result;
+    result.candidates = selectCandidates(profile);
+
+    const size_t n = result.candidates.size();
+    const int len = params_.sequence_length;
+    size_t total = 1;
+    for (int i = 0; i < len; ++i)
+        total *= n;
+    result.combinations_total = total;
+
+    // Stage: exhaustive generation + microarchitectural filter.
+    // Combinations are encoded base-n in a 64-bit word.
+    std::vector<uint64_t> survivors;
+    std::vector<const InstrDesc *> seq(static_cast<size_t>(len));
+    for (uint64_t code = 0; code < total; ++code) {
+        uint64_t c = code;
+        for (int i = 0; i < len; ++i) {
+            seq[static_cast<size_t>(i)] = result.candidates[c % n];
+            c /= n;
+        }
+        if (passesUarchFilter(seq))
+            survivors.push_back(code);
+    }
+    result.after_uarch_filter = survivors.size();
+    if (survivors.empty())
+        fatal("SequenceSearch: microarchitectural filter removed every "
+              "combination");
+
+    auto decode = [&](uint64_t code) {
+        Program p;
+        uint64_t c = code;
+        for (int i = 0; i < len; ++i) {
+            p.push(result.candidates[c % n]);
+            c /= n;
+        }
+        return p;
+    };
+
+    // Stage: IPC filter. Keep the `ipc_filter_keep` fastest sequences.
+    struct Scored
+    {
+        uint64_t code;
+        double score;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(survivors.size());
+    for (uint64_t code : survivors) {
+        Program p = decode(code);
+        RunResult r = core_.run(p, params_.ipc_eval_instrs,
+                                params_.ipc_eval_instrs * 40);
+        scored.push_back({code, r.ipc()});
+    }
+    size_t keep = std::min(params_.ipc_filter_keep, scored.size());
+    std::nth_element(scored.begin(),
+                     scored.begin() + static_cast<long>(keep - 1),
+                     scored.end(), [](const Scored &a, const Scored &b) {
+                         return a.score > b.score;
+                     });
+    scored.resize(keep);
+    result.after_ipc_filter = keep;
+
+    // Stage: power evaluation of the finalists.
+    double best_power = -1.0;
+    uint64_t best_code = scored.front().code;
+    double best_ipc = 0.0;
+    for (const auto &s : scored) {
+        Program p = decode(s.code);
+        RunResult r = core_.run(p, params_.power_eval_instrs,
+                                params_.power_eval_instrs * 40);
+        if (r.avg_power > best_power) {
+            best_power = r.avg_power;
+            best_code = s.code;
+            best_ipc = r.ipc();
+        }
+    }
+    result.best_sequence = decode(best_code);
+    result.best_power = best_power;
+    result.best_ipc = best_ipc;
+    return result;
+}
+
+Program
+makeMinPowerSequence(const std::vector<EpiEntry> &profile, size_t length)
+{
+    if (profile.empty())
+        fatal("makeMinPowerSequence: empty profile");
+    return makeRepeatedProgram(profile.back().instr, length);
+}
+
+Program
+makeMediumPowerSequence(const CoreModel &core, const Program &max_seq,
+                        const std::vector<EpiEntry> &profile,
+                        double target, double tolerance)
+{
+    if (max_seq.empty())
+        fatal("makeMediumPowerSequence: empty max sequence");
+    if (profile.empty())
+        fatal("makeMediumPowerSequence: empty profile");
+
+    const InstrDesc *low = profile.back().instr;
+
+    auto build = [&](int max_reps, int low_reps) {
+        Program p;
+        for (int i = 0; i < max_reps; ++i)
+            p.append(max_seq);
+        p.pushRepeated(low, static_cast<size_t>(low_reps));
+        return p;
+    };
+    auto power_of = [&](const Program &p) {
+        size_t min_instrs = std::max<size_t>(p.size() * 8, 2000);
+        return core.run(p, min_instrs, min_instrs * 60).avg_power;
+    };
+
+    Program best;
+    double best_err = 1e300;
+
+    // Coarse-to-fine: for each low-instruction count, binary-search the
+    // number of max-sequence repetitions (power grows monotonically
+    // with max_reps for fixed low_reps).
+    for (int low_reps = 1; low_reps <= 4; ++low_reps) {
+        int lo = 1, hi = 96;
+        while (lo < hi) {
+            int mid = (lo + hi) / 2;
+            if (power_of(build(mid, low_reps)) < target)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        for (int a = std::max(1, lo - 1); a <= lo; ++a) {
+            Program p = build(a, low_reps);
+            double err = std::fabs(power_of(p) - target);
+            if (err < best_err) {
+                best_err = err;
+                best = p;
+            }
+        }
+        if (best_err <= tolerance * target)
+            break;
+    }
+    if (best_err > 0.15 * target)
+        warn("makeMediumPowerSequence: closest mix misses target by ",
+             100.0 * best_err / target, "%");
+    return best;
+}
+
+} // namespace vn

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Maximum/minimum/medium power instruction sequence generation: the
+ * paper's Fig. 5 pipeline (section IV-B).
+ *
+ * Stages: candidate selection from the EPI profile by (functional unit,
+ * issue class) category -> exhaustive combination generation of the
+ * chosen sequence length -> microarchitectural filtering (dispatch-group
+ * and branch/prefetch constraints) -> IPC filtering (cheap, parallel in
+ * the real flow) -> power evaluation of the finalists.
+ */
+
+#ifndef VN_STRESSMARK_SEQUENCES_HH
+#define VN_STRESSMARK_SEQUENCES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/program.hh"
+#include "stressmark/epi.hh"
+#include "uarch/core.hh"
+
+namespace vn
+{
+
+/** Tunables of the sequence search. */
+struct SequenceSearchParams
+{
+    int num_candidates = 9;      //!< instruction candidates kept
+    int sequence_length = 6;     //!< 2x the dispatch group size
+    size_t ipc_filter_keep = 1000; //!< finalists after the IPC filter
+
+    int max_branches = 2;        //!< microarchitectural filter bound
+    int max_prefetches = 1;
+
+    /** Categories with measured IPC below this are discarded. */
+    double min_category_ipc = 1.0;
+
+    /** Categories whose best power is below this fraction of the
+     *  global maximum are discarded. */
+    double min_category_power_fraction = 0.8;
+
+    /** Instructions completed per IPC evaluation run. */
+    uint64_t ipc_eval_instrs = 600;
+
+    /** Instructions completed per power evaluation run. */
+    uint64_t power_eval_instrs = 3000;
+};
+
+/** Search outcome plus the funnel statistics of Fig. 5. */
+struct SequenceSearchResult
+{
+    std::vector<const InstrDesc *> candidates;
+    size_t combinations_total = 0;   //!< num_candidates^sequence_length
+    size_t after_uarch_filter = 0;
+    size_t after_ipc_filter = 0;
+
+    Program best_sequence;
+    double best_power = 0.0;  //!< measured average power (model units)
+    double best_ipc = 0.0;
+};
+
+/**
+ * The maximum-power sequence search.
+ */
+class SequenceSearch
+{
+  public:
+    SequenceSearch(const CoreModel &core,
+                   SequenceSearchParams params = SequenceSearchParams{});
+
+    /**
+     * Run the full pipeline against an EPI profile (sorted descending,
+     * as produced by EpiProfiler::profile()).
+     */
+    SequenceSearchResult run(const std::vector<EpiEntry> &profile) const;
+
+    /** Stage 1 only: pick the instruction candidates. */
+    std::vector<const InstrDesc *>
+    selectCandidates(const std::vector<EpiEntry> &profile) const;
+
+    /**
+     * Stage 3 predicate: true when the sequence passes the
+     * microarchitectural constraints (dispatch-group size sustainable
+     * at full width, branch and prefetch bounds).
+     */
+    bool passesUarchFilter(const std::vector<const InstrDesc *> &seq)
+        const;
+
+  private:
+    const CoreModel &core_;
+    SequenceSearchParams params_;
+};
+
+/**
+ * Minimum-power sequence: the last instruction of the EPI rank,
+ * repeated (long-latency stalls beat NOPs, section IV-B).
+ *
+ * @param profile EPI profile sorted descending
+ * @param length  instructions in the sequence
+ */
+Program makeMinPowerSequence(const std::vector<EpiEntry> &profile,
+                             size_t length = 6);
+
+/**
+ * Medium-power sequence: consumes approximately the midpoint between
+ * the given max and min power levels (used for the deltaI sensitivity
+ * study of Fig. 11). Mixes max-sequence instructions with the
+ * minimum-power instruction and tunes the mix by bisection against the
+ * core model.
+ *
+ * @param core        core model to evaluate on
+ * @param max_seq     maximum-power sequence
+ * @param profile     EPI profile (for the minimum-power instruction)
+ * @param target      target average power (model units)
+ * @param tolerance   acceptable relative error on the target
+ */
+Program makeMediumPowerSequence(const CoreModel &core,
+                                const Program &max_seq,
+                                const std::vector<EpiEntry> &profile,
+                                double target, double tolerance = 0.02);
+
+} // namespace vn
+
+#endif // VN_STRESSMARK_SEQUENCES_HH

@@ -1,0 +1,246 @@
+#include "uarch/core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+/** Maximum supported instruction latency (sizes the retire ring). */
+constexpr int kMaxLatency = 64;
+
+/**
+ * Mutable pipeline state stepped one cycle at a time. Shared by run()
+ * and powerTrace().
+ */
+class Engine
+{
+  public:
+    Engine(const CoreParams &params, const Program &program)
+        : params_(params), program_(program)
+    {
+        if (program.empty())
+            fatal("CoreModel: cannot run an empty program");
+        for (int u = 0; u < kNumFuncUnits; ++u) {
+            if (params_.unit_instances[u] < 1)
+                fatal("CoreModel: unit ", funcUnitName(
+                          static_cast<FuncUnit>(u)),
+                      " needs at least one instance");
+            busy_until_[u].assign(
+                static_cast<size_t>(params_.unit_instances[u]), 0);
+        }
+        retire_ring_.assign(kRingSize, 0);
+        for (const auto *instr : program.body()) {
+            if (instr->latency >= kMaxLatency)
+                fatal("CoreModel: instruction ", instr->mnemonic,
+                      " latency ", instr->latency, " exceeds limit ",
+                      kMaxLatency);
+        }
+    }
+
+    /**
+     * Advance one cycle; returns the dynamic energy issued this cycle.
+     */
+    double
+    step()
+    {
+        // Retire uops completing now.
+        size_t slot = static_cast<size_t>(cycle_ % kRingSize);
+        in_flight_ -= retire_ring_[slot];
+        retire_ring_[slot] = 0;
+
+        double energy = 0.0;
+        if (cycle_ >= blocked_until_) {
+            int dispatched = 0;
+            int branches = 0;
+            while (dispatched < params_.dispatch_width) {
+                const InstrDesc *instr = program_[instr_index_];
+                if (instr->issue == IssueClass::Serializing) {
+                    // Serializing ops issue alone from an empty pipeline
+                    // and stall dispatch until they complete.
+                    if (dispatched > 0 || in_flight_ > 0)
+                        break;
+                    energy += instr->energy;
+                    scheduleRetire(instr->latency);
+                    blocked_until_ = cycle_ + instr->latency;
+                    uops_done_ += static_cast<uint64_t>(instr->uops);
+                    unit_uops_[static_cast<int>(instr->unit)] +=
+                        static_cast<uint64_t>(instr->uops);
+                    advanceInstr();
+                    ++dispatched;
+                    break;
+                }
+
+                if (uop_index_ == 0 && instr->is_branch &&
+                    branches >= params_.max_branches_per_cycle) {
+                    break;
+                }
+                if (in_flight_ >= params_.rob_size)
+                    break;
+
+                int unit = static_cast<int>(instr->unit);
+                int instance = freeInstance(unit);
+                if (instance < 0)
+                    break;
+
+                // Issue one uop of the instruction.
+                uint64_t occupy =
+                    instr->issue == IssueClass::NonPipelined
+                        ? static_cast<uint64_t>(instr->latency)
+                        : 1;
+                busy_until_[unit][static_cast<size_t>(instance)] =
+                    cycle_ + occupy;
+                scheduleRetire(instr->latency);
+                energy += instr->energyPerUop();
+                if (uop_index_ == 0 && instr->is_branch)
+                    ++branches;
+                ++dispatched;
+                ++uops_done_;
+                ++unit_uops_[unit];
+
+                if (++uop_index_ >= instr->uops) {
+                    uop_index_ = 0;
+                    advanceInstr();
+                }
+            }
+        }
+
+        ++cycle_;
+        return energy;
+    }
+
+    uint64_t cycle() const { return cycle_; }
+    uint64_t instrsDone() const { return instrs_done_; }
+    uint64_t uopsDone() const { return uops_done_; }
+    uint64_t unitUops(int unit) const { return unit_uops_[unit]; }
+    bool atBodyStart() const { return instr_index_ == 0 && uop_index_ == 0; }
+
+  private:
+    static constexpr size_t kRingSize = 128;
+
+    void
+    scheduleRetire(int latency)
+    {
+        ++in_flight_;
+        size_t slot =
+            static_cast<size_t>((cycle_ + static_cast<uint64_t>(latency)) %
+                                kRingSize);
+        ++retire_ring_[slot];
+    }
+
+    void
+    advanceInstr()
+    {
+        ++instrs_done_;
+        if (++instr_index_ >= program_.size())
+            instr_index_ = 0;
+    }
+
+    int
+    freeInstance(int unit)
+    {
+        auto &instances = busy_until_[unit];
+        for (size_t i = 0; i < instances.size(); ++i)
+            if (instances[i] <= cycle_)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    const CoreParams &params_;
+    const Program &program_;
+
+    uint64_t cycle_ = 0;
+    uint64_t blocked_until_ = 0;
+    size_t instr_index_ = 0;
+    int uop_index_ = 0;
+    uint64_t instrs_done_ = 0;
+    uint64_t uops_done_ = 0;
+    int in_flight_ = 0;
+
+    std::vector<uint64_t> busy_until_[kNumFuncUnits];
+    std::vector<uint32_t> retire_ring_;
+    uint64_t unit_uops_[kNumFuncUnits] = {};
+};
+
+} // namespace
+
+CoreModel::CoreModel(CoreParams params)
+    : params_(params)
+{
+    if (params_.clock_hz <= 0.0)
+        fatal("CoreModel: clock must be > 0");
+    if (params_.dispatch_width < 1)
+        fatal("CoreModel: dispatch width must be >= 1");
+    if (params_.rob_size < 1)
+        fatal("CoreModel: ROB size must be >= 1");
+}
+
+RunResult
+CoreModel::run(const Program &program, uint64_t min_instrs,
+               uint64_t max_cycles) const
+{
+    Engine engine(params_, program);
+    double energy = 0.0;
+    while (engine.cycle() < max_cycles &&
+           (engine.instrsDone() < min_instrs || !engine.atBodyStart())) {
+        energy += engine.step();
+    }
+
+    RunResult result;
+    result.cycles = engine.cycle();
+    result.instrs = engine.instrsDone();
+    result.uops = engine.uopsDone();
+    for (int u = 0; u < kNumFuncUnits; ++u)
+        result.unit_uops[u] = engine.unitUops(u);
+    result.energy = energy;
+    result.avg_power =
+        params_.static_power +
+        (result.cycles ? energy / static_cast<double>(result.cycles)
+                       : 0.0);
+    return result;
+}
+
+Waveform
+CoreModel::powerTrace(const Program &program, uint64_t n_cycles,
+                      unsigned bin_cycles) const
+{
+    if (bin_cycles == 0)
+        fatal("CoreModel::powerTrace(): bin_cycles must be > 0");
+
+    Engine engine(params_, program);
+    Waveform trace(static_cast<double>(bin_cycles) / params_.clock_hz);
+    trace.reserve(n_cycles / bin_cycles + 1);
+
+    double bin_energy = 0.0;
+    unsigned in_bin = 0;
+    for (uint64_t c = 0; c < n_cycles; ++c) {
+        bin_energy += engine.step();
+        if (++in_bin == bin_cycles) {
+            trace.push(params_.static_power +
+                       bin_energy / static_cast<double>(bin_cycles));
+            bin_energy = 0.0;
+            in_bin = 0;
+        }
+    }
+    if (in_bin > 0) {
+        trace.push(params_.static_power +
+                   bin_energy / static_cast<double>(in_bin));
+    }
+    return trace;
+}
+
+double
+RunResult::unitUtilization(FuncUnit unit, const CoreParams &params) const
+{
+    if (cycles == 0)
+        return 0.0;
+    int instances = params.unit_instances[static_cast<int>(unit)];
+    return static_cast<double>(unit_uops[static_cast<int>(unit)]) /
+           (static_cast<double>(cycles) * instances);
+}
+
+} // namespace vn

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Cycle-level superscalar core power/timing model.
+ *
+ * Models the zEC12-like pipeline at the fidelity the noise pipeline
+ * needs: in-order dispatch of up to `dispatch_width` micro-ops per cycle
+ * (the dispatch-group abstraction of the paper, maximum group size 3),
+ * per-functional-unit structural hazards (two FXUs, two LSUs, two BRUs,
+ * single BFU/DFU/COP), non-pipelined long-latency occupancy, a reorder
+ * buffer bound, and pipeline-draining serializing operations.
+ *
+ * Stressmark instruction sequences are dependence-free by construction
+ * (section IV-C of the paper: adding dependencies "showed similar
+ * results"), so data dependencies are deliberately not modelled; IPC is
+ * determined by dispatch width, unit instances, latencies and the ROB.
+ *
+ * Power per cycle = static + sum of per-uop energies issued that cycle
+ * (model units; the chip model converts to amperes).
+ */
+
+#ifndef VN_UARCH_CORE_HH
+#define VN_UARCH_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/waveform.hh"
+#include "isa/instr.hh"
+#include "isa/program.hh"
+
+namespace vn
+{
+
+/** Microarchitectural parameters of the modelled core. */
+struct CoreParams
+{
+    double clock_hz = 5.5e9;       //!< zEC12 runs at 5.5 GHz
+    int dispatch_width = 3;        //!< max uops per dispatch group
+    int rob_size = 72;             //!< in-flight uop bound
+    int max_branches_per_cycle = 2;
+
+    /** Functional unit instance counts, indexed by FuncUnit. */
+    int unit_instances[kNumFuncUnits] = {2, 2, 2, 1, 1, 1, 1};
+
+    /** Leakage + clock-grid power in model units. */
+    double static_power = 1.86;
+};
+
+/** Aggregate outcome of a core-model run. */
+struct RunResult
+{
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint64_t uops = 0;
+    double energy = 0.0;    //!< dynamic energy (model units x cycles)
+
+    /** Uops issued per functional unit (indexed by FuncUnit). */
+    uint64_t unit_uops[kNumFuncUnits] = {};
+
+    /**
+     * Occupancy of one unit: issued uops per instance-cycle.
+     * 1.0 means every instance of the unit issued every cycle.
+     */
+    double
+    unitUtilization(FuncUnit unit, const struct CoreParams &params) const;
+
+    /** Micro-ops per cycle (the paper's IPC definition, footnote 3). */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(uops) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Committed instructions per cycle. */
+    double instrPerCycle() const
+    {
+        return cycles ? static_cast<double>(instrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Average total power in model units (includes static). */
+    double avg_power = 0.0;
+};
+
+/**
+ * The core model. Stateless across calls: every run starts from an
+ * empty pipeline.
+ */
+class CoreModel
+{
+  public:
+    explicit CoreModel(CoreParams params = CoreParams{});
+
+    const CoreParams &params() const { return params_; }
+
+    /**
+     * Execute the program body in a loop until at least `min_instrs`
+     * instructions completed dispatch (and the current body iteration
+     * finished), or `max_cycles` elapsed.
+     */
+    RunResult run(const Program &program, uint64_t min_instrs,
+                  uint64_t max_cycles = UINT64_MAX) const;
+
+    /**
+     * Per-bin average power (model units) while looping the program.
+     *
+     * @param program     loop body
+     * @param n_cycles    trace length in core cycles
+     * @param bin_cycles  cycles averaged into one output sample
+     */
+    Waveform powerTrace(const Program &program, uint64_t n_cycles,
+                        unsigned bin_cycles) const;
+
+  private:
+    CoreParams params_;
+};
+
+} // namespace vn
+
+#endif // VN_UARCH_CORE_HH

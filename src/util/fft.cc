@@ -1,0 +1,123 @@
+#include "util/fft.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+size_t
+nextPowerOfTwo(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const size_t n = data.size();
+    if (!isPowerOfTwo(n))
+        fatal("fft: size must be a power of two, got ", n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const double sign = inverse ? 1.0 : -1.0;
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double angle = sign * 2.0 * M_PI / static_cast<double>(len);
+        std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                auto u = data[i + k];
+                auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<SpectrumPoint>
+magnitudeSpectrum(std::span<const double> xs, double dt, bool hann)
+{
+    if (xs.size() < 2)
+        fatal("magnitudeSpectrum: need at least 2 samples");
+    if (dt <= 0.0)
+        fatal("magnitudeSpectrum: dt must be > 0");
+
+    const size_t n_raw = xs.size();
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(n_raw);
+
+    const size_t n = nextPowerOfTwo(n_raw);
+    std::vector<std::complex<double>> data(n, {0.0, 0.0});
+    double coherent_gain = 1.0;
+    if (hann) {
+        double acc = 0.0;
+        for (size_t i = 0; i < n_raw; ++i) {
+            double w = 0.5 * (1.0 - std::cos(2.0 * M_PI *
+                                             static_cast<double>(i) /
+                                             static_cast<double>(
+                                                 n_raw - 1)));
+            data[i] = (xs[i] - mean) * w;
+            acc += w;
+        }
+        coherent_gain = acc / static_cast<double>(n_raw);
+    } else {
+        for (size_t i = 0; i < n_raw; ++i)
+            data[i] = xs[i] - mean;
+    }
+
+    fft(data);
+
+    // Single-sided amplitude, normalized by the *original* length so a
+    // full-scale bin-centred sinusoid reads ~1.0.
+    std::vector<SpectrumPoint> spectrum;
+    spectrum.reserve(n / 2);
+    double scale = 2.0 / (static_cast<double>(n_raw) * coherent_gain);
+    for (size_t k = 1; k < n / 2; ++k) {
+        spectrum.push_back({static_cast<double>(k) /
+                                (static_cast<double>(n) * dt),
+                            std::abs(data[k]) * scale});
+    }
+    return spectrum;
+}
+
+double
+dominantFrequency(const std::vector<SpectrumPoint> &spectrum, double f_lo,
+                  double f_hi)
+{
+    double best_f = 0.0;
+    double best_mag = -1.0;
+    for (const auto &p : spectrum) {
+        if (p.freq_hz < f_lo || p.freq_hz > f_hi)
+            continue;
+        if (p.magnitude > best_mag) {
+            best_mag = p.magnitude;
+            best_f = p.freq_hz;
+        }
+    }
+    if (best_mag < 0.0)
+        fatal("dominantFrequency: no spectrum points in [", f_lo, ", ",
+              f_hi, "]");
+    return best_f;
+}
+
+} // namespace vn

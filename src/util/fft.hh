@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Radix-2 fast Fourier transform, used for spectral analysis of
+ * measured voltage waveforms (which frequency bands a stressmark
+ * actually excites) and for the frequency-domain noise estimator.
+ */
+
+#ifndef VN_UTIL_FFT_HH
+#define VN_UTIL_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vn
+{
+
+/** True when n is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Smallest power of two >= n. */
+size_t nextPowerOfTwo(size_t n);
+
+/**
+ * In-place iterative radix-2 FFT.
+ *
+ * @param data    samples; size must be a power of two
+ * @param inverse when true computes the (unscaled) inverse transform;
+ *                divide by size() to invert exactly
+ */
+void fft(std::vector<std::complex<double>> &data, bool inverse = false);
+
+/**
+ * Single-sided magnitude spectrum of a real signal.
+ *
+ * The signal is mean-removed, optionally Hann-windowed, zero-padded to
+ * a power of two and transformed; bin k maps to k / (n * dt) Hz.
+ * Magnitudes are normalized so a unit-amplitude sinusoid at a bin
+ * centre reads ~1.0 (coherent gain corrected when windowed).
+ */
+struct SpectrumPoint
+{
+    double freq_hz;
+    double magnitude;
+};
+
+std::vector<SpectrumPoint> magnitudeSpectrum(std::span<const double> xs,
+                                             double dt, bool hann = true);
+
+/** Frequency of the largest-magnitude bin within [f_lo, f_hi]. */
+double dominantFrequency(const std::vector<SpectrumPoint> &spectrum,
+                         double f_lo, double f_hi);
+
+} // namespace vn
+
+#endif // VN_UTIL_FFT_HH

@@ -1,0 +1,116 @@
+#include "util/kvfile.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              s[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              s[end - 1]))) {
+        --end;
+    }
+    return s.substr(begin, end - begin);
+}
+
+} // namespace
+
+KeyValueFile
+KeyValueFile::load(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        fatal("KeyValueFile: cannot open '", path, "'");
+
+    KeyValueFile kv;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(ifs, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("KeyValueFile: '", path, "' line ", line_no,
+                  ": expected 'key = value'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value_text = trim(line.substr(eq + 1));
+        if (key.empty() || value_text.empty())
+            fatal("KeyValueFile: '", path, "' line ", line_no,
+                  ": empty key or value");
+        try {
+            size_t consumed = 0;
+            double value = std::stod(value_text, &consumed);
+            if (consumed != value_text.size())
+                throw std::invalid_argument("trailing junk");
+            kv.values_[key] = value;
+        } catch (const std::exception &) {
+            fatal("KeyValueFile: '", path, "' line ", line_no,
+                  ": cannot parse number '", value_text, "'");
+        }
+    }
+    return kv;
+}
+
+void
+KeyValueFile::save(const std::string &path,
+                   const std::string &header) const
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        fatal("KeyValueFile: cannot write '", path, "'");
+    if (!header.empty())
+        ofs << "# " << header << "\n";
+    ofs.precision(17);
+    for (const auto &[key, value] : values_)
+        ofs << key << " = " << value << "\n";
+}
+
+void
+KeyValueFile::set(const std::string &key, double value)
+{
+    values_[key] = value;
+}
+
+bool
+KeyValueFile::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+double
+KeyValueFile::get(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+KeyValueFile::require(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        fatal("KeyValueFile: missing required key '", key, "'");
+    return it->second;
+}
+
+} // namespace vn

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal key = value configuration file support.
+ *
+ * Format: one `key = number` pair per line; '#' starts a comment;
+ * blank lines ignored. Keys are dotted paths ("pdn.c_l3"). Used to
+ * persist chip configurations so experiments are reproducible outside
+ * the compiled defaults.
+ */
+
+#ifndef VN_UTIL_KVFILE_HH
+#define VN_UTIL_KVFILE_HH
+
+#include <map>
+#include <string>
+
+namespace vn
+{
+
+/** An ordered key -> number map with file round-tripping. */
+class KeyValueFile
+{
+  public:
+    KeyValueFile() = default;
+
+    /** Parse a file; fatal() on malformed lines or missing file. */
+    static KeyValueFile load(const std::string &path);
+
+    /** Write all pairs, sorted by key. */
+    void save(const std::string &path,
+              const std::string &header = "") const;
+
+    /** Set/overwrite a value. */
+    void set(const std::string &key, double value);
+
+    /** True when the key exists. */
+    bool has(const std::string &key) const;
+
+    /** Value for key, or `fallback` when absent. */
+    double get(const std::string &key, double fallback) const;
+
+    /** Value for key; fatal() when absent. */
+    double require(const std::string &key) const;
+
+    size_t size() const { return values_.size(); }
+
+    const std::map<std::string, double> &values() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace vn
+
+#endif // VN_UTIL_KVFILE_HH

@@ -1,0 +1,43 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace vn
+{
+namespace logging_detail
+{
+
+bool &
+throwOnErrorFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+bool &
+quietFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+void
+emit(const char *level, const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s\n", level, message.c_str());
+}
+
+void
+terminate(const char *level, const std::string &message, bool abort_process)
+{
+    if (throwOnErrorFlag())
+        throw FatalError(std::string(level) + ": " + message);
+
+    emit(level, message);
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace logging_detail
+} // namespace vn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Status and error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * Severity ladder:
+ *  - inform(): normal operating status, no connotation of a problem.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - fatal():  the run cannot continue due to a user error (bad
+ *              configuration, invalid argument); exits with code 1.
+ *  - panic():  an internal invariant was violated (a library bug);
+ *              aborts so a core dump / debugger can be used.
+ */
+
+#ifndef VN_UTIL_LOGGING_HH
+#define VN_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vn
+{
+
+/** Exception thrown by fatal()/panic() when throwOnError() is enabled. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+namespace logging_detail
+{
+
+/** When true, fatal()/panic() throw FatalError instead of terminating. */
+bool &throwOnErrorFlag();
+
+/** When true, inform() output is suppressed (useful in tests). */
+bool &quietFlag();
+
+void emit(const char *level, const std::string &message);
+
+[[noreturn]] void terminate(const char *level, const std::string &message,
+                            bool abort_process);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace logging_detail
+
+/** Enable/disable throwing behaviour for fatal()/panic(); returns previous
+ *  value. Tests use this to assert on error paths. */
+inline bool
+setThrowOnError(bool enable)
+{
+    bool previous = logging_detail::throwOnErrorFlag();
+    logging_detail::throwOnErrorFlag() = enable;
+    return previous;
+}
+
+/** Enable/disable inform() output; returns previous value. */
+inline bool
+setQuiet(bool enable)
+{
+    bool previous = logging_detail::quietFlag();
+    logging_detail::quietFlag() = enable;
+    return previous;
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!logging_detail::quietFlag()) {
+        logging_detail::emit("info",
+            logging_detail::format(std::forward<Args>(args)...));
+    }
+}
+
+/** Print a warning; the run continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging_detail::emit("warn",
+        logging_detail::format(std::forward<Args>(args)...));
+}
+
+/** Report a user-caused error and stop (exit(1) or throw FatalError). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logging_detail::terminate("fatal",
+        logging_detail::format(std::forward<Args>(args)...), false);
+}
+
+/** Report an internal invariant violation and stop (abort() or throw). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logging_detail::terminate("panic",
+        logging_detail::format(std::forward<Args>(args)...), true);
+}
+
+/** panic() unless the given condition holds. */
+template <typename Cond, typename... Args>
+void
+panicIfNot(const Cond &condition, Args &&...args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace vn
+
+#endif // VN_UTIL_LOGGING_HH

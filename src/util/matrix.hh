@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Minimal dense linear algebra: a row-major matrix and LU factorization
+ * with partial pivoting, templated over the scalar field so the same code
+ * serves the real-valued transient solver and the complex-valued AC
+ * (impedance) analysis.
+ *
+ * PDN netlists produce systems of a few dozen unknowns, so a dense direct
+ * solver is both simple and fast; the transient loop factorizes once per
+ * time-step size and then performs only forward/back substitutions.
+ */
+
+#ifndef VN_UTIL_MATRIX_HH
+#define VN_UTIL_MATRIX_HH
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+/** Magnitude used for pivot selection; overloaded for complex. */
+inline double fieldAbs(double x) { return std::fabs(x); }
+inline double fieldAbs(const std::complex<double> &x) { return std::abs(x); }
+
+/**
+ * Dense row-major matrix over field T (double or std::complex<double>).
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Create a rows x cols matrix initialized to zero. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, T{})
+    {}
+
+    /** Number of rows. */
+    size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    size_t cols() const { return cols_; }
+
+    /** Mutable element access (unchecked). */
+    T &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+    /** Const element access (unchecked). */
+    const T &
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Reset every element to zero, keeping the shape. */
+    void
+    setZero()
+    {
+        std::fill(data_.begin(), data_.end(), T{});
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+/**
+ * LU factorization with partial pivoting of a square matrix.
+ *
+ * Factorize once, then solve() any number of right-hand sides; this is the
+ * hot path of the transient solver (one factorization per time-step size,
+ * one substitution per step).
+ */
+template <typename T>
+class LuSolver
+{
+  public:
+    LuSolver() = default;
+
+    /** Factorize the given square matrix. Calls fatal() on singularity. */
+    explicit LuSolver(const Matrix<T> &a) { factorize(a); }
+
+    /** (Re-)factorize. */
+    void
+    factorize(const Matrix<T> &a)
+    {
+        if (a.rows() != a.cols())
+            fatal("LuSolver: matrix must be square, got ", a.rows(), "x",
+                  a.cols());
+        n_ = a.rows();
+        lu_ = a;
+        perm_.resize(n_);
+        for (size_t i = 0; i < n_; ++i)
+            perm_[i] = i;
+
+        for (size_t k = 0; k < n_; ++k) {
+            // Partial pivoting: pick the largest-magnitude entry in
+            // column k at or below the diagonal.
+            size_t pivot = k;
+            double best = fieldAbs(lu_(k, k));
+            for (size_t i = k + 1; i < n_; ++i) {
+                double mag = fieldAbs(lu_(i, k));
+                if (mag > best) {
+                    best = mag;
+                    pivot = i;
+                }
+            }
+            if (best == 0.0)
+                fatal("LuSolver: singular matrix (pivot column ", k, ")");
+            if (pivot != k) {
+                for (size_t j = 0; j < n_; ++j)
+                    std::swap(lu_(k, j), lu_(pivot, j));
+                std::swap(perm_[k], perm_[pivot]);
+            }
+            for (size_t i = k + 1; i < n_; ++i) {
+                T factor = lu_(i, k) / lu_(k, k);
+                lu_(i, k) = factor;
+                if (factor == T{})
+                    continue;
+                for (size_t j = k + 1; j < n_; ++j)
+                    lu_(i, j) -= factor * lu_(k, j);
+            }
+        }
+        factorized_ = true;
+    }
+
+    /** Solve A x = b; returns x. */
+    std::vector<T>
+    solve(const std::vector<T> &b) const
+    {
+        if (!factorized_)
+            panic("LuSolver::solve() before factorize()");
+        if (b.size() != n_)
+            fatal("LuSolver::solve(): rhs size ", b.size(),
+                  " does not match system size ", n_);
+
+        std::vector<T> x(n_);
+        // Apply permutation and forward-substitute L (unit diagonal).
+        for (size_t i = 0; i < n_; ++i) {
+            T sum = b[perm_[i]];
+            for (size_t j = 0; j < i; ++j)
+                sum -= lu_(i, j) * x[j];
+            x[i] = sum;
+        }
+        // Back-substitute U.
+        for (size_t ii = n_; ii-- > 0;) {
+            T sum = x[ii];
+            for (size_t j = ii + 1; j < n_; ++j)
+                sum -= lu_(ii, j) * x[j];
+            x[ii] = sum / lu_(ii, ii);
+        }
+        return x;
+    }
+
+    /** In-place variant writing into x (sized n) to avoid allocation. */
+    void
+    solveInto(const std::vector<T> &b, std::vector<T> &x) const
+    {
+        if (!factorized_)
+            panic("LuSolver::solveInto() before factorize()");
+        x.resize(n_);
+        for (size_t i = 0; i < n_; ++i) {
+            T sum = b[perm_[i]];
+            for (size_t j = 0; j < i; ++j)
+                sum -= lu_(i, j) * x[j];
+            x[i] = sum;
+        }
+        for (size_t ii = n_; ii-- > 0;) {
+            T sum = x[ii];
+            for (size_t j = ii + 1; j < n_; ++j)
+                sum -= lu_(ii, j) * x[j];
+            x[ii] = sum / lu_(ii, ii);
+        }
+    }
+
+    /** System size. */
+    size_t size() const { return n_; }
+
+    /** Whether factorize() succeeded. */
+    bool factorized() const { return factorized_; }
+
+  private:
+    size_t n_ = 0;
+    Matrix<T> lu_;
+    std::vector<size_t> perm_;
+    bool factorized_ = false;
+};
+
+} // namespace vn
+
+#endif // VN_UTIL_MATRIX_HH

@@ -1,0 +1,20 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace vn
+{
+
+double
+Rng::sqrtNeg2Log(double u)
+{
+    return std::sqrt(-2.0 * std::log(u));
+}
+
+double
+Rng::cosTwoPi(double u)
+{
+    return std::cos(2.0 * M_PI * u);
+}
+
+} // namespace vn

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Seeded pseudo-random number generation (xoshiro256**).
+ *
+ * Experiments must be reproducible run-to-run, so all stochastic pieces of
+ * the library (process-variation profiles, randomized property tests,
+ * workload shuffles) draw from an explicitly seeded Rng instead of global
+ * std::rand state.
+ */
+
+#ifndef VN_UTIL_RNG_HH
+#define VN_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace vn
+{
+
+/**
+ * Small, fast, explicitly-seeded PRNG (xoshiro256**, Blackman/Vigna).
+ *
+ * Deterministic for a given seed on all platforms, unlike the
+ * distribution objects of <random>.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a new seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (int i = 0; i < 4; ++i)
+            state_[i] = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Rejection-free modulo is fine for the library's use cases.
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal()
+    {
+        // Avoid log(0) by keeping u1 strictly positive.
+        double u1 = 1.0 - uniform();
+        double u2 = uniform();
+        return sqrtNeg2Log(u1) * cosTwoPi(u2);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double sigma)
+    {
+        return mean + sigma * normal();
+    }
+
+  private:
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double sqrtNeg2Log(double u);
+    static double cosTwoPi(double u);
+
+    uint64_t state_[4];
+};
+
+} // namespace vn
+
+#endif // VN_UTIL_RNG_HH

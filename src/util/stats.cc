@@ -1,0 +1,167 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    size_t total = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double n = static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    mean_ += delta * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = total;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+minOf(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+peakToPeak(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    return *hi - *lo;
+}
+
+double
+percentile(std::span<const double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile(): p must be in [0, 100], got ", p);
+
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+pearsonCorrelation(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        fatal("pearsonCorrelation(): length mismatch (", xs.size(), " vs ",
+              ys.size(), ")");
+    size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = mean(xs);
+    double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<std::vector<double>>
+correlationMatrix(const std::vector<std::vector<double>> &series)
+{
+    size_t n = series.size();
+    std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i; j < n; ++j) {
+            double r = pearsonCorrelation(series[i], series[j]);
+            matrix[i][j] = r;
+            matrix[j][i] = r;
+        }
+    }
+    return matrix;
+}
+
+} // namespace vn

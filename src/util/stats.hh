@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the noise-characterization
+ * pipeline: running mean/variance, min/max, percentiles, and the Pearson
+ * correlation used for the inter-core propagation study (Fig. 13a).
+ */
+
+#ifndef VN_UTIL_STATS_HH
+#define VN_UTIL_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vn
+{
+
+/**
+ * Single-pass running statistics (Welford's algorithm).
+ *
+ * Numerically stable mean/variance plus min/max tracking; used for
+ * aggregating repeated experiment runs before reporting averages, as the
+ * paper does ("arithmetic average values are reported", §III).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of samples seen. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** max() - min(): the peak-to-peak spread. */
+    double peakToPeak() const { return count_ ? max_ - min_ : 0.0; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a sequence; 0 when empty. */
+double mean(std::span<const double> xs);
+
+/** Population standard deviation of a sequence; 0 when size < 2. */
+double stddev(std::span<const double> xs);
+
+/** Minimum of a sequence; 0 when empty. */
+double minOf(std::span<const double> xs);
+
+/** Maximum of a sequence; 0 when empty. */
+double maxOf(std::span<const double> xs);
+
+/** Peak-to-peak (max - min) of a sequence; 0 when empty. */
+double peakToPeak(std::span<const double> xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ *
+ * Sorts a copy of the input; 0 when empty.
+ */
+double percentile(std::span<const double> xs, double p);
+
+/**
+ * Pearson correlation coefficient of two equal-length sequences.
+ *
+ * Returns 0 when either sequence is constant or shorter than 2.
+ * This is the statistic behind the paper's inter-core noise correlation
+ * matrix (Fig. 13a).
+ */
+double pearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/**
+ * Symmetric correlation matrix of a set of equal-length series.
+ *
+ * Element [i][j] is pearsonCorrelation(series[i], series[j]); the
+ * diagonal is 1 whenever the series is non-constant.
+ */
+std::vector<std::vector<double>>
+correlationMatrix(const std::vector<std::vector<double>> &series);
+
+} // namespace vn
+
+#endif // VN_UTIL_STATS_HH

@@ -1,0 +1,114 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable: at least one column required");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("TextTable::addRow(): expected ", headers_.size(),
+              " cells, got ", cells.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::num(long long value)
+{
+    return std::to_string(value);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 2;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+CsvWriter::CsvWriter(std::ostream &os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size())
+{
+    for (size_t c = 0; c < headers.size(); ++c)
+        os_ << (c ? "," : "") << headers[c];
+    os_ << "\n";
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != columns_)
+        fatal("CsvWriter::addRow(): expected ", columns_, " cells, got ",
+              cells.size());
+    for (size_t c = 0; c < cells.size(); ++c)
+        os_ << (c ? "," : "") << cells[c];
+    os_ << "\n";
+}
+
+std::string
+freqLabel(double hz)
+{
+    const char *suffix = "Hz";
+    double scaled = hz;
+    if (hz >= 1e9) {
+        scaled = hz / 1e9;
+        suffix = "GHz";
+    } else if (hz >= 1e6) {
+        scaled = hz / 1e6;
+        suffix = "MHz";
+    } else if (hz >= 1e3) {
+        scaled = hz / 1e3;
+        suffix = "kHz";
+    }
+    std::ostringstream oss;
+    double rounded = std::round(scaled * 100.0) / 100.0;
+    if (rounded == std::floor(rounded))
+        oss << static_cast<long long>(rounded) << suffix;
+    else
+        oss << rounded << suffix;
+    return oss.str();
+}
+
+} // namespace vn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harnesses to
+ * print paper-style rows (Table I, Figures 7-15 series).
+ */
+
+#ifndef VN_UTIL_TABLE_HH
+#define VN_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vn
+{
+
+/**
+ * Fixed-width text table. Collect rows of strings, then print with
+ * per-column widths derived from the content.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(long long value);
+
+    /** Render to the stream, header + separator + rows. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * CSV writer with the same row interface; used to dump figure series for
+ * external plotting.
+ */
+class CsvWriter
+{
+  public:
+    CsvWriter(std::ostream &os, std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(const std::vector<std::string> &cells);
+
+  private:
+    std::ostream &os_;
+    size_t columns_;
+};
+
+/** Engineering-notation frequency label, e.g. 2.5e6 -> "2.5MHz". */
+std::string freqLabel(double hz);
+
+} // namespace vn
+
+#endif // VN_UTIL_TABLE_HH

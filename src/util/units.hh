@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SI unit helpers. All library quantities are plain doubles in base SI
+ * units (volts, amperes, ohms, henries, farads, hertz, seconds); these
+ * constexpr factories exist so call sites read like the paper
+ * ("3.2 nH against 2 uF", "stimulus at 2 MHz").
+ */
+
+#ifndef VN_UTIL_UNITS_HH
+#define VN_UTIL_UNITS_HH
+
+namespace vn
+{
+namespace units
+{
+
+// Frequency.
+constexpr double hz(double v) { return v; }
+constexpr double khz(double v) { return v * 1e3; }
+constexpr double mhz(double v) { return v * 1e6; }
+constexpr double ghz(double v) { return v * 1e9; }
+
+// Time.
+constexpr double sec(double v) { return v; }
+constexpr double ms(double v) { return v * 1e-3; }
+constexpr double us(double v) { return v * 1e-6; }
+constexpr double ns(double v) { return v * 1e-9; }
+constexpr double ps(double v) { return v * 1e-12; }
+
+// Electrical.
+constexpr double volt(double v) { return v; }
+constexpr double mv(double v) { return v * 1e-3; }
+constexpr double amp(double v) { return v; }
+constexpr double ohm(double v) { return v; }
+constexpr double mohm(double v) { return v * 1e-3; }
+constexpr double uohm(double v) { return v * 1e-6; }
+constexpr double henry(double v) { return v; }
+constexpr double nh(double v) { return v * 1e-9; }
+constexpr double ph(double v) { return v * 1e-12; }
+constexpr double farad(double v) { return v; }
+constexpr double uf(double v) { return v * 1e-6; }
+constexpr double nf(double v) { return v * 1e-9; }
+constexpr double pf(double v) { return v * 1e-12; }
+constexpr double watt(double v) { return v; }
+
+} // namespace units
+} // namespace vn
+
+#endif // VN_UTIL_UNITS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Frequency-domain estimator tests, including the cross-validation
+ * against the time-domain transient solver: two independent numerical
+ * methods must agree on square-wave droop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/estimator.hh"
+#include "circuit/transient.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+const vn::ChipPdn &
+pdn()
+{
+    static auto p = vn::buildZec12Pdn();
+    return p;
+}
+
+/**
+ * Time-domain reference: drive square-wave port currents directly on
+ * the netlist and measure the steady-state p2p at a core node.
+ */
+double
+transientP2p(const std::vector<vn::SquareSource> &sources, int observe,
+             double freq_hz)
+{
+    const double dt = std::min(1e-9, 0.02 / freq_hz);
+    vn::TransientSolver sim(pdn().netlist, dt);
+    std::vector<double> load(pdn().portCount(), 0.0);
+    sim.initDcOperatingPoint(load);
+
+    double period = 1.0 / freq_hz;
+    // Let the response settle for several periods (and at least the
+    // board time constant), then measure over whole periods.
+    double settle = std::max(6.0 * period, 60e-6);
+    double measure = 4.0 * period;
+    double v_lo = 1e9, v_hi = -1e9;
+    double t_end = settle + measure;
+    while (sim.time() < t_end) {
+        double t = sim.time();
+        for (const auto &src : sources) {
+            double phase = std::fmod(
+                freq_hz * t + src.phase / (2.0 * M_PI), 1.0);
+            load[src.port] = phase < 0.5 ? src.delta_amps : 0.0;
+        }
+        sim.step(load);
+        if (sim.time() >= settle) {
+            double v = sim.nodeVoltage(pdn().core_node[observe]);
+            v_lo = std::min(v_lo, v);
+            v_hi = std::max(v_hi, v);
+        }
+    }
+    return v_hi - v_lo;
+}
+
+TEST(EstimatorTest, MatchesTransientAtResonance)
+{
+    std::vector<vn::SquareSource> sources;
+    for (int c = 0; c < vn::kNumCores; ++c)
+        sources.push_back({pdn().core_port[c], 22.0, 0.0});
+
+    double f = 2.4e6;
+    auto est = vn::estimateSquareWaveNoise(pdn(), 0, sources, f);
+    double ref = transientP2p(sources, 0, f);
+    EXPECT_NEAR(est.p2p_volts, ref, 0.15 * ref);
+    EXPECT_GT(est.p2p_volts, 0.05); // the resonant case is large
+}
+
+/** Property sweep: estimator vs transient across the spectrum. */
+class EstimatorAgreement : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(EstimatorAgreement, WithinTolerance)
+{
+    double f = GetParam();
+    std::vector<vn::SquareSource> sources{
+        {pdn().core_port[0], 25.0, 0.0},
+        {pdn().core_port[3], 25.0, 0.0}};
+    auto est = vn::estimateSquareWaveNoise(pdn(), 0, sources, f, 31);
+    double ref = transientP2p(sources, 0, f);
+    EXPECT_NEAR(est.p2p_volts, ref, 0.2 * ref + 1e-4) << "f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, EstimatorAgreement,
+                         ::testing::Values(100e3, 400e3, 1e6, 2.4e6,
+                                           8e6));
+
+TEST(EstimatorTest, AlignedBeatsAntiphase)
+{
+    // Two sources in antiphase partially cancel at the shared rail.
+    std::vector<vn::SquareSource> aligned{
+        {pdn().core_port[0], 20.0, 0.0},
+        {pdn().core_port[2], 20.0, 0.0}};
+    std::vector<vn::SquareSource> anti{
+        {pdn().core_port[0], 20.0, 0.0},
+        {pdn().core_port[2], 20.0, M_PI}};
+    double f = 2.4e6;
+    auto a = vn::estimateSquareWaveNoise(pdn(), 0, aligned, f);
+    auto b = vn::estimateSquareWaveNoise(pdn(), 0, anti, f);
+    EXPECT_GT(a.p2p_volts, 1.3 * b.p2p_volts);
+}
+
+TEST(EstimatorTest, ScalesLinearlyWithDeltaI)
+{
+    std::vector<vn::SquareSource> one{{pdn().core_port[0], 10.0, 0.0}};
+    std::vector<vn::SquareSource> two{{pdn().core_port[0], 20.0, 0.0}};
+    auto a = vn::estimateSquareWaveNoise(pdn(), 0, one, 2e6);
+    auto b = vn::estimateSquareWaveNoise(pdn(), 0, two, 2e6);
+    EXPECT_NEAR(b.p2p_volts, 2.0 * a.p2p_volts, 1e-9);
+}
+
+TEST(EstimatorTest, ResonancePeaksOverNeighbours)
+{
+    std::vector<vn::SquareSource> sources;
+    for (int c = 0; c < vn::kNumCores; ++c)
+        sources.push_back({pdn().core_port[c], 22.0, 0.0});
+    auto at_res = vn::estimateSquareWaveNoise(pdn(), 0, sources, 2.4e6);
+    auto above = vn::estimateSquareWaveNoise(pdn(), 0, sources, 30e6);
+    EXPECT_GT(at_res.p2p_volts, above.p2p_volts);
+}
+
+TEST(EstimatorTest, InvalidArgsAreFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    std::vector<vn::SquareSource> sources{{0, 1.0, 0.0}};
+    EXPECT_THROW(
+        vn::estimateSquareWaveNoise(pdn(), -1, sources, 1e6),
+        vn::FatalError);
+    EXPECT_THROW(vn::estimateSquareWaveNoise(pdn(), 0, sources, 0.0),
+                 vn::FatalError);
+    EXPECT_THROW(
+        vn::estimateSquareWaveNoise(pdn(), 0, sources, 1e6, 0),
+        vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the extension analyses: droop spectrum, customer-code
+ * workloads, and the online noise-aware scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/customer.hh"
+#include "analysis/scheduler.hh"
+#include "analysis/spectrum.hh"
+#include "stressmark/kit.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+vn::CoreActivity
+squareWave(double freq_hz, double high, double low)
+{
+    std::vector<vn::ActivityPhase> loop;
+    for (int i = 0; i < 200; ++i) {
+        loop.push_back({high, 0.5 / freq_hz});
+        loop.push_back({low, 0.5 / freq_hz});
+    }
+    return vn::CoreActivity(loop, vn::SyncSpec{64000, 0, low});
+}
+
+TEST(DroopSpectrumTest, FundamentalAtStimulusFrequency)
+{
+    vn::ChipModel chip;
+    double f0 = 2.0e6;
+    auto wave = squareWave(f0, 3.44, 1.87);
+    std::array<vn::CoreActivity, vn::kNumCores> w = {wave, wave, wave,
+                                                     wave, wave, wave};
+    auto spectrum = vn::droopSpectrum(chip, w, 30e-6, 0);
+
+    double fund = spectrum.bandFrequency(0.5 * f0, 1.5 * f0);
+    EXPECT_NEAR(fund, f0, 0.12 * f0);
+
+    // Fundamental dominates the 3rd harmonic, which dominates the 5th
+    // (square-wave drive through a low-pass-ish PDN).
+    double h1 = spectrum.bandAmplitude(0.8 * f0, 1.2 * f0);
+    double h3 = spectrum.bandAmplitude(2.8 * f0, 3.2 * f0);
+    double h5 = spectrum.bandAmplitude(4.8 * f0, 5.2 * f0);
+    EXPECT_GT(h1, 3.0 * h3);
+    EXPECT_GT(h3, h5);
+    EXPECT_GT(h1, 0.02); // tens of mV at the fundamental
+}
+
+TEST(DroopSpectrumTest, OffResonanceEdgesStillRingTheDieBand)
+{
+    // A low-frequency square's edges deposit energy in the die band -
+    // the physical reason sync matters at every stimulus frequency.
+    vn::ChipModel chip;
+    double f0 = 100e3;
+    auto wave = squareWave(f0, 3.44, 1.87);
+    std::array<vn::CoreActivity, vn::kNumCores> w = {wave, wave, wave,
+                                                     wave, wave, wave};
+    auto spectrum = vn::droopSpectrum(chip, w, 60e-6, 0);
+    // Energy near 2-3 MHz exceeds the immediate neighbourhood above it.
+    double die_band = spectrum.bandAmplitude(1.8e6, 3.2e6);
+    double above = spectrum.bandAmplitude(6e6, 10e6);
+    EXPECT_GT(die_band, above);
+}
+
+TEST(DroopSpectrumTest, InvalidArgsAreFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::ChipModel chip;
+    auto idle = chip.idleActivity();
+    std::array<vn::CoreActivity, vn::kNumCores> w = {idle, idle, idle,
+                                                     idle, idle, idle};
+    EXPECT_THROW(vn::droopSpectrum(chip, w, 30e-6, 9), vn::FatalError);
+    EXPECT_THROW(vn::droopSpectrum(chip, w, 1e-6, 0), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(CustomerCodeTest, StaysWithinEnvelope)
+{
+    vn::CustomerCodeParams params;
+    params.min_power = 1.87;
+    params.max_power = 3.44;
+    params.envelope = 0.8;
+    auto activity = vn::makeCustomerActivity(params, 5);
+
+    double ceiling = params.min_power +
+                     0.8 * (params.max_power - params.min_power);
+    for (int i = 0; i < 20000; ++i) {
+        double p = activity.advance(10e-9);
+        ASSERT_GE(p, params.min_power - 1e-9);
+        ASSERT_LE(p, ceiling + 1e-9);
+    }
+}
+
+TEST(CustomerCodeTest, SeedsProduceDifferentPrograms)
+{
+    vn::CustomerCodeParams params;
+    params.min_power = 1.0;
+    params.max_power = 3.0;
+    auto a = vn::makeCustomerActivity(params, 1);
+    auto b = vn::makeCustomerActivity(params, 2);
+    int differs = 0;
+    for (int i = 0; i < 1000; ++i)
+        differs += a.advance(50e-9) != b.advance(50e-9);
+    EXPECT_GT(differs, 100);
+}
+
+TEST(CustomerCodeTest, InvalidParamsAreFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::CustomerCodeParams bad;
+    bad.min_power = 2.0;
+    bad.max_power = 1.0;
+    EXPECT_THROW(vn::makeCustomerActivity(bad, 1), vn::FatalError);
+    vn::CustomerCodeParams bad2;
+    bad2.min_power = 1.0;
+    bad2.max_power = 2.0;
+    bad2.envelope = 1.5;
+    EXPECT_THROW(vn::makeCustomerActivity(bad2, 1), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(SchedulerTest, AwareNeverWorseThanNaive)
+{
+    // A cheap real oracle: tiny windows are fine, only the *relative*
+    // placement costs matter.
+    static const vn::CoreModel core;
+    static const auto kit = [] {
+        bool prev = vn::setQuiet(true);
+        vn::StressmarkKitParams p;
+        p.epi_reps = 150;
+        p.search.num_candidates = 5;
+        p.search.sequence_length = 4;
+        p.search.ipc_filter_keep = 8;
+        p.search.ipc_eval_instrs = 120;
+        p.search.power_eval_instrs = 400;
+        vn::StressmarkKit k(core, p);
+        vn::setQuiet(prev);
+        return k;
+    }();
+    vn::AnalysisContext ctx;
+    ctx.kit = &kit;
+    ctx.window = 5e-6;
+    vn::MappingStudy study(ctx, 2.6e6);
+    vn::PlacementOracle oracle(study);
+
+    // Oracle sanity: empty chip is quiet, full chip is the noisiest.
+    EXPECT_EQ(oracle.noise(0), 0.0);
+    for (unsigned mask = 1; mask < vn::PlacementOracle::mask_count;
+         ++mask) {
+        EXPECT_LE(oracle.noise(mask), oracle.noise(0x3F) + 1e-9);
+    }
+
+    vn::SchedulerSimParams params;
+    params.events = 2000;
+    auto r = vn::schedulerSimulation(oracle, params);
+    EXPECT_GT(r.placements, 100u);
+    EXPECT_LE(r.aware_mean, r.naive_mean + 1e-9);
+    EXPECT_LE(r.aware_peak, r.naive_peak + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the droop-event statistics and the core-count scaling
+ * study.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/events.hh"
+#include "analysis/scaling.hh"
+#include "circuit/ac.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(DroopEventsTest, CountsAndDurations)
+{
+    // 1 V baseline with two dips below 0.95 V: 3 samples and 5 samples.
+    vn::Waveform w(1e-9);
+    auto push_n = [&](int n, double v) {
+        for (int i = 0; i < n; ++i)
+            w.push(v);
+    };
+    push_n(10, 1.0);
+    push_n(3, 0.94);
+    push_n(10, 1.0);
+    push_n(5, 0.90);
+    push_n(10, 1.0);
+
+    auto stats = vn::droopEvents(w, 0.95);
+    EXPECT_EQ(stats.count, 2u);
+    EXPECT_NEAR(stats.max_duration_s, 5e-9, 1e-15);
+    EXPECT_NEAR(stats.mean_duration_s, 4e-9, 1e-15);
+    EXPECT_NEAR(stats.max_depth_v, 0.05, 1e-12);
+    EXPECT_NEAR(stats.total_below_s, 8e-9, 1e-15);
+    EXPECT_NEAR(stats.duty, 8.0 / 38.0, 1e-9);
+}
+
+TEST(DroopEventsTest, EventTouchingTheEndCounts)
+{
+    vn::Waveform w(1e-9);
+    w.push(1.0);
+    w.push(0.9);
+    w.push(0.9);
+    auto stats = vn::droopEvents(w, 0.95);
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_NEAR(stats.max_duration_s, 2e-9, 1e-15);
+}
+
+TEST(DroopEventsTest, NoEventsBelowGenerousThreshold)
+{
+    vn::Waveform w(1e-9);
+    for (int i = 0; i < 100; ++i)
+        w.push(1.0 + 0.01 * std::sin(0.3 * i));
+    auto stats = vn::droopEvents(w, 0.5);
+    EXPECT_EQ(stats.count, 0u);
+    EXPECT_EQ(stats.duty, 0.0);
+}
+
+TEST(ScalablePdnTest, MatchesFixedBuilderAtSixCores)
+{
+    // The 6-core instance of the generalized builder lands the same
+    // resonant band as the fixed zEC12 builder.
+    auto scalable = vn::buildScalablePdn(6);
+    ASSERT_EQ(scalable.core_node.size(), 6u);
+    vn::AcAnalysis ac(scalable.netlist);
+    double res = ac.resonanceFrequency(scalable.core_port[0], 3e5, 3e7);
+
+    auto fixed = vn::buildZec12Pdn();
+    auto profile = vn::impedanceProfile(fixed, 0);
+    EXPECT_NEAR(res, profile.die_resonance_hz,
+                0.5 * profile.die_resonance_hz);
+}
+
+TEST(ScalablePdnTest, InvalidCoreCountIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    EXPECT_THROW(vn::buildScalablePdn(4), vn::FatalError);
+    EXPECT_THROW(vn::buildScalablePdn(0), vn::FatalError);
+    EXPECT_THROW(vn::buildScalablePdn(21), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(ScalingStudyTest, OpportunityGrowsWithCoreCount)
+{
+    // The paper's section VII-A prediction: more cores -> more
+    // placement combinations -> larger best/worst spread.
+    std::vector<int> counts{6, 12};
+    auto points = vn::mappingOpportunityScaling(counts);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].placements, 20u);  // C(6,3)
+    EXPECT_EQ(points[1].placements, 924u); // C(12,6)
+    EXPECT_LE(points[0].best_noise_v, points[0].worst_noise_v);
+    // Placement freedom explodes; the relative opportunity holds or
+    // grows under fixed per-core variation.
+    EXPECT_GT(points[1].opportunity(),
+              0.6 * points[0].opportunity());
+    EXPECT_GT(points[1].opportunity(), 0.0);
+}
+
+TEST(ScalingStudyTest, NoiseMagnitudesSane)
+{
+    std::vector<int> counts{6};
+    auto points = vn::mappingOpportunityScaling(counts, 22.0);
+    // Fundamental droop amplitude for 3 aligned 22 A squares through
+    // a ~1 mOhm-scale network: tens of mV.
+    EXPECT_GT(points[0].worst_noise_v, 0.005);
+    EXPECT_LT(points[0].worst_noise_v, 0.2);
+    EXPECT_GT(points[0].die_resonance_hz, 5e5);
+    EXPECT_LT(points[0].die_resonance_hz, 1e7);
+}
+
+} // namespace

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Chip co-simulation tests: idle behaviour, noise generation,
+ * synchronization effects, process variation and Vmin experiments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chip/chip.hh"
+#include "chip/vmin.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+constexpr double kHighPower = 3.46;  // max-power sequence, model units
+constexpr double kLowPower = 1.874;  // min-power sequence
+
+vn::CoreActivity
+squareWave(double freq_hz, bool sync, uint64_t offset_ticks = 0)
+{
+    // 500 consecutive deltaI events per synchronization, as the paper's
+    // stressmarks do (1000 events per 4 ms sync in section V-B).
+    std::vector<vn::ActivityPhase> loop;
+    for (int i = 0; i < 500; ++i) {
+        loop.push_back({kHighPower, 0.5 / freq_hz});
+        loop.push_back({kLowPower, 0.5 / freq_hz});
+    }
+    std::optional<vn::SyncSpec> s;
+    if (sync)
+        s = vn::SyncSpec{64000, offset_ticks, kLowPower};
+    return vn::CoreActivity(loop, s);
+}
+
+std::array<vn::CoreActivity, vn::kNumCores>
+allCores(const vn::CoreActivity &a)
+{
+    return {a, a, a, a, a, a};
+}
+
+TEST(ChipModelTest, IdleChipIsQuiet)
+{
+    vn::ChipModel chip;
+    auto r = chip.run(allCores(chip.idleActivity()), 10e-6);
+    EXPECT_FALSE(r.failed);
+    EXPECT_LT(r.maxP2p(), 2.0);
+    for (const auto &c : r.core) {
+        EXPECT_GT(c.v_min, 0.99);
+        EXPECT_LT(c.v_max, chip.supplyVoltage() + 1e-6);
+    }
+}
+
+TEST(ChipModelTest, IdlePowerPlausible)
+{
+    // Six idle cores (static only) plus nest/MCU/GX background: the
+    // input-rail power sits near 200 W for the default calibration.
+    vn::ChipModel chip;
+    auto r = chip.run(allCores(chip.idleActivity()), 5e-6);
+    EXPECT_GT(r.avg_power_watts, 120.0);
+    EXPECT_LT(r.avg_power_watts, 320.0);
+}
+
+TEST(ChipModelTest, StressmarkGeneratesNoise)
+{
+    vn::ChipModel chip;
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 40e-6);
+    EXPECT_GT(r.maxP2p(), 30.0);
+    double vmin = 10.0;
+    for (const auto &c : r.core)
+        vmin = std::min(vmin, c.v_min);
+    EXPECT_LT(vmin, 0.95);
+}
+
+TEST(ChipModelTest, SyncNoisierThanStaggered)
+{
+    // Perfectly aligned square waves beat deliberately spread ones:
+    // the headline alignment result (Fig. 9 / Fig. 10).
+    vn::ChipModel chip;
+    auto synced = chip.run(allCores(squareWave(2.6e6, true)), 40e-6);
+
+    std::array<vn::CoreActivity, vn::kNumCores> staggered = {
+        squareWave(2.6e6, true, 0), squareWave(2.6e6, true, 1),
+        squareWave(2.6e6, true, 2), squareWave(2.6e6, true, 3),
+        squareWave(2.6e6, true, 4), squareWave(2.6e6, true, 5)};
+    auto spread = chip.run(staggered, 40e-6);
+
+    EXPECT_GT(synced.maxP2p(), spread.maxP2p() + 5.0);
+}
+
+TEST(ChipModelTest, ResonantStimulusNoisierThanOffResonance)
+{
+    // Single-core (others idle) so the sync bonus doesn't mask the
+    // resonance; compare the die band against a high frequency.
+    vn::ChipModel chip;
+    std::array<vn::CoreActivity, vn::kNumCores> res = allCores(
+        chip.idleActivity());
+    res[0] = squareWave(2.6e6, false);
+    auto at_res = chip.run(res, 40e-6);
+
+    std::array<vn::CoreActivity, vn::kNumCores> off = allCores(
+        chip.idleActivity());
+    off[0] = squareWave(20e6, false);
+    auto off_res = chip.run(off, 40e-6);
+
+    EXPECT_GT(at_res.core[0].p2p, off_res.core[0].p2p);
+}
+
+TEST(ChipModelTest, MoreCoresMoreNoise)
+{
+    vn::ChipModel chip;
+    auto one = allCores(chip.idleActivity());
+    one[0] = squareWave(2.6e6, true);
+    auto r1 = chip.run(one, 40e-6);
+
+    auto all = allCores(squareWave(2.6e6, true));
+    auto r6 = chip.run(all, 40e-6);
+
+    EXPECT_GT(r6.maxP2p(), r1.maxP2p() + 10.0);
+}
+
+TEST(ChipModelTest, NoiseReachesIdleCores)
+{
+    // Noise propagates across the shared PDN: an idle core still reads
+    // noise when its neighbours run stressmarks.
+    vn::ChipModel chip;
+    auto w = allCores(squareWave(2.6e6, true));
+    w[3] = chip.idleActivity();
+    auto r = chip.run(w, 40e-6);
+    EXPECT_GT(r.core[3].p2p, 10.0);
+}
+
+TEST(ChipModelTest, TraceCaptureWorks)
+{
+    vn::ChipModel chip;
+    vn::RunOptions options;
+    options.capture_traces = true;
+    options.trace_decimation = 2;
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 5e-6, options);
+    ASSERT_EQ(r.traces.size(), static_cast<size_t>(vn::kNumCores));
+    EXPECT_GT(r.traces[0].size(), 1000u);
+    EXPECT_NEAR(r.traces[0].dt(), 2e-9, 1e-15);
+    EXPECT_GT(r.traces[0].peakToPeak(), 0.01);
+}
+
+TEST(ChipModelTest, BiasShiftsOperatingPoint)
+{
+    vn::ChipConfig config;
+    config.bias = 0.05;
+    vn::ChipModel biased(config);
+    vn::ChipModel nominal;
+    EXPECT_NEAR(biased.supplyVoltage(),
+                nominal.supplyVoltage() * 0.95, 1e-9);
+
+    auto r = biased.run(allCores(biased.idleActivity()), 5e-6);
+    EXPECT_LT(r.core[0].v_mean, 1.01);
+}
+
+TEST(ChipModelTest, DeepBiasFailsUnderStress)
+{
+    vn::ChipConfig config;
+    config.bias = 0.10;
+    vn::ChipModel chip(config);
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 40e-6);
+    EXPECT_TRUE(r.failed);
+    EXPECT_GE(r.failing_core, 0);
+    EXPECT_GT(r.failure_time, 0.0);
+}
+
+TEST(ChipModelTest, StopOnFailureShortens)
+{
+    vn::ChipConfig config;
+    config.bias = 0.10;
+    vn::ChipModel chip(config);
+    vn::RunOptions options;
+    options.stop_on_failure = true;
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 400e-6, options);
+    EXPECT_TRUE(r.failed);
+}
+
+TEST(ChipModelTest, VariationMakesCoresDiffer)
+{
+    // The discretized %p2p may land on the same latch step for all
+    // cores, but the underlying voltage extremes differ with the
+    // default process-variation profile.
+    vn::ChipModel chip;
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 40e-6);
+    double lo = 1e9, hi = 0.0;
+    for (const auto &c : r.core) {
+        lo = std::min(lo, c.v_min);
+        hi = std::max(hi, c.v_min);
+    }
+    EXPECT_GT(hi - lo, 1e-4); // at least 0.1 mV spread across cores
+}
+
+TEST(ChipModelTest, UniformProfileMirrorSymmetry)
+{
+    // With no process variation, mirrored cores (0/1, 2/3, 4/5) read
+    // identical noise under identical workloads.
+    vn::ChipConfig config;
+    config.variation = vn::VariationProfile::uniform();
+    vn::ChipModel chip(config);
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 20e-6);
+    EXPECT_NEAR(r.core[0].p2p, r.core[1].p2p, 1e-9);
+    EXPECT_NEAR(r.core[2].p2p, r.core[3].p2p, 1e-9);
+    EXPECT_NEAR(r.core[4].p2p, r.core[5].p2p, 1e-9);
+}
+
+TEST(VminTest, StressMarginSmallerThanIdleMargin)
+{
+    // The Vmin experiment: noisy workloads fail at a smaller undervolt
+    // than idle (the entire premise of margin provisioning).
+    vn::ChipConfig config;
+    vn::VminExperiment vmin(config, 0.01, 0.2); // 1% steps for speed
+
+    auto idle = vn::ChipModel(config).idleActivity();
+    auto idle_result = vmin.run({idle, idle, idle, idle, idle, idle},
+                                4e-6);
+
+    auto stress = squareWave(2.6e6, true);
+    auto stress_result = vmin.run(
+        {stress, stress, stress, stress, stress, stress}, 20e-6);
+
+    EXPECT_TRUE(idle_result.failed);
+    EXPECT_TRUE(stress_result.failed);
+    EXPECT_LT(stress_result.bias_at_failure,
+              idle_result.bias_at_failure);
+    // Sync stressmarks leave almost no margin (paper Fig. 12: 0-2%).
+    EXPECT_LE(stress_result.bias_at_failure, 0.03);
+    // Idle margin close to the full provisioned margin.
+    EXPECT_GE(idle_result.bias_at_failure, 0.08);
+}
+
+TEST(VminTest, StepCountReported)
+{
+    vn::ChipConfig config;
+    vn::VminExperiment vmin(config, 0.02, 0.2);
+    auto idle = vn::ChipModel(config).idleActivity();
+    auto r = vmin.run({idle, idle, idle, idle, idle, idle}, 2e-6);
+    EXPECT_TRUE(r.failed);
+    EXPECT_GE(r.steps, 2);
+    EXPECT_NEAR(r.bias_at_failure,
+                0.02 * static_cast<double>(r.steps - 1), 1e-12);
+}
+
+TEST(ChipModelTest, SharedUnitSkittersReadNoise)
+{
+    // Paper Fig. 3: the nest, MCU and GX carry skitters too. Under an
+    // all-core stressmark the nest (sitting on the big L3 decap, fed
+    // through damping bridges) reads noise, but less than the worst
+    // core.
+    vn::ChipModel chip;
+    auto r = chip.run(allCores(squareWave(2.6e6, true)), 30e-6);
+    for (int u = 0; u < vn::kNumSharedUnits; ++u) {
+        EXPECT_GT(r.shared[u].p2p, 2.0) << vn::sharedUnitName(u);
+        EXPECT_LT(r.shared[u].v_min, chip.supplyVoltage());
+    }
+    // The nest is damped: discretized %p2p may tie with the cores, but
+    // its deepest droop is strictly shallower than the worst core's.
+    EXPECT_LE(r.shared[0].p2p, r.maxP2p());
+    double worst_core_vmin = 10.0;
+    for (const auto &c : r.core)
+        worst_core_vmin = std::min(worst_core_vmin, c.v_min);
+    EXPECT_GT(r.shared[0].v_min, worst_core_vmin);
+}
+
+TEST(ChipModelTest, SharedUnitNames)
+{
+    EXPECT_STREQ(vn::sharedUnitName(0), "nest");
+    EXPECT_STREQ(vn::sharedUnitName(1), "mcu");
+    EXPECT_STREQ(vn::sharedUnitName(2), "gx");
+}
+
+TEST(ChipModelTest, InvalidConfigIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::ChipConfig bad;
+    bad.bias = 0.5;
+    EXPECT_THROW(vn::ChipModel{bad}, vn::FatalError);
+    vn::ChipConfig bad2;
+    bad2.dt = 0.0;
+    EXPECT_THROW(vn::ChipModel{bad2}, vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TOD clock synchronization facility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/tod.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(TodClockTest, TickConversion)
+{
+    EXPECT_EQ(vn::TodClock::ticksAt(0.0), 0u);
+    EXPECT_EQ(vn::TodClock::ticksAt(62.5e-9), 1u);
+    EXPECT_EQ(vn::TodClock::ticksAt(1e-6), 16u);
+    EXPECT_DOUBLE_EQ(vn::TodClock::timeOf(16), 1e-6);
+}
+
+TEST(TodClockTest, FourMillisecondSyncInterval)
+{
+    // The paper's stressmarks re-sync every 4 ms: 64000 ticks.
+    EXPECT_EQ(vn::TodClock::ticksAt(4e-3), 64000u);
+}
+
+TEST(TodClockTest, NextSyncAtOrAfterNow)
+{
+    for (double t : {0.0, 1e-7, 3.9e-3, 4.01e-3, 1.2345e-2}) {
+        double s = vn::TodClock::nextSync(t, 64000, 0);
+        EXPECT_GE(s, t);
+        EXPECT_EQ(vn::TodClock::ticksAt(s) % 64000, 0u);
+    }
+}
+
+TEST(TodClockTest, OffsetShiftsSyncPoint)
+{
+    double base = vn::TodClock::nextSync(1e-3, 64000, 0);
+    double offset = vn::TodClock::nextSync(1e-3, 64000, 3);
+    EXPECT_NEAR(offset - base, 3 * vn::TodClock::tick_seconds, 1e-15);
+}
+
+TEST(TodClockTest, MisalignmentGranularityIs62p5ns)
+{
+    // Adjacent offsets differ by exactly one tick: the paper's
+    // misalignment control (Fig. 10).
+    double a = vn::TodClock::nextSync(0.0, 64000, 4);
+    double b = vn::TodClock::nextSync(0.0, 64000, 5);
+    EXPECT_NEAR(b - a, 62.5e-9, 1e-15);
+}
+
+TEST(TodClockTest, AlreadyAtSyncPointStaysPut)
+{
+    double t = vn::TodClock::timeOf(128000);
+    EXPECT_DOUBLE_EQ(vn::TodClock::nextSync(t, 64000, 0), t);
+}
+
+TEST(TodClockTest, OffsetWrapsModuloInterval)
+{
+    double a = vn::TodClock::nextSync(0.0, 100, 5);
+    double b = vn::TodClock::nextSync(0.0, 100, 105);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(TodClockTest, ZeroIntervalIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    EXPECT_THROW(vn::TodClock::nextSync(0.0, 0, 0), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

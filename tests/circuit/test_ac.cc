@@ -1,0 +1,184 @@
+/**
+ * @file
+ * AC-analysis validation against closed-form impedances, including the
+ * resonance-location property sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/ac.hh"
+#include "circuit/netlist.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+TEST(AcTest, PureResistorImpedance)
+{
+    vn::Netlist net;
+    vn::NodeId n = net.addNode("n");
+    net.addResistor(n, vn::Netlist::ground, 4.2);
+    vn::PortId p = net.addCurrentPort(n, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    for (double f : {1.0, 1e3, 1e6, 1e9}) {
+        auto z = ac.impedance(p, f);
+        EXPECT_NEAR(z.real(), 4.2, 1e-9) << "f=" << f;
+        EXPECT_NEAR(z.imag(), 0.0, 1e-9) << "f=" << f;
+    }
+}
+
+TEST(AcTest, CapacitorImpedanceMagnitudeAndPhase)
+{
+    vn::Netlist net;
+    vn::NodeId n = net.addNode("n");
+    const double c = 1e-6;
+    net.addCapacitor(n, vn::Netlist::ground, c);
+    vn::PortId p = net.addCurrentPort(n, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    for (double f : {100.0, 1e4, 1e6}) {
+        auto z = ac.impedance(p, f);
+        double expected = 1.0 / (2.0 * M_PI * f * c);
+        EXPECT_NEAR(std::abs(z), expected, expected * 1e-9);
+        // Capacitive impedance: -90 degrees.
+        EXPECT_NEAR(std::arg(z), -M_PI / 2.0, 1e-9);
+    }
+}
+
+TEST(AcTest, SeriesRlImpedanceWithShortedSource)
+{
+    // Source (AC short) -> R -> L -> node; Z = R + jwL.
+    vn::Netlist net;
+    vn::NodeId src = net.addNode("src");
+    vn::NodeId mid = net.addNode("mid");
+    vn::NodeId out = net.addNode("out");
+    const double r = 2.0, l = 1e-6;
+    net.addVoltageSource(src, vn::Netlist::ground, 1.0);
+    net.addResistor(src, mid, r);
+    net.addInductor(mid, out, l);
+    vn::PortId p = net.addCurrentPort(out, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    for (double f : {1e3, 1e5, 1e7}) {
+        auto z = ac.impedance(p, f);
+        EXPECT_NEAR(z.real(), r, 1e-6);
+        EXPECT_NEAR(z.imag(), 2.0 * M_PI * f * l, 2.0 * M_PI * f * l * 1e-9);
+    }
+}
+
+TEST(AcTest, ParallelTankPeaksAtResonance)
+{
+    // Source -> R -> L -> node with C at node: peak near 1/(2pi sqrt(LC)).
+    vn::Netlist net;
+    vn::NodeId src = net.addNode("src");
+    vn::NodeId mid = net.addNode("mid");
+    vn::NodeId out = net.addNode("out");
+    const double r = 0.01, l = 5e-9, c = 2e-6;
+    net.addVoltageSource(src, vn::Netlist::ground, 1.0);
+    net.addResistor(src, mid, r);
+    net.addInductor(mid, out, l);
+    net.addCapacitor(out, vn::Netlist::ground, c);
+    vn::PortId p = net.addCurrentPort(out, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+    double found = ac.resonanceFrequency(p, f0 / 100.0, f0 * 100.0);
+    EXPECT_NEAR(found, f0, f0 * 0.02);
+
+    // |Z| at the peak exceeds |Z| a decade away on either side.
+    double z_peak = std::abs(ac.impedance(p, found));
+    EXPECT_GT(z_peak, std::abs(ac.impedance(p, found / 10.0)) * 2.0);
+    EXPECT_GT(z_peak, std::abs(ac.impedance(p, found * 10.0)) * 2.0);
+}
+
+/** Property sweep: resonance location tracks 1/(2pi sqrt(LC)). */
+class ResonanceProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ResonanceProperty, PeakNearAnalyticFrequency)
+{
+    vn::Rng rng(1000 + GetParam());
+    const double l = std::pow(10.0, rng.uniform(-9.5, -7.5)); // 0.3-30 nH
+    const double c = std::pow(10.0, rng.uniform(-7.0, -5.0)); // 0.1-10 uF
+
+    vn::Netlist net;
+    vn::NodeId src = net.addNode("src");
+    vn::NodeId mid = net.addNode("mid");
+    vn::NodeId out = net.addNode("out");
+    const double x = std::sqrt(l / c);
+    net.addVoltageSource(src, vn::Netlist::ground, 1.0);
+    net.addResistor(src, mid, 0.05 * x); // keep underdamped (Q = 20)
+    net.addInductor(mid, out, l);
+    net.addCapacitor(out, vn::Netlist::ground, c);
+    vn::PortId p = net.addCurrentPort(out, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+    double found = ac.resonanceFrequency(p, f0 / 50.0, f0 * 50.0);
+    EXPECT_NEAR(found, f0, f0 * 0.05)
+        << "L=" << l << " C=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLc, ResonanceProperty,
+                         ::testing::Range(0, 12));
+
+TEST(AcTest, TransferImpedanceReciprocity)
+{
+    // Passive reciprocal network: Z(port_a -> node_b) == Z(port_b ->
+    // node_a) when ports are node-to-ground.
+    vn::Netlist net;
+    vn::NodeId a = net.addNode("a");
+    vn::NodeId b = net.addNode("b");
+    vn::NodeId m = net.addNode("m");
+    net.addResistor(a, m, 1.0);
+    net.addResistor(m, b, 2.0);
+    net.addCapacitor(m, vn::Netlist::ground, 1e-6);
+    net.addInductor(a, vn::Netlist::ground, 1e-6);
+    net.addResistor(b, vn::Netlist::ground, 5.0);
+    vn::PortId pa = net.addCurrentPort(a, vn::Netlist::ground);
+    vn::PortId pb = net.addCurrentPort(b, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    for (double f : {1e3, 1e5, 1e6}) {
+        auto zab = ac.transferImpedance(pa, b, f);
+        auto zba = ac.transferImpedance(pb, a, f);
+        EXPECT_NEAR(zab.real(), zba.real(), 1e-9) << "f=" << f;
+        EXPECT_NEAR(zab.imag(), zba.imag(), 1e-9) << "f=" << f;
+    }
+}
+
+TEST(AcTest, SelfImpedanceConsistentWithTransferAtSameNode)
+{
+    vn::Netlist net;
+    vn::NodeId n = net.addNode("n");
+    net.addResistor(n, vn::Netlist::ground, 3.0);
+    net.addCapacitor(n, vn::Netlist::ground, 1e-7);
+    vn::PortId p = net.addCurrentPort(n, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    auto z1 = ac.impedance(p, 1e5);
+    auto z2 = ac.transferImpedance(p, n, 1e5);
+    EXPECT_NEAR(std::abs(z1 - z2), 0.0, 1e-12);
+}
+
+TEST(AcTest, SweepIsLogSpacedAndOrdered)
+{
+    vn::Netlist net;
+    vn::NodeId n = net.addNode("n");
+    net.addResistor(n, vn::Netlist::ground, 1.0);
+    vn::PortId p = net.addCurrentPort(n, vn::Netlist::ground);
+
+    vn::AcAnalysis ac(net);
+    auto pts = ac.sweep(p, 1e3, 1e6, 4);
+    ASSERT_EQ(pts.size(), 4u);
+    EXPECT_NEAR(pts[0].freq_hz, 1e3, 1e-6);
+    EXPECT_NEAR(pts[1].freq_hz, 1e4, 1e-2);
+    EXPECT_NEAR(pts[2].freq_hz, 1e5, 1e-1);
+    EXPECT_NEAR(pts[3].freq_hz, 1e6, 1.0);
+}
+
+} // namespace

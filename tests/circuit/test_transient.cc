@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Transient-solver validation against closed-form circuit responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "circuit/transient.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace vn::units;
+
+/** E --R--> node(C to gnd) with a load port at the node. */
+struct RcFixture
+{
+    vn::Netlist net;
+    vn::NodeId node;
+    vn::PortId load;
+    double e = 1.0, r = 10.0, c = 1e-6;
+
+    RcFixture()
+    {
+        vn::NodeId src = net.addNode("src");
+        node = net.addNode("out");
+        net.addVoltageSource(src, vn::Netlist::ground, e);
+        net.addResistor(src, node, r);
+        net.addCapacitor(node, vn::Netlist::ground, c);
+        load = net.addCurrentPort(node, vn::Netlist::ground, "load");
+    }
+};
+
+TEST(TransientTest, DcOperatingPointMatchesOhm)
+{
+    RcFixture f;
+    vn::TransientSolver sim(f.net, 1e-8);
+    std::vector<double> i{0.02};
+    sim.initDcOperatingPoint(i);
+    // v = E - I*R
+    EXPECT_NEAR(sim.nodeVoltage(f.node), 1.0 - 0.02 * 10.0, 1e-12);
+}
+
+TEST(TransientTest, SteadyStateIsStable)
+{
+    RcFixture f;
+    vn::TransientSolver sim(f.net, 1e-7);
+    std::vector<double> i{0.05};
+    sim.initDcOperatingPoint(i);
+    double v0 = sim.nodeVoltage(f.node);
+    for (int k = 0; k < 1000; ++k)
+        sim.step(i);
+    EXPECT_NEAR(sim.nodeVoltage(f.node), v0, 1e-9);
+}
+
+TEST(TransientTest, RcStepMatchesExponential)
+{
+    RcFixture f;
+    const double dt = 2e-7; // tau = RC = 1e-5, so 50 steps per tau
+    vn::TransientSolver sim(f.net, dt);
+    const double i0 = 0.0, i1 = 0.05;
+    std::vector<double> drive{i0};
+    sim.initDcOperatingPoint(drive);
+
+    const double v_start = f.e - i0 * f.r;
+    const double v_final = f.e - i1 * f.r;
+    const double tau = f.r * f.c;
+
+    drive[0] = i1;
+    // Trapezoidal MNA applies a load step as of the *end* of the first
+    // step, so the trajectory carries a one-step charge offset of
+    // dI*dt/(2C) that then decays with the circuit time constant. The
+    // tolerance models exactly that.
+    const double first_step_offset = (i1 - i0) * dt / (2.0 * f.c);
+    for (int k = 0; k < 300; ++k) {
+        sim.step(drive);
+        double expected =
+            v_final + (v_start - v_final) * std::exp(-sim.time() / tau);
+        double tol =
+            first_step_offset * std::exp(-sim.time() / tau) + 2e-4;
+        ASSERT_NEAR(sim.nodeVoltage(f.node), expected, tol)
+            << "at t=" << sim.time();
+    }
+}
+
+TEST(TransientTest, RlcRingingFrequencyMatchesAnalytic)
+{
+    // E --R--L--> node(C) with a current step at the node: damped
+    // oscillation at fd = sqrt(1/LC - (R/2L)^2) / 2pi.
+    vn::Netlist net;
+    vn::NodeId src = net.addNode("src");
+    vn::NodeId mid = net.addNode("mid");
+    vn::NodeId out = net.addNode("out");
+    const double e = 1.0, r = 0.05, l = 10e-9, c = 1e-6;
+    net.addVoltageSource(src, vn::Netlist::ground, e);
+    net.addResistor(src, mid, r);
+    net.addInductor(mid, out, l);
+    net.addCapacitor(out, vn::Netlist::ground, c);
+    vn::PortId load = net.addCurrentPort(out, vn::Netlist::ground);
+    (void)load;
+
+    const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+    const double alpha = r / (2.0 * l);
+    const double wd =
+        std::sqrt(1.0 / (l * c) - alpha * alpha);
+    const double fd = wd / (2.0 * M_PI);
+    ASSERT_GT(fd, 0.8 * f0); // sanity: underdamped
+
+    const double dt = 1.0 / (fd * 400.0);
+    vn::TransientSolver sim(net, dt);
+    std::vector<double> drive{0.0};
+    sim.initDcOperatingPoint(drive);
+
+    drive[0] = 1.0; // 1 A step
+    // Record zero crossings of v - v_final to estimate the period.
+    const double v_final = e - drive[0] * r;
+    std::vector<double> crossings;
+    double prev = sim.nodeVoltage(out) - v_final;
+    for (int k = 0; k < 4000; ++k) {
+        sim.step(drive);
+        double cur = sim.nodeVoltage(out) - v_final;
+        if (prev < 0.0 && cur >= 0.0) {
+            // Linear interpolation of the crossing instant.
+            double frac = prev / (prev - cur);
+            crossings.push_back(sim.time() - dt * (1.0 - frac));
+        }
+        prev = cur;
+    }
+    ASSERT_GE(crossings.size(), 3u);
+    double period = (crossings.back() - crossings.front()) /
+                    static_cast<double>(crossings.size() - 1);
+    EXPECT_NEAR(1.0 / period, fd, fd * 0.02);
+}
+
+TEST(TransientTest, EnergyDecaysInDampedCircuit)
+{
+    // With no sources and an initial load kick, total response decays.
+    RcFixture f;
+    vn::TransientSolver sim(f.net, 1e-7);
+    std::vector<double> drive{0.1};
+    sim.initDcOperatingPoint(drive);
+    drive[0] = 0.0;
+    double v_prev = sim.nodeVoltage(f.node);
+    for (int k = 0; k < 1500; ++k)  // 15 time constants
+        sim.step(drive);
+    // Approaches the unloaded level E monotonically from below.
+    EXPECT_GT(sim.nodeVoltage(f.node), v_prev);
+    EXPECT_NEAR(sim.nodeVoltage(f.node), f.e, 1e-4);
+}
+
+TEST(TransientTest, TimestepConvergence)
+{
+    // Halving dt should change the trajectory only slightly
+    // (trapezoidal is 2nd order).
+    auto run = [](double dt) {
+        RcFixture f;
+        vn::TransientSolver sim(f.net, dt);
+        std::vector<double> drive{0.0};
+        sim.initDcOperatingPoint(drive);
+        drive[0] = 0.05;
+        double t_end = 1e-4; // 10 time constants: start-up offsets gone
+        while (sim.time() < t_end)
+            sim.step(drive);
+        return sim.nodeVoltage(1 + 1); // "out" is the second node added
+    };
+    double coarse = run(4e-7);
+    double fine = run(1e-7);
+    EXPECT_NEAR(coarse, fine, 1e-5);
+}
+
+TEST(TransientTest, PortCountMismatchIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    RcFixture f;
+    vn::TransientSolver sim(f.net, 1e-7);
+    std::vector<double> wrong{0.0, 1.0};
+    EXPECT_THROW(sim.initDcOperatingPoint(wrong), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(TransientTest, InductorCurrentTracksDcLoad)
+{
+    // Series source->R->L->node with load: at DC the inductor carries the
+    // full load current.
+    vn::Netlist net;
+    vn::NodeId src = net.addNode("src");
+    vn::NodeId mid = net.addNode("mid");
+    vn::NodeId out = net.addNode("out");
+    net.addVoltageSource(src, vn::Netlist::ground, 1.0);
+    net.addResistor(src, mid, 0.1);
+    net.addInductor(mid, out, 1e-9);
+    net.addCapacitor(out, vn::Netlist::ground, 1e-6);
+    net.addCurrentPort(out, vn::Netlist::ground);
+
+    vn::TransientSolver sim(net, 1e-8);
+    std::vector<double> drive{0.5};
+    sim.initDcOperatingPoint(drive);
+    EXPECT_NEAR(sim.inductorCurrent(0), 0.5, 1e-9);
+    // Source delivers the same current (sign: out of + terminal into
+    // the circuit shows up as a negative branch current in MNA).
+    EXPECT_NEAR(std::abs(sim.sourceCurrent(0)), 0.5, 1e-9);
+}
+
+} // namespace

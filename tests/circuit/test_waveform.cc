@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the waveform container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/waveform.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(WaveformTest, TimingAndAccess)
+{
+    vn::Waveform w(0.5, 10.0);
+    w.push(1.0);
+    w.push(2.0);
+    w.push(3.0);
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w.dt(), 0.5);
+    EXPECT_DOUBLE_EQ(w.timeAt(0), 10.0);
+    EXPECT_DOUBLE_EQ(w.timeAt(2), 11.0);
+    EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(WaveformTest, StatsHelpers)
+{
+    vn::Waveform w(1.0);
+    for (double x : {0.9, 1.1, 0.95, 1.05})
+        w.push(x);
+    EXPECT_DOUBLE_EQ(w.min(), 0.9);
+    EXPECT_DOUBLE_EQ(w.max(), 1.1);
+    EXPECT_NEAR(w.peakToPeak(), 0.2, 1e-12);
+    EXPECT_DOUBLE_EQ(w.mean(), 1.0);
+}
+
+TEST(WaveformTest, EmptyStatsAreZero)
+{
+    vn::Waveform w(1.0);
+    EXPECT_EQ(w.peakToPeak(), 0.0);
+    EXPECT_EQ(w.mean(), 0.0);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(WaveformTest, SliceSelectsWindow)
+{
+    vn::Waveform w(1.0, 0.0);
+    for (int i = 0; i < 10; ++i)
+        w.push(static_cast<double>(i));
+    auto s = w.slice(3.0, 6.0);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[0], 3.0);
+    EXPECT_DOUBLE_EQ(s[2], 5.0);
+    EXPECT_DOUBLE_EQ(s.timeAt(0), 3.0);
+}
+
+TEST(WaveformTest, SliceClampsToRange)
+{
+    vn::Waveform w(1.0, 0.0);
+    for (int i = 0; i < 4; ++i)
+        w.push(static_cast<double>(i));
+    auto s = w.slice(-5.0, 100.0);
+    EXPECT_EQ(s.size(), 4u);
+    auto e = w.slice(8.0, 9.0);
+    EXPECT_TRUE(e.empty());
+}
+
+
+TEST(WaveformTest, CsvRoundTrip)
+{
+    vn::Waveform w(2e-9, 1e-6);
+    for (int i = 0; i < 50; ++i)
+        w.push(1.0 + 0.01 * i);
+    const std::string path = "vnoise_test_waveform.csv";
+    w.writeCsv(path, "v");
+
+    auto loaded = vn::Waveform::readCsv(path);
+    ASSERT_EQ(loaded.size(), w.size());
+    EXPECT_NEAR(loaded.dt(), w.dt(), 1e-18);
+    EXPECT_NEAR(loaded.startTime(), w.startTime(), 1e-15);
+    for (size_t i = 0; i < w.size(); ++i)
+        ASSERT_NEAR(loaded[i], w[i], 1e-12);
+    std::remove(path.c_str());
+}
+
+TEST(WaveformTest, ReadCsvRejectsMalformed)
+{
+    bool prev = vn::setThrowOnError(true);
+    const std::string path = "vnoise_test_bad.csv";
+    {
+        std::ofstream ofs(path);
+        ofs << "time,v\nnot,numbers\n";
+    }
+    EXPECT_THROW(vn::Waveform::readCsv(path), vn::FatalError);
+    {
+        std::ofstream ofs(path);
+        ofs << "time,v\n0,1\n1,1\n5,1\n"; // non-uniform
+    }
+    EXPECT_THROW(vn::Waveform::readCsv(path), vn::FatalError);
+    EXPECT_THROW(vn::Waveform::readCsv("no_such.csv"), vn::FatalError);
+    std::remove(path.c_str());
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

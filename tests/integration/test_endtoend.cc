@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end integration tests: scaled-down versions of the paper's
+ * experiments asserting the qualitative claims that EXPERIMENTS.md
+ * reports, so regressions in any layer surface here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+/** Reduced-cost kit shared by the integration tests. */
+const vn::StressmarkKit &
+kit()
+{
+    static auto k = [] {
+        bool prev = vn::setQuiet(true);
+        vn::StressmarkKitParams params;
+        params.epi_reps = 300;
+        params.search.ipc_filter_keep = 32;
+        params.search.ipc_eval_instrs = 200;
+        params.search.power_eval_instrs = 800;
+        vn::StressmarkKit built(core(), params);
+        vn::setQuiet(prev);
+        return built;
+    }();
+    return k;
+}
+
+vn::AnalysisContext
+context()
+{
+    vn::AnalysisContext ctx;
+    ctx.kit = &kit();
+    ctx.window = 10e-6;
+    ctx.unsync_draws = 3;
+    ctx.consecutive_events = 1000;
+    return ctx;
+}
+
+TEST(EndToEnd, MethodologyFindsCrossUnitMaxSequence)
+{
+    // The full-scale pipeline discovers a sequence that uses more than
+    // one functional unit and reaches dispatch-width IPC.
+    const auto &seq = kit().maxSequence();
+    ASSERT_EQ(seq.size(), 6u);
+    bool multiple_units = false;
+    for (size_t i = 1; i < seq.size(); ++i)
+        multiple_units |= seq[i]->unit != seq[0]->unit;
+    EXPECT_TRUE(multiple_units);
+    EXPECT_GT(kit().maxPower(), 3.2);
+    EXPECT_LT(kit().minPower(), 1.95);
+}
+
+TEST(EndToEnd, ImpedanceAndNoiseResonanceAgree)
+{
+    // Fig. 7a vs 7b: the behavioural noise peak lands in the same band
+    // as the electrical impedance peak.
+    vn::ChipModel chip;
+    auto zprofile = vn::impedanceProfile(chip.pdn(), 0);
+
+    auto ctx = context();
+    std::vector<double> freqs = vn::logspace(200e3, 20e6, 7);
+    auto points = vn::sweepStimulusFrequency(ctx, freqs, false);
+    const auto *peak = &points[0];
+    for (const auto &p : points)
+        if (p.max_p2p > peak->max_p2p)
+            peak = &p;
+
+    EXPECT_GT(peak->freq_hz, zprofile.die_resonance_hz / 4.0);
+    EXPECT_LT(peak->freq_hz, zprofile.die_resonance_hz * 4.0);
+}
+
+TEST(EndToEnd, SynchronizationDominatesResonance)
+{
+    // Fig. 9: synchronized deltaI events off-resonance out-noise
+    // unsynchronized ones at resonance.
+    auto ctx = context();
+    std::vector<double> off_res{500e3};
+    std::vector<double> at_res{2.6e6};
+    auto sync_off = vn::sweepStimulusFrequency(ctx, off_res, true);
+    auto unsync_at = vn::sweepStimulusFrequency(ctx, at_res, false);
+    EXPECT_GT(sync_off[0].max_p2p, unsync_at[0].max_p2p);
+}
+
+TEST(EndToEnd, MisalignmentStepKillsSyncBonus)
+{
+    // Fig. 10: spreading the copies over a handful of 62.5 ns ticks
+    // brings noise down towards the unsynchronized level.
+    auto ctx = context();
+    std::vector<uint64_t> ticks{0, 10};
+    auto points = vn::sweepMisalignment(ctx, 2.6e6, ticks, 2);
+
+    std::vector<double> freqs{2.6e6};
+    auto unsync = vn::sweepStimulusFrequency(ctx, freqs, false);
+
+    EXPECT_GT(points[0].avg_max_p2p, unsync[0].max_p2p);
+    EXPECT_LT(points[1].avg_max_p2p, points[0].avg_max_p2p);
+    EXPECT_LT(points[1].avg_max_p2p, unsync[0].max_p2p * 1.45);
+}
+
+TEST(EndToEnd, NoiseMonotoneInDeltaI)
+{
+    // Fig. 11a: worst-case noise grows with the amount of deltaI.
+    auto ctx = context();
+    vn::MappingStudy study(ctx, 2.6e6);
+
+    auto with_k_max = [&](int k) {
+        vn::Mapping m{};
+        m.fill(vn::WorkloadClass::Idle);
+        for (int c = 0; c < k; ++c)
+            m[c] = vn::WorkloadClass::Max;
+        return study.run(m).max_p2p;
+    };
+    double n2 = with_k_max(2);
+    double n4 = with_k_max(4);
+    double n6 = with_k_max(6);
+    EXPECT_LT(n2, n4);
+    EXPECT_LT(n4, n6);
+}
+
+TEST(EndToEnd, ClustersMatchLayout)
+{
+    // Fig. 13a: the correlation clusters split along the L3 boundary:
+    // {0,2,4} vs {1,3,5}. A reduced mapping set suffices.
+    auto ctx = context();
+    vn::MappingStudy study(ctx, 2.6e6);
+
+    std::vector<vn::MappingResult> results;
+    for (int mask = 1; mask < 64; mask += 2) { // 32 varied mappings
+        vn::Mapping m{};
+        for (int c = 0; c < vn::kNumCores; ++c) {
+            m[c] = (mask >> c) & 1 ? vn::WorkloadClass::Max
+                                   : vn::WorkloadClass::Idle;
+        }
+        results.push_back(study.run(m));
+    }
+    auto matrix = vn::noiseCorrelationMatrix(results);
+    auto clusters = vn::detectClusters(matrix);
+    EXPECT_EQ(clusters[0], clusters[2]);
+    EXPECT_EQ(clusters[2], clusters[4]);
+    EXPECT_EQ(clusters[1], clusters[3]);
+    EXPECT_EQ(clusters[3], clusters[5]);
+    EXPECT_NE(clusters[0], clusters[1]);
+}
+
+TEST(EndToEnd, PackedClusterWorseThanSpread)
+{
+    // Fig. 14: three stressmarks packed into one layout cluster beat
+    // (in noise) the same three spread across clusters.
+    auto ctx = context();
+    vn::MappingStudy study(ctx, 2.6e6);
+    auto place = [](std::initializer_list<int> cores) {
+        vn::Mapping m{};
+        m.fill(vn::WorkloadClass::Idle);
+        for (int c : cores)
+            m[c] = vn::WorkloadClass::Max;
+        return m;
+    };
+    auto spread = study.run(place({1, 4, 5}));
+    auto packed = study.run(place({0, 2, 4}));
+    EXPECT_GT(packed.max_p2p, spread.max_p2p);
+}
+
+TEST(EndToEnd, LegacyPdnResonatesHigher)
+{
+    // Section V-A: without the deep-trench eDRAM decap (1/40th of the
+    // on-chip capacitance) the '1st droop' sits at a much higher
+    // frequency, as in pre-eDRAM designs (30-100 MHz).
+    vn::PdnConfig legacy;
+    legacy.c_die_fast /= 40.0;
+    legacy.c_die_damp /= 40.0;
+    legacy.c_l3 /= 40.0;
+    legacy.c_core /= 40.0;
+    auto legacy_pdn = vn::buildZec12Pdn(legacy);
+    auto modern_pdn = vn::buildZec12Pdn();
+
+    auto legacy_profile = vn::impedanceProfile(legacy_pdn, 0);
+    auto modern_profile = vn::impedanceProfile(modern_pdn, 0);
+    EXPECT_GT(legacy_profile.die_resonance_hz,
+              4.0 * modern_profile.die_resonance_hz);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Disruptive-event pseudo-instruction tests: the section IV-C
+ * negative findings hold on the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disruptive.hh"
+#include "isa/program.hh"
+#include "isa/table.hh"
+#include "uarch/core.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+double
+power(const vn::Program &p)
+{
+    size_t min_instrs = std::max<size_t>(p.size() * 8, 1500);
+    return core().run(p, min_instrs, min_instrs * 80).avg_power;
+}
+
+TEST(DisruptiveTest, CatalogueComplete)
+{
+    const auto &instrs = vn::disruptiveInstrs();
+    EXPECT_EQ(instrs.size(), 4u);
+    EXPECT_NO_THROW(vn::disruptiveInstr("L.L3MISS"));
+    EXPECT_NO_THROW(vn::disruptiveInstr("BC.MISPRED"));
+}
+
+TEST(DisruptiveTest, UnknownMnemonicIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    EXPECT_THROW(vn::disruptiveInstr("NOPE"), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(DisruptiveTest, NotPartOfTheEpiTable)
+{
+    for (const auto &d : vn::disruptiveInstrs())
+        EXPECT_FALSE(vn::instrTable().contains(d.mnemonic))
+            << d.mnemonic;
+}
+
+TEST(DisruptiveTest, PowerCloseToMinimumSequence)
+{
+    // Finding (a): every disruptive benchmark sits within ~10% of the
+    // minimum-power sequence, far below the maximum.
+    auto min_seq = vn::makeRepeatedProgram(
+        &vn::instrTable().find("SRNM"), 200);
+    double p_min = power(min_seq);
+
+    for (const auto &d : vn::disruptiveInstrs()) {
+        auto bench = vn::makeRepeatedProgram(&d, 200);
+        double p = power(bench);
+        EXPECT_LT(p, p_min * 1.10) << d.mnemonic;
+        EXPECT_GT(p, p_min * 0.95) << d.mnemonic;
+    }
+}
+
+TEST(DisruptiveTest, MissesDoNotRaiseMaxPower)
+{
+    // Finding (b): blending a missing load into a high-power sequence
+    // lowers, not raises, its measured power.
+    const auto &t = vn::instrTable();
+    vn::Program max_like;
+    for (int i = 0; i < 50; ++i) {
+        max_like.push(&t.find("CIB"));
+        max_like.push(&t.find("CHHSI"));
+        max_like.push(&t.find("L"));
+    }
+    double p_max = power(max_like);
+
+    vn::Program blended = max_like;
+    blended.push(&vn::disruptiveInstr("L.MEMMISS"));
+    double p_blend = power(blended);
+    EXPECT_LT(p_blend, p_max);
+}
+
+} // namespace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the Program container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "isa/table.hh"
+
+namespace
+{
+
+TEST(ProgramTest, PushAndAggregate)
+{
+    const auto &table = vn::instrTable();
+    vn::Program p;
+    p.push(&table.find("CIB"));
+    p.push(&table.find("CHHSI"));
+    p.push(&table.find("SRNM"));
+
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.totalUops(), 3u);
+    EXPECT_EQ(p.branchCount(), 1u);
+    EXPECT_EQ(p.prefetchCount(), 0u);
+    EXPECT_GT(p.totalEnergy(), 0.0);
+    EXPECT_EQ(p.totalBytes(), 6u + 6u + 4u);
+    EXPECT_EQ(p.toString(), "CIB CHHSI SRNM");
+}
+
+TEST(ProgramTest, PushRepeated)
+{
+    const auto &table = vn::instrTable();
+    auto p = vn::makeRepeatedProgram(&table.find("SRNM"), 4000);
+    EXPECT_EQ(p.size(), 4000u);
+    EXPECT_EQ(p[0]->mnemonic, "SRNM");
+    EXPECT_EQ(p[3999]->mnemonic, "SRNM");
+}
+
+TEST(ProgramTest, Append)
+{
+    const auto &table = vn::instrTable();
+    vn::Program high, low;
+    high.pushRepeated(&table.find("CIB"), 3);
+    low.pushRepeated(&table.find("SRNM"), 2);
+    vn::Program combined;
+    combined.append(high);
+    combined.append(low);
+    EXPECT_EQ(combined.size(), 5u);
+    EXPECT_EQ(combined[0]->mnemonic, "CIB");
+    EXPECT_EQ(combined[4]->mnemonic, "SRNM");
+}
+
+TEST(ProgramTest, EmptyProgram)
+{
+    vn::Program p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.totalUops(), 0u);
+    EXPECT_EQ(p.totalEnergy(), 0.0);
+    EXPECT_EQ(p.toString(), "");
+}
+
+} // namespace

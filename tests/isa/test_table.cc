@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the synthetic z-like instruction table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/table.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(InstrTableTest, HasExactly1301Instructions)
+{
+    // The zEC12 EPI profile of the paper's Table I has 1301 entries.
+    EXPECT_EQ(vn::instrTable().size(), vn::kIsaSize);
+    EXPECT_EQ(vn::kIsaSize, 1301u);
+}
+
+TEST(InstrTableTest, MnemonicsAreUnique)
+{
+    const auto &table = vn::instrTable();
+    std::set<std::string> seen;
+    for (size_t i = 0; i < table.size(); ++i) {
+        auto [it, inserted] = seen.insert(table[i].mnemonic);
+        EXPECT_TRUE(inserted) << "duplicate mnemonic " << table[i].mnemonic;
+    }
+}
+
+TEST(InstrTableTest, TableOneAnchorsPresent)
+{
+    const auto &table = vn::instrTable();
+    for (const char *mnem :
+         {"CIB", "CRB", "BXHG", "CGIB", "CHHSI", "DDTRA", "MXTRA", "MDTRA",
+          "STCK", "SRNM"}) {
+        EXPECT_TRUE(table.contains(mnem)) << mnem;
+    }
+
+    const auto &cib = table.find("CIB");
+    EXPECT_EQ(cib.unit, vn::FuncUnit::BRU);
+    EXPECT_TRUE(cib.is_branch);
+    EXPECT_EQ(cib.issue, vn::IssueClass::Pipelined);
+
+    const auto &srnm = table.find("SRNM");
+    EXPECT_EQ(srnm.unit, vn::FuncUnit::SYS);
+    EXPECT_EQ(srnm.issue, vn::IssueClass::Serializing);
+
+    const auto &ddtra = table.find("DDTRA");
+    EXPECT_EQ(ddtra.unit, vn::FuncUnit::DFU);
+    EXPECT_EQ(ddtra.issue, vn::IssueClass::NonPipelined);
+    EXPECT_GT(ddtra.latency, 20);
+}
+
+TEST(InstrTableTest, UnknownMnemonicIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    EXPECT_THROW(vn::instrTable().find("NOSUCHOP"), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(InstrTableTest, EveryUnitPopulated)
+{
+    const auto &table = vn::instrTable();
+    for (int u = 0; u < vn::kNumFuncUnits; ++u) {
+        auto unit = static_cast<vn::FuncUnit>(u);
+        EXPECT_GT(table.byUnit(unit).size(), 5u) << vn::funcUnitName(unit);
+    }
+}
+
+TEST(InstrTableTest, CategoriesConsistent)
+{
+    const auto &table = vn::instrTable();
+    size_t total = 0;
+    for (int u = 0; u < vn::kNumFuncUnits; ++u) {
+        for (int c = 0; c < vn::kNumIssueClasses; ++c) {
+            vn::InstrCategory cat{static_cast<vn::FuncUnit>(u),
+                                  static_cast<vn::IssueClass>(c)};
+            auto instrs = table.byCategory(cat);
+            for (const auto *instr : instrs) {
+                EXPECT_EQ(instr->unit, cat.unit);
+                EXPECT_EQ(instr->issue, cat.issue);
+            }
+            total += instrs.size();
+        }
+    }
+    EXPECT_EQ(total, table.size());
+}
+
+TEST(InstrTableTest, AttributesAreSane)
+{
+    const auto &table = vn::instrTable();
+    for (size_t i = 0; i < table.size(); ++i) {
+        const auto &d = table[i];
+        EXPECT_GE(d.uops, 1) << d.mnemonic;
+        EXPECT_GE(d.latency, 1) << d.mnemonic;
+        EXPECT_GT(d.energy, 0.0) << d.mnemonic;
+        EXPECT_TRUE(d.length_bytes == 2 || d.length_bytes == 4 ||
+                    d.length_bytes == 6)
+            << d.mnemonic;
+        if (d.is_branch) {
+            EXPECT_EQ(d.unit, vn::FuncUnit::BRU) << d.mnemonic;
+        }
+        if (d.issue == vn::IssueClass::Serializing) {
+            EXPECT_EQ(d.unit, vn::FuncUnit::SYS) << d.mnemonic;
+        }
+    }
+}
+
+TEST(InstrTableTest, DeterministicAcrossInstances)
+{
+    // Two independently built tables are identical (fixed-seed
+    // generation).
+    vn::InstrTable a;
+    vn::InstrTable b;
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].mnemonic, b[i].mnemonic);
+        EXPECT_DOUBLE_EQ(a[i].energy, b[i].energy);
+        EXPECT_EQ(a[i].latency, b[i].latency);
+    }
+}
+
+TEST(InstrTableTest, RankingConstraintsHold)
+{
+    // Non-anchor pipelined instructions stay below the CIB anchor's
+    // per-uop energy; non-pipelined ones keep energy/latency above the
+    // DDTRA floor. These invariants are what make Table I's extremes
+    // reproducible.
+    const auto &table = vn::instrTable();
+    const std::set<std::string> anchors{"CIB",   "CRB",   "BXHG", "CGIB",
+                                        "CHHSI", "DDTRA", "MXTRA",
+                                        "MDTRA", "STCK",  "SRNM"};
+    for (size_t i = 0; i < table.size(); ++i) {
+        const auto &d = table[i];
+        if (anchors.count(d.mnemonic))
+            continue;
+        if (d.issue == vn::IssueClass::Pipelined) {
+            EXPECT_LE(d.energyPerUop(), 0.5201) << d.mnemonic;
+        } else if (d.issue == vn::IssueClass::NonPipelined) {
+            EXPECT_GE(d.energy / (d.latency * d.uops), 0.0399)
+                << d.mnemonic;
+        } else {
+            EXPECT_GE(d.energy / (d.latency * d.uops), 0.0349)
+                << d.mnemonic;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Critical-path / R-Unit failure model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/critpath.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(CritPathTest, NominalDelayMatchesFraction)
+{
+    vn::CriticalPathMonitor m;
+    double period = 1.0 / m.params().clock_hz;
+    EXPECT_NEAR(m.pathDelay(m.params().vnom),
+                m.params().nominal_path_fraction * period, 1e-18);
+}
+
+TEST(CritPathTest, DelayGrowsAsVoltageDrops)
+{
+    vn::CriticalPathMonitor m;
+    double prev = 0.0;
+    for (double v = 1.2; v >= 0.6; v -= 0.05) {
+        double d = m.pathDelay(v);
+        EXPECT_GT(d, prev) << "v=" << v;
+        prev = d;
+    }
+}
+
+TEST(CritPathTest, CriticalVoltageConsistent)
+{
+    // At exactly v_crit the path consumes the whole cycle.
+    vn::CriticalPathMonitor m;
+    double period = 1.0 / m.params().clock_hz;
+    EXPECT_NEAR(m.pathDelay(m.criticalVoltage()), period, period * 1e-9);
+    EXPECT_LT(m.criticalVoltage(), m.params().vnom);
+    EXPECT_GT(m.criticalVoltage(), m.params().vth);
+}
+
+TEST(CritPathTest, ViolationPredicate)
+{
+    vn::CriticalPathMonitor m;
+    EXPECT_FALSE(m.violates(m.params().vnom));
+    EXPECT_FALSE(m.violates(m.criticalVoltage() + 1e-6));
+    EXPECT_TRUE(m.violates(m.criticalVoltage() - 1e-6));
+}
+
+TEST(CritPathTest, DefaultMarginNearTwelvePercent)
+{
+    // Default calibration: v_crit around 0.887 V for a 1.05 V supply.
+    vn::CriticalPathMonitor m;
+    double margin = (m.params().vnom - m.criticalVoltage()) /
+                    m.params().vnom;
+    EXPECT_GT(margin, 0.10);
+    EXPECT_LT(margin, 0.22);
+}
+
+TEST(CritPathTest, TighterPathRaisesCriticalVoltage)
+{
+    vn::CritPathParams loose;
+    vn::CritPathParams tight;
+    tight.nominal_path_fraction = 0.9;
+    vn::CriticalPathMonitor a(loose), b(tight);
+    EXPECT_GT(b.criticalVoltage(), a.criticalVoltage());
+}
+
+TEST(CritPathTest, InvalidParamsAreFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::CritPathParams p;
+    p.nominal_path_fraction = 1.5;
+    EXPECT_THROW(vn::CriticalPathMonitor{p}, vn::FatalError);
+    vn::CritPathParams q;
+    q.vth = 2.0;
+    EXPECT_THROW(vn::CriticalPathMonitor{q}, vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

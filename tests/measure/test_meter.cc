@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Power meter and oscilloscope tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/meter.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(PowerMeterTest, AverageOfSamples)
+{
+    vn::PowerMeter m;
+    m.sample(1.0, 100.0);
+    m.sample(1.0, 200.0);
+    EXPECT_EQ(m.count(), 2u);
+    EXPECT_DOUBLE_EQ(m.averageWatts(), 150.0);
+    EXPECT_DOUBLE_EQ(m.peakWatts(), 200.0);
+}
+
+TEST(PowerMeterTest, MilliwattGranularity)
+{
+    vn::PowerMeter m;
+    m.sample(1.0, 0.1234567);
+    EXPECT_EQ(m.averageMilliwatts(), 123L);
+}
+
+TEST(PowerMeterTest, ResetClears)
+{
+    vn::PowerMeter m;
+    m.sample(1.0, 5.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_EQ(m.averageWatts(), 0.0);
+}
+
+TEST(OscilloscopeTest, CapturesEverySampleByDefault)
+{
+    vn::Oscilloscope scope(1e-9);
+    for (int i = 0; i < 10; ++i)
+        scope.sample(static_cast<double>(i));
+    EXPECT_EQ(scope.trace().size(), 10u);
+    EXPECT_DOUBLE_EQ(scope.trace()[3], 3.0);
+    EXPECT_DOUBLE_EQ(scope.trace().dt(), 1e-9);
+}
+
+TEST(OscilloscopeTest, DecimationKeepsEveryNth)
+{
+    vn::Oscilloscope scope(1e-9, 4);
+    for (int i = 0; i < 12; ++i)
+        scope.sample(static_cast<double>(i));
+    ASSERT_EQ(scope.trace().size(), 3u);
+    EXPECT_DOUBLE_EQ(scope.trace()[0], 0.0);
+    EXPECT_DOUBLE_EQ(scope.trace()[1], 4.0);
+    EXPECT_DOUBLE_EQ(scope.trace()[2], 8.0);
+    EXPECT_DOUBLE_EQ(scope.trace().dt(), 4e-9);
+}
+
+TEST(OscilloscopeTest, ZeroDecimationIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    EXPECT_THROW(vn::Oscilloscope(1e-9, 0), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Skitter sensor model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/waveform.hh"
+#include "measure/skitter.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+TEST(SkitterTest, NominalPositionWithinLine)
+{
+    vn::Skitter sk;
+    EXPECT_GT(sk.nominalPosition(), 5.0);
+    EXPECT_LE(sk.nominalPosition(), sk.params().inverters);
+    EXPECT_NEAR(sk.edgePosition(sk.params().vnom), sk.nominalPosition(),
+                1e-12);
+}
+
+TEST(SkitterTest, EdgePositionMonotoneInVoltage)
+{
+    vn::Skitter sk;
+    double prev = -1.0;
+    for (double v = 0.5; v <= 1.3; v += 0.01) {
+        double pos = sk.edgePosition(v);
+        EXPECT_GE(pos, prev) << "v=" << v;
+        prev = pos;
+    }
+}
+
+TEST(SkitterTest, DroopLowersPosition)
+{
+    vn::Skitter sk;
+    EXPECT_LT(sk.edgePosition(0.95), sk.nominalPosition());
+    EXPECT_GT(sk.edgePosition(1.15), sk.nominalPosition());
+}
+
+TEST(SkitterTest, StallsBelowThreshold)
+{
+    vn::Skitter sk;
+    EXPECT_EQ(sk.edgePosition(sk.params().vth), 0.0);
+    EXPECT_EQ(sk.edgePosition(0.1), 0.0);
+}
+
+TEST(SkitterTest, ClampsAtLineEnd)
+{
+    vn::SkitterParams p;
+    p.gain = 6.0; // very sensitive: overshoot runs off the line
+    vn::Skitter sk(p);
+    EXPECT_LE(sk.edgePosition(2.0), p.inverters);
+}
+
+TEST(SkitterTest, ConstantVoltageGivesZeroP2p)
+{
+    vn::Skitter sk;
+    for (int i = 0; i < 100; ++i)
+        sk.sample(1.05);
+    EXPECT_EQ(sk.percentP2p(), 0.0);
+    EXPECT_EQ(sk.sampleCount(), 100);
+}
+
+TEST(SkitterTest, StickyModeTracksExtremes)
+{
+    vn::Skitter sk;
+    sk.sample(1.05);
+    sk.sample(0.97);
+    sk.sample(1.02);
+    sk.sample(1.09);
+    sk.sample(1.05);
+    EXPECT_EQ(sk.minPosition(), sk.latchedPosition(0.97));
+    EXPECT_EQ(sk.maxPosition(), sk.latchedPosition(1.09));
+    EXPECT_GT(sk.percentP2p(), 0.0);
+}
+
+TEST(SkitterTest, BiggerDroopBiggerP2p)
+{
+    vn::Skitter a, b;
+    a.sample(1.05);
+    a.sample(1.00);
+    b.sample(1.05);
+    b.sample(0.93);
+    EXPECT_GT(b.percentP2p(), a.percentP2p());
+}
+
+TEST(SkitterTest, ReadingsAreDiscretized)
+{
+    // Tiny voltage wiggles below one latch step read as zero noise:
+    // the paper's step-function artifact.
+    vn::Skitter sk;
+    sk.sample(1.0500);
+    sk.sample(1.0501);
+    sk.sample(1.0499);
+    EXPECT_EQ(sk.percentP2p(), 0.0);
+}
+
+TEST(SkitterTest, CompressionAtDeepDroop)
+{
+    // The same 50 mV increment moves the edge less when starting from a
+    // deep droop (diminishing linearity, paper section V-E).
+    vn::Skitter sk;
+    double d_high = sk.edgePosition(1.05) - sk.edgePosition(1.00);
+    double d_low = sk.edgePosition(0.80) - sk.edgePosition(0.75);
+    EXPECT_LT(d_low, d_high);
+}
+
+TEST(SkitterTest, ResetClearsWindow)
+{
+    vn::Skitter sk;
+    sk.sample(0.9);
+    sk.sample(1.1);
+    EXPECT_GT(sk.percentP2p(), 0.0);
+    sk.reset();
+    EXPECT_EQ(sk.percentP2p(), 0.0);
+    EXPECT_EQ(sk.sampleCount(), 0);
+}
+
+TEST(SkitterTest, InvalidParamsAreFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::SkitterParams p;
+    p.vth = 2.0;
+    EXPECT_THROW(vn::Skitter{p}, vn::FatalError);
+    vn::SkitterParams q;
+    q.inverters = 1;
+    EXPECT_THROW(vn::Skitter{q}, vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+
+TEST(SkitterTest, ReplayMatchesOnlineSampling)
+{
+    // Feeding a waveform through replaySkitter equals sampling live.
+    vn::Waveform trace(1e-9);
+    for (int i = 0; i < 500; ++i)
+        trace.push(1.05 - 0.06 * std::sin(2.0 * M_PI * i / 100.0));
+
+    vn::Skitter live;
+    for (size_t i = 0; i < trace.size(); ++i)
+        live.sample(trace[i]);
+
+    EXPECT_DOUBLE_EQ(vn::replaySkitter(trace), live.percentP2p());
+    EXPECT_GT(vn::replaySkitter(trace), 5.0);
+}
+
+} // namespace

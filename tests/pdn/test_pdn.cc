@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the zEC12-like PDN: resonance placement, DC droop, and the
+ * cluster structure that drives the paper's propagation findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuit/ac.hh"
+#include "circuit/transient.hh"
+#include "pdn/pdn.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+std::vector<double>
+idleCurrents(const vn::ChipPdn &pdn)
+{
+    return std::vector<double>(pdn.portCount(), 0.0);
+}
+
+TEST(PdnTest, BuildsWithExpectedPorts)
+{
+    auto pdn = vn::buildZec12Pdn();
+    EXPECT_EQ(pdn.portCount(), 9u); // 6 cores + l3 + mcu + gx
+    for (int core = 0; core < vn::kNumCores; ++core) {
+        EXPECT_EQ(pdn.core_port[core], core);
+        EXPECT_GT(pdn.core_node[core], 0);
+    }
+}
+
+TEST(PdnTest, DomainAssignmentMatchesLayout)
+{
+    EXPECT_TRUE(vn::ChipPdn::upperDomain(0));
+    EXPECT_FALSE(vn::ChipPdn::upperDomain(1));
+    EXPECT_TRUE(vn::ChipPdn::upperDomain(2));
+    EXPECT_FALSE(vn::ChipPdn::upperDomain(3));
+    EXPECT_TRUE(vn::ChipPdn::upperDomain(4));
+    EXPECT_FALSE(vn::ChipPdn::upperDomain(5));
+}
+
+TEST(PdnTest, DcVoltageNearNominalWhenIdle)
+{
+    auto pdn = vn::buildZec12Pdn();
+    vn::TransientSolver sim(pdn.netlist, 1e-9);
+    auto idle = idleCurrents(pdn);
+    sim.initDcOperatingPoint(idle);
+    for (int core = 0; core < vn::kNumCores; ++core)
+        EXPECT_NEAR(sim.nodeVoltage(pdn.core_node[core]), pdn.vnom, 1e-9);
+}
+
+TEST(PdnTest, DcDroopGrowsWithLoad)
+{
+    auto pdn = vn::buildZec12Pdn();
+    vn::TransientSolver sim(pdn.netlist, 1e-9);
+
+    auto v_core0 = [&](double amps_per_core) {
+        auto load = idleCurrents(pdn);
+        for (int c = 0; c < vn::kNumCores; ++c)
+            load[c] = amps_per_core;
+        sim.initDcOperatingPoint(load);
+        return sim.nodeVoltage(pdn.core_node[0]);
+    };
+
+    double v_idle = v_core0(0.0);
+    double v_half = v_core0(15.0);
+    double v_full = v_core0(30.0);
+    EXPECT_GT(v_idle, v_half);
+    EXPECT_GT(v_half, v_full);
+    // Droop at 6 x 30 A should be noticeable but a small fraction of vnom.
+    EXPECT_GT(pdn.vnom - v_full, 0.005);
+    EXPECT_LT(pdn.vnom - v_full, 0.15 * pdn.vnom);
+}
+
+TEST(PdnTest, BoardResonanceNear40kHz)
+{
+    auto pdn = vn::buildZec12Pdn();
+    auto profile = vn::impedanceProfile(pdn, 0);
+    EXPECT_GT(profile.board_resonance_hz, 15e3);
+    EXPECT_LT(profile.board_resonance_hz, 120e3);
+}
+
+TEST(PdnTest, DieResonanceNear2MHz)
+{
+    // The paper's headline PDN observation: the '1st droop' shifted to
+    // the ~2 MHz band due to the deep-trench eDRAM decap.
+    auto pdn = vn::buildZec12Pdn();
+    auto profile = vn::impedanceProfile(pdn, 0);
+    EXPECT_GT(profile.die_resonance_hz, 1.0e6);
+    EXPECT_LT(profile.die_resonance_hz, 4.0e6);
+}
+
+TEST(PdnTest, ImpedancePeakModeratelyDamped)
+{
+    auto pdn = vn::buildZec12Pdn();
+    vn::AcAnalysis ac(pdn.netlist);
+    auto profile = vn::impedanceProfile(pdn, 0);
+    double z_peak =
+        std::abs(ac.impedance(pdn.core_port[0], profile.die_resonance_hz));
+    double z_hi = std::abs(ac.impedance(pdn.core_port[0], 30e6));
+    double z_lo = std::abs(ac.impedance(pdn.core_port[0], 5e3));
+    // Resonance amplifies but the damped design keeps it bounded.
+    EXPECT_GT(z_peak, 1.3 * z_hi);
+    EXPECT_GT(z_peak, 1.3 * z_lo);
+    EXPECT_LT(z_peak, 12.0 * z_hi);
+}
+
+TEST(PdnTest, NoResonanceAboveFiveMhz)
+{
+    // Above ~5 MHz the profile decays monotonically-ish: no peak larger
+    // than the die resonance peak exists up there (paper section V-A:
+    // "no longer an oscillatory power noise behavior above 5 MHz").
+    auto pdn = vn::buildZec12Pdn();
+    vn::AcAnalysis ac(pdn.netlist);
+    auto profile = vn::impedanceProfile(pdn, 0);
+    double z_res =
+        std::abs(ac.impedance(pdn.core_port[0], profile.die_resonance_hz));
+    auto pts = ac.sweep(pdn.core_port[0], 5e6, 1e9, 60);
+    for (const auto &pt : pts)
+        EXPECT_LT(std::abs(pt.z), z_res)
+            << "unexpected high-frequency peak at " << pt.freq_hz;
+}
+
+TEST(PdnTest, SameClusterCouplingStrongerThanCross)
+{
+    // Transfer impedance core0 -> core2 (same domain) should exceed
+    // core0 -> core1/3/5 (other domain) near the die resonance; this is
+    // the mechanism behind the Fig. 13a clusters.
+    auto pdn = vn::buildZec12Pdn();
+    vn::AcAnalysis ac(pdn.netlist);
+    auto profile = vn::impedanceProfile(pdn, 0);
+    double f = profile.die_resonance_hz;
+
+    double same = std::abs(
+        ac.transferImpedance(pdn.core_port[0], pdn.core_node[2], f));
+    for (int other : {1, 3, 5}) {
+        double cross = std::abs(ac.transferImpedance(
+            pdn.core_port[0], pdn.core_node[other], f));
+        EXPECT_GT(same, cross) << "core " << other;
+    }
+}
+
+TEST(PdnTest, TransferSymmetryAcrossMirrorCores)
+{
+    // Layout symmetry: coupling 0->2 matches 1->3 (mirrored clusters).
+    auto pdn = vn::buildZec12Pdn();
+    vn::AcAnalysis ac(pdn.netlist);
+    for (double f : {40e3, 2e6}) {
+        double upper = std::abs(
+            ac.transferImpedance(pdn.core_port[0], pdn.core_node[2], f));
+        double lower = std::abs(
+            ac.transferImpedance(pdn.core_port[1], pdn.core_node[3], f));
+        EXPECT_NEAR(upper, lower, upper * 1e-6) << "f=" << f;
+    }
+}
+
+TEST(PdnTest, VariationScalesAffectBuild)
+{
+    vn::PdnConfig config;
+    config.rail_res_scale = {1.0, 1.2, 0.9, 1.0, 1.1, 1.0};
+    config.decap_scale = {1.0, 0.8, 1.0, 1.3, 1.0, 1.0};
+    auto pdn = vn::buildZec12Pdn(config);
+    EXPECT_EQ(pdn.portCount(), 9u);
+
+    // Higher rail resistance on core 1 -> deeper DC droop under load.
+    vn::TransientSolver sim(pdn.netlist, 1e-9);
+    auto load = idleCurrents(pdn);
+    for (int c = 0; c < vn::kNumCores; ++c)
+        load[c] = 20.0;
+    sim.initDcOperatingPoint(load);
+    EXPECT_LT(sim.nodeVoltage(pdn.core_node[1]),
+              sim.nodeVoltage(pdn.core_node[3]));
+}
+
+TEST(PdnTest, InvalidVariationIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::PdnConfig config;
+    config.rail_res_scale[2] = 0.0;
+    EXPECT_THROW(vn::buildZec12Pdn(config), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(PdnTest, StepResponseReachesNeighborFasterThanCrossCluster)
+{
+    // Time-domain version of the Fig. 13b finding: a deltaI event on
+    // core 0 is felt more strongly on cores 2/4 than on 1/3/5.
+    auto pdn = vn::buildZec12Pdn();
+    vn::TransientSolver sim(pdn.netlist, 1e-9);
+    auto load = idleCurrents(pdn);
+    sim.initDcOperatingPoint(load);
+
+    load[0] = 25.0; // step on core 0
+    double droop_same = 0.0, droop_cross = 0.0;
+    for (int k = 0; k < 4000; ++k) { // 4 us window
+        sim.step(load);
+        droop_same = std::max(
+            droop_same, pdn.vnom - sim.nodeVoltage(pdn.core_node[2]));
+        droop_cross = std::max(
+            droop_cross, pdn.vnom - sim.nodeVoltage(pdn.core_node[3]));
+    }
+    EXPECT_GT(droop_same, droop_cross);
+    EXPECT_GT(droop_cross, 0.0); // noise still propagates everywhere
+}
+
+} // namespace

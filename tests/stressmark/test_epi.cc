@@ -1,0 +1,112 @@
+/**
+ * @file
+ * EPI profiler tests: the Table I reproduction at reduced cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stressmark/epi.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+/** Shared reduced-cost profile (profiling 1301 instructions once). */
+const std::vector<vn::EpiEntry> &
+profile()
+{
+    static auto p = [] {
+        vn::EpiProfiler profiler(core(), 300);
+        return profiler.profile();
+    }();
+    return p;
+}
+
+TEST(EpiProfilerTest, CoversWholeIsa)
+{
+    EXPECT_EQ(profile().size(), vn::kIsaSize);
+}
+
+TEST(EpiProfilerTest, SortedDescending)
+{
+    const auto &p = profile();
+    for (size_t i = 1; i < p.size(); ++i)
+        ASSERT_GE(p[i - 1].power, p[i].power) << i;
+}
+
+TEST(EpiProfilerTest, TableOneTopFive)
+{
+    // Paper Table I: CIB, CRB, BXHG, CGIB, CHHSI with normalized powers
+    // 1.58, 1.57, 1.57, 1.55, 1.55.
+    auto top = vn::epiTop(profile(), 5);
+    ASSERT_EQ(top.size(), 5u);
+    EXPECT_EQ(top[0].instr->mnemonic, "CIB");
+    EXPECT_EQ(top[1].instr->mnemonic, "CRB");
+    EXPECT_EQ(top[2].instr->mnemonic, "BXHG");
+    EXPECT_EQ(top[3].instr->mnemonic, "CGIB");
+    EXPECT_EQ(top[4].instr->mnemonic, "CHHSI");
+    EXPECT_NEAR(top[0].normalized, 1.58, 0.01);
+    EXPECT_NEAR(top[4].normalized, 1.55, 0.01);
+}
+
+TEST(EpiProfilerTest, TableOneBottomFive)
+{
+    // Paper Table I ranks 1297-1301: DDTRA, MXTRA, MDTRA, STCK, SRNM
+    // with normalized powers 1.01, 1.01, 1, 1, 1.
+    auto bottom = vn::epiBottom(profile(), 5);
+    ASSERT_EQ(bottom.size(), 5u);
+    EXPECT_EQ(bottom[0].instr->mnemonic, "DDTRA");
+    EXPECT_EQ(bottom[1].instr->mnemonic, "MXTRA");
+    EXPECT_EQ(bottom[2].instr->mnemonic, "MDTRA");
+    EXPECT_EQ(bottom[3].instr->mnemonic, "STCK");
+    EXPECT_EQ(bottom[4].instr->mnemonic, "SRNM");
+    EXPECT_NEAR(bottom[0].normalized, 1.01, 0.01);
+    EXPECT_NEAR(bottom[4].normalized, 1.00, 1e-9);
+}
+
+TEST(EpiProfilerTest, NormalizationAnchoredAtFloor)
+{
+    const auto &p = profile();
+    EXPECT_DOUBLE_EQ(p.back().normalized, 1.0);
+    for (const auto &e : p)
+        EXPECT_GE(e.normalized, 1.0);
+}
+
+TEST(EpiProfilerTest, LongLatencyBeatsNopForMinimum)
+{
+    // The paper's observation: serializing/long-latency instructions
+    // measure lower power than high-IPC cheap ones.
+    const auto &p = profile();
+    double srnm = 0.0, cib = 0.0;
+    for (const auto &e : p) {
+        if (e.instr->mnemonic == "SRNM")
+            srnm = e.power;
+        if (e.instr->mnemonic == "CIB")
+            cib = e.power;
+    }
+    EXPECT_LT(srnm, cib);
+}
+
+TEST(EpiProfilerTest, MeasureSingleInstruction)
+{
+    vn::EpiProfiler profiler(core(), 200);
+    auto entry = profiler.measure(vn::instrTable().find("CIB"));
+    EXPECT_NEAR(entry.ipc, 2.0, 0.1);
+    EXPECT_GT(entry.power, 2.5);
+}
+
+TEST(EpiProfilerTest, ZeroRepsIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    EXPECT_THROW(vn::EpiProfiler(core(), 0), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

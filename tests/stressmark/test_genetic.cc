@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Genetic sequence-search tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/table.hh"
+#include "stressmark/genetic.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+vn::GeneticSearchParams
+cheapParams()
+{
+    vn::GeneticSearchParams p;
+    p.population = 16;
+    p.generations = 8;
+    p.sequence_length = 4;
+    p.eval_instrs = 240;
+    return p;
+}
+
+TEST(GeneticSearchTest, AlphabetIsPipelinedOnly)
+{
+    auto alphabet = vn::pipelinedAlphabet();
+    EXPECT_GT(alphabet.size(), 500u);
+    for (const auto *d : alphabet)
+        ASSERT_EQ(d->issue, vn::IssueClass::Pipelined) << d->mnemonic;
+}
+
+TEST(GeneticSearchTest, DeterministicForSeed)
+{
+    vn::GeneticSequenceSearch search(core(), cheapParams());
+    auto alphabet = vn::pipelinedAlphabet();
+    auto a = search.run(alphabet);
+    auto b = search.run(alphabet);
+    EXPECT_EQ(a.best.toString(), b.best.toString());
+    EXPECT_DOUBLE_EQ(a.best_power, b.best_power);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(GeneticSearchTest, BestNeverDegradesAcrossGenerations)
+{
+    // Elitism makes the per-generation best monotone non-decreasing.
+    vn::GeneticSequenceSearch search(core(), cheapParams());
+    auto r = search.run(vn::pipelinedAlphabet());
+    ASSERT_GE(r.best_per_generation.size(), 2u);
+    for (size_t g = 1; g < r.best_per_generation.size(); ++g)
+        EXPECT_GE(r.best_per_generation[g],
+                  r.best_per_generation[g - 1] - 1e-12)
+            << g;
+}
+
+TEST(GeneticSearchTest, FindsHighPowerSequence)
+{
+    // Even the cheap GA should get well above the static floor and
+    // close to the structural power ceiling.
+    vn::GeneticSearchParams p = cheapParams();
+    p.population = 24;
+    p.generations = 16;
+    p.sequence_length = 6;
+    vn::GeneticSequenceSearch search(core(), p);
+    auto r = search.run(vn::pipelinedAlphabet());
+    EXPECT_GT(r.best_power, 3.0); // static is 1.86; max mix ~3.44
+    EXPECT_GT(r.best_ipc, 2.4);
+    EXPECT_EQ(r.best.size(), 6u);
+}
+
+TEST(GeneticSearchTest, EvaluationBudgetAccounted)
+{
+    auto p = cheapParams();
+    vn::GeneticSequenceSearch search(core(), p);
+    auto r = search.run(vn::pipelinedAlphabet());
+    // population + generations * (population - elite) evaluations.
+    size_t expected =
+        static_cast<size_t>(p.population) +
+        static_cast<size_t>(p.generations) *
+            static_cast<size_t>(p.population - p.elite);
+    EXPECT_EQ(r.evaluations, expected);
+}
+
+TEST(GeneticSearchTest, TinyAlphabetStillWorks)
+{
+    const auto &table = vn::instrTable();
+    std::vector<const vn::InstrDesc *> alphabet{
+        &table.find("CIB"), &table.find("CHHSI"), &table.find("L")};
+    vn::GeneticSequenceSearch search(core(), cheapParams());
+    auto r = search.run(alphabet);
+    EXPECT_GT(r.best_power, 2.5);
+}
+
+TEST(GeneticSearchTest, InvalidParamsAreFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::GeneticSearchParams p;
+    p.population = 2;
+    EXPECT_THROW(vn::GeneticSequenceSearch(core(), p), vn::FatalError);
+    vn::GeneticSearchParams q;
+    q.elite = 1000;
+    EXPECT_THROW(vn::GeneticSequenceSearch(core(), q), vn::FatalError);
+    vn::GeneticSequenceSearch ok(core(), cheapParams());
+    EXPECT_THROW(ok.run({}), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

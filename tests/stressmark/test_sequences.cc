@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sequence-search pipeline tests (the paper's Fig. 5 funnel) at
+ * reduced cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stressmark/sequences.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+const std::vector<vn::EpiEntry> &
+profile()
+{
+    static auto p = [] {
+        vn::EpiProfiler profiler(core(), 200);
+        return profiler.profile();
+    }();
+    return p;
+}
+
+vn::SequenceSearchParams
+cheapParams()
+{
+    vn::SequenceSearchParams params;
+    params.num_candidates = 6;
+    params.sequence_length = 4;
+    params.ipc_filter_keep = 24;
+    params.ipc_eval_instrs = 200;
+    params.power_eval_instrs = 800;
+    return params;
+}
+
+TEST(SequenceSearchTest, CandidatesComeFromHotCategories)
+{
+    vn::SequenceSearch search(core(), cheapParams());
+    auto candidates = search.selectCandidates(profile());
+    ASSERT_EQ(candidates.size(), 6u);
+    for (const auto *instr : candidates) {
+        EXPECT_EQ(instr->issue, vn::IssueClass::Pipelined)
+            << instr->mnemonic;
+    }
+    // The hottest instruction of all (CIB) must be among them.
+    bool has_cib = false;
+    for (const auto *instr : candidates)
+        has_cib |= instr->mnemonic == "CIB";
+    EXPECT_TRUE(has_cib);
+}
+
+TEST(SequenceSearchTest, UarchFilterRejectsStallsAndBranchFloods)
+{
+    vn::SequenceSearch search(core(), cheapParams());
+    const auto &table = vn::instrTable();
+    const auto *cib = &table.find("CIB");
+    const auto *chhsi = &table.find("CHHSI");
+    const auto *load = &table.find("L");
+    const auto *srnm = &table.find("SRNM");
+
+    // Balanced cross-unit mix: sustainable at full width.
+    EXPECT_TRUE(search.passesUarchFilter({cib, chhsi, load, chhsi}));
+    // Serializing instruction kills the group size.
+    EXPECT_FALSE(search.passesUarchFilter({cib, chhsi, load, srnm}));
+    // Too many branches.
+    EXPECT_FALSE(search.passesUarchFilter({cib, cib, cib, load}));
+    // Unit oversubscription: four FXU uops cannot sustain width 3 on
+    // two FXU pipes.
+    EXPECT_FALSE(
+        search.passesUarchFilter({chhsi, chhsi, chhsi, chhsi}));
+}
+
+TEST(SequenceSearchTest, FunnelShrinksMonotonically)
+{
+    vn::SequenceSearch search(core(), cheapParams());
+    auto result = search.run(profile());
+    EXPECT_EQ(result.combinations_total, 1296u); // 6^4
+    EXPECT_LT(result.after_uarch_filter, result.combinations_total);
+    EXPECT_GT(result.after_uarch_filter, 0u);
+    EXPECT_LE(result.after_ipc_filter, 24u);
+    EXPECT_EQ(result.best_sequence.size(), 4u);
+}
+
+TEST(SequenceSearchTest, BestBeatsSingleInstructionBenchmarks)
+{
+    vn::SequenceSearch search(core(), cheapParams());
+    auto result = search.run(profile());
+    // The discovered max-power sequence out-powers the hottest
+    // single-instruction micro-benchmark (CIB), as in the paper.
+    EXPECT_GT(result.best_power, profile().front().power * 1.05);
+    EXPECT_GT(result.best_ipc, 2.5);
+}
+
+TEST(SequenceSearchTest, MinPowerSequenceIsFloorInstruction)
+{
+    auto min_seq = vn::makeMinPowerSequence(profile(), 6);
+    ASSERT_EQ(min_seq.size(), 6u);
+    EXPECT_EQ(min_seq[0]->mnemonic, profile().back().instr->mnemonic);
+}
+
+TEST(SequenceSearchTest, MediumSequenceHitsTarget)
+{
+    vn::SequenceSearch search(core(), cheapParams());
+    auto result = search.run(profile());
+    auto min_seq = vn::makeMinPowerSequence(profile(), 6);
+
+    double p_max = result.best_power;
+    double p_min =
+        core().run(min_seq, 2000, 200000).avg_power;
+    double target = 0.5 * (p_max + p_min);
+
+    auto medium = vn::makeMediumPowerSequence(core(), result.best_sequence,
+                                              profile(), target);
+    double p_med = core()
+                       .run(medium, std::max<size_t>(medium.size() * 8,
+                                                     2000),
+                            1000000)
+                       .avg_power;
+    EXPECT_NEAR(p_med, target, 0.05 * target);
+}
+
+TEST(SequenceSearchTest, OversizedDesignSpaceIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::SequenceSearchParams params;
+    params.num_candidates = 30;
+    params.sequence_length = 10;
+    EXPECT_THROW(vn::SequenceSearch(core(), params), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Core-model validation: IPC of known instruction mixes, structural
+ * hazards, serialization, ROB throttling, and measured-power anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/table.hh"
+#include "uarch/core.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+const vn::InstrDesc &
+instr(const char *mnem)
+{
+    return vn::instrTable().find(mnem);
+}
+
+vn::RunResult
+runLoop(const vn::Program &p, uint64_t instrs = 4000)
+{
+    vn::CoreModel core;
+    return core.run(p, instrs, 10'000'000);
+}
+
+TEST(CoreModelTest, PureFxuLimitedByTwoInstances)
+{
+    auto p = vn::makeRepeatedProgram(&instr("A"), 100);
+    auto r = runLoop(p);
+    EXPECT_NEAR(r.ipc(), 2.0, 0.05);
+}
+
+TEST(CoreModelTest, PureBranchLimitedByBranchCap)
+{
+    auto p = vn::makeRepeatedProgram(&instr("CIB"), 100);
+    auto r = runLoop(p);
+    EXPECT_NEAR(r.ipc(), 2.0, 0.05);
+}
+
+TEST(CoreModelTest, MixedSequenceReachesDispatchWidth)
+{
+    // One uop each on FXU, LSU, BRU: all three dispatch slots usable.
+    vn::Program p;
+    for (int i = 0; i < 100; ++i) {
+        p.push(&instr("A"));
+        p.push(&instr("L"));
+        p.push(&instr("CIB"));
+    }
+    auto r = runLoop(p);
+    EXPECT_NEAR(r.ipc(), 3.0, 0.05);
+}
+
+TEST(CoreModelTest, NonPipelinedDivideThrottles)
+{
+    const auto &d = instr("DDTRA");
+    auto p = vn::makeRepeatedProgram(&d, 50);
+    auto r = runLoop(p, 1000);
+    EXPECT_NEAR(r.ipc(), 1.0 / d.latency, 0.005);
+}
+
+TEST(CoreModelTest, SerializingPeriodEqualsLatency)
+{
+    const auto &s = instr("SRNM");
+    auto p = vn::makeRepeatedProgram(&s, 10);
+    auto r = runLoop(p, 500);
+    EXPECT_NEAR(r.ipc(), 1.0 / s.latency, 0.005);
+}
+
+TEST(CoreModelTest, RobBoundThrottlesLongLatencyStreams)
+{
+    // Pipelined load latency 4 on 2 LSUs: steady in-flight is 8. With a
+    // ROB of 4, throughput halves to rob/latency = 1 uop/cycle.
+    vn::CoreParams params;
+    params.rob_size = 4;
+    vn::CoreModel core(params);
+    auto p = vn::makeRepeatedProgram(&instr("L"), 100);
+    auto r = core.run(p, 4000, 1'000'000);
+    EXPECT_NEAR(r.ipc(), 1.0, 0.05);
+}
+
+TEST(CoreModelTest, MeasuredPowerAnchorsMatchTableOne)
+{
+    // The normalized EPI profile should reproduce the paper's Table I
+    // extremes: CIB at ~1.58x SRNM, DDTRA at ~1.01x SRNM.
+    auto p_cib = vn::makeRepeatedProgram(&instr("CIB"), 4000);
+    auto p_srnm = vn::makeRepeatedProgram(&instr("SRNM"), 4000);
+    auto p_ddtra = vn::makeRepeatedProgram(&instr("DDTRA"), 4000);
+    auto p_chhsi = vn::makeRepeatedProgram(&instr("CHHSI"), 4000);
+
+    double srnm = runLoop(p_srnm, 2000).avg_power;
+    EXPECT_NEAR(runLoop(p_cib).avg_power / srnm, 1.58, 0.01);
+    EXPECT_NEAR(runLoop(p_ddtra, 2000).avg_power / srnm, 1.01, 0.01);
+    EXPECT_NEAR(runLoop(p_chhsi).avg_power / srnm, 1.55, 0.01);
+}
+
+TEST(CoreModelTest, MaxMixBeatsAnySingleInstruction)
+{
+    // A cross-unit mix exceeds the best single-instruction benchmark
+    // (stressmarks beat EPI toppers, as in the paper).
+    vn::Program mix;
+    for (int i = 0; i < 100; ++i) {
+        mix.push(&instr("CIB"));
+        mix.push(&instr("CHHSI"));
+        mix.push(&instr("L"));
+    }
+    auto p_cib = vn::makeRepeatedProgram(&instr("CIB"), 300);
+    EXPECT_GT(runLoop(mix).avg_power, runLoop(p_cib).avg_power * 1.05);
+}
+
+TEST(CoreModelTest, RunRespectsMaxCycles)
+{
+    vn::CoreModel core;
+    auto p = vn::makeRepeatedProgram(&instr("A"), 1000);
+    auto r = core.run(p, 1'000'000'000, 5000);
+    EXPECT_EQ(r.cycles, 5000u);
+}
+
+TEST(CoreModelTest, RunCompletesWholeBodyIterations)
+{
+    vn::CoreModel core;
+    vn::Program p;
+    p.push(&instr("A"));
+    p.push(&instr("L"));
+    p.push(&instr("CIB"));
+    auto r = core.run(p, 10);
+    // Completed instruction count is a multiple of the body size.
+    EXPECT_EQ(r.instrs % 3, 0u);
+    EXPECT_GE(r.instrs, 10u);
+}
+
+TEST(CoreModelTest, PowerTraceShowsHighLowPhases)
+{
+    // 60 high-power instructions then enough SRNM to idle: the binned
+    // trace must show a clear peak-to-peak swing.
+    vn::Program p;
+    for (int i = 0; i < 20; ++i) {
+        p.push(&instr("CIB"));
+        p.push(&instr("CHHSI"));
+        p.push(&instr("L"));
+    }
+    p.pushRepeated(&instr("SRNM"), 10);
+
+    vn::CoreModel core;
+    auto trace = core.powerTrace(p, 4000, 4);
+    ASSERT_GT(trace.size(), 100u);
+    double high = trace.max();
+    double low = trace.min();
+    EXPECT_GT(high, core.params().static_power + 1.0);
+    EXPECT_LT(low, core.params().static_power + 0.3);
+}
+
+TEST(CoreModelTest, PowerTraceBinTiming)
+{
+    vn::CoreModel core;
+    auto p = vn::makeRepeatedProgram(&instr("A"), 100);
+    auto trace = core.powerTrace(p, 1000, 10);
+    EXPECT_EQ(trace.size(), 100u);
+    EXPECT_NEAR(trace.dt(), 10.0 / core.params().clock_hz, 1e-18);
+}
+
+TEST(CoreModelTest, EmptyProgramIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::CoreModel core;
+    vn::Program p;
+    EXPECT_THROW(core.run(p, 100), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(CoreModelTest, StaticPowerFloorsIdleBins)
+{
+    // A serializing stream leaves most cycles idle: average power stays
+    // near static.
+    vn::CoreModel core;
+    auto p = vn::makeRepeatedProgram(&instr("SRNM"), 100);
+    auto r = core.run(p, 1000);
+    EXPECT_NEAR(r.avg_power, core.params().static_power, 0.05);
+}
+
+/** Property sweep: IPC of single-instruction benchmarks never exceeds
+ *  structural limits. */
+class IpcBoundsProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(IpcBoundsProperty, WithinStructuralLimits)
+{
+    const auto &table = vn::instrTable();
+    // Sample the ISA deterministically.
+    size_t index = static_cast<size_t>(GetParam()) * 97 % table.size();
+    const auto &d = table[index];
+
+    vn::CoreModel core;
+    auto p = vn::makeRepeatedProgram(&d, 200);
+    auto r = core.run(p, 1000, 200'000);
+
+    double ipc = r.ipc();
+    EXPECT_LE(ipc, core.params().dispatch_width + 1e-9) << d.mnemonic;
+
+    int instances =
+        core.params().unit_instances[static_cast<int>(d.unit)];
+    if (d.issue == vn::IssueClass::Pipelined) {
+        double bound = std::min<double>(core.params().dispatch_width,
+                                        instances * d.uops);
+        // uops-per-cycle cannot exceed instance throughput.
+        EXPECT_LE(ipc, std::min<double>(core.params().dispatch_width,
+                                        instances) +
+                           1e-9)
+            << d.mnemonic;
+        (void)bound;
+    } else if (d.issue == vn::IssueClass::NonPipelined) {
+        // Grace term for the finite-run end effect (the first uop
+        // issues at cycle 0, so n uops fit in (n-1)*latency+1 cycles).
+        double bound = static_cast<double>(instances * d.uops) / d.latency;
+        double grace = bound * d.latency / static_cast<double>(r.cycles);
+        EXPECT_LE(ipc, bound + grace + 1e-9) << d.mnemonic;
+    } else {
+        double bound = static_cast<double>(d.uops) / d.latency;
+        double grace = bound * d.latency / static_cast<double>(r.cycles);
+        EXPECT_LE(ipc, bound + grace + 1e-9) << d.mnemonic;
+    }
+    EXPECT_GT(ipc, 0.0) << d.mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(IsaSample, IpcBoundsProperty,
+                         ::testing::Range(0, 40));
+
+} // namespace

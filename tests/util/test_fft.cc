@@ -1,0 +1,151 @@
+/**
+ * @file
+ * FFT and spectrum tests against closed-form signals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/fft.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+TEST(FftTest, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(vn::isPowerOfTwo(1));
+    EXPECT_TRUE(vn::isPowerOfTwo(1024));
+    EXPECT_FALSE(vn::isPowerOfTwo(0));
+    EXPECT_FALSE(vn::isPowerOfTwo(12));
+    EXPECT_EQ(vn::nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(vn::nextPowerOfTwo(13), 16u);
+    EXPECT_EQ(vn::nextPowerOfTwo(16), 16u);
+}
+
+TEST(FftTest, ForwardInverseRoundTrip)
+{
+    vn::Rng rng(3);
+    std::vector<std::complex<double>> data(256);
+    std::vector<std::complex<double>> original(256);
+    for (size_t i = 0; i < data.size(); ++i) {
+        data[i] = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+        original[i] = data[i];
+    }
+    vn::fft(data);
+    vn::fft(data, true);
+    for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real() / 256.0, original[i].real(), 1e-12);
+        EXPECT_NEAR(data[i].imag() / 256.0, original[i].imag(), 1e-12);
+    }
+}
+
+TEST(FftTest, DeltaTransformsToFlat)
+{
+    std::vector<std::complex<double>> data(64, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    vn::fft(data);
+    for (const auto &x : data) {
+        EXPECT_NEAR(x.real(), 1.0, 1e-12);
+        EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(FftTest, SinusoidConcentratesInOneBin)
+{
+    const size_t n = 512;
+    std::vector<std::complex<double>> data(n);
+    const double k = 17.0;
+    for (size_t i = 0; i < n; ++i)
+        data[i] = std::sin(2.0 * M_PI * k * static_cast<double>(i) /
+                           static_cast<double>(n));
+    vn::fft(data);
+    // Energy at bins 17 and n-17, nowhere else.
+    for (size_t b = 0; b < n; ++b) {
+        double mag = std::abs(data[b]);
+        if (b == 17 || b == n - 17)
+            EXPECT_NEAR(mag, n / 2.0, 1e-9) << b;
+        else
+            EXPECT_NEAR(mag, 0.0, 1e-9) << b;
+    }
+}
+
+TEST(FftTest, NonPowerOfTwoIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    std::vector<std::complex<double>> data(100);
+    EXPECT_THROW(vn::fft(data), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(SpectrumTest, RecoversSinusoidFrequencyAndAmplitude)
+{
+    const double dt = 1e-9;
+    const double f0 = 5e6;
+    const double amp = 0.037;
+    std::vector<double> xs;
+    for (int i = 0; i < 4096; ++i)
+        xs.push_back(1.0 + amp * std::sin(2.0 * M_PI * f0 * i * dt));
+
+    auto spectrum = vn::magnitudeSpectrum(xs, dt);
+    double found = vn::dominantFrequency(spectrum, 1e5, 4e8);
+    EXPECT_NEAR(found, f0, 2.5e5); // within one bin
+
+    double peak = 0.0;
+    for (const auto &p : spectrum)
+        peak = std::max(peak, p.magnitude);
+    EXPECT_NEAR(peak, amp, amp * 0.15);
+}
+
+TEST(SpectrumTest, MeanRemovedBeforeTransform)
+{
+    // A pure DC signal yields an (almost) empty spectrum.
+    std::vector<double> xs(1024, 42.0);
+    auto spectrum = vn::magnitudeSpectrum(xs, 1e-9);
+    for (const auto &p : spectrum)
+        EXPECT_NEAR(p.magnitude, 0.0, 1e-12);
+}
+
+TEST(SpectrumTest, SquareWaveHarmonicsDecayAsOneOverK)
+{
+    const double dt = 1e-9;
+    // Bin-centred fundamental (bin 16 of 8192) so Hann scalloping does
+    // not skew the amplitude checks.
+    const double f0 = 16.0 / (8192.0 * dt);
+    std::vector<double> xs;
+    for (int i = 0; i < 8192; ++i) {
+        double phase = std::fmod(f0 * i * dt, 1.0);
+        xs.push_back(phase < 0.5 ? 1.0 : -1.0);
+    }
+    auto spectrum = vn::magnitudeSpectrum(xs, dt);
+
+    auto mag_near = [&](double f) {
+        double best = 0.0;
+        for (const auto &p : spectrum)
+            if (std::fabs(p.freq_hz - f) < 2e5)
+                best = std::max(best, p.magnitude);
+        return best;
+    };
+    double h1 = mag_near(f0);
+    double h3 = mag_near(3.0 * f0);
+    double h5 = mag_near(5.0 * f0);
+    EXPECT_NEAR(h1, 4.0 / M_PI, 0.1);
+    EXPECT_NEAR(h3 / h1, 1.0 / 3.0, 0.05);
+    EXPECT_NEAR(h5 / h1, 1.0 / 5.0, 0.05);
+    // Even harmonic absent.
+    EXPECT_LT(mag_near(2.0 * f0), 0.08);
+}
+
+TEST(SpectrumTest, DominantFrequencyRangeChecked)
+{
+    bool prev = vn::setThrowOnError(true);
+    std::vector<vn::SpectrumPoint> spectrum{{1e6, 1.0}};
+    EXPECT_THROW(vn::dominantFrequency(spectrum, 2e6, 3e6),
+                 vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { previous_ = vn::setThrowOnError(true); }
+    void TearDown() override { vn::setThrowOnError(previous_); }
+
+  private:
+    bool previous_ = false;
+};
+
+TEST_F(LoggingTest, FatalThrowsWhenConfigured)
+{
+    EXPECT_THROW(vn::fatal("bad config value ", 42), vn::FatalError);
+}
+
+TEST_F(LoggingTest, PanicThrowsWhenConfigured)
+{
+    EXPECT_THROW(vn::panic("broken invariant"), vn::FatalError);
+}
+
+TEST_F(LoggingTest, FatalMessageContainsFormattedArgs)
+{
+    try {
+        vn::fatal("value=", 7, " name=", "x");
+        FAIL() << "fatal() returned";
+    } catch (const vn::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7 name=x"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, PanicIfNotPassesOnTrue)
+{
+    EXPECT_NO_THROW(vn::panicIfNot(true, "never"));
+    EXPECT_THROW(vn::panicIfNot(false, "always"), vn::FatalError);
+}
+
+TEST_F(LoggingTest, SetThrowOnErrorReturnsPrevious)
+{
+    // SetUp already enabled throwing; toggling reports the prior state.
+    EXPECT_TRUE(vn::setThrowOnError(true));
+    EXPECT_TRUE(vn::setThrowOnError(false));
+    EXPECT_FALSE(vn::setThrowOnError(true));
+}
+
+TEST_F(LoggingTest, QuietSuppressionToggle)
+{
+    bool prev = vn::setQuiet(true);
+    vn::inform("this should not crash while quiet");
+    vn::setQuiet(prev);
+}
+
+} // namespace

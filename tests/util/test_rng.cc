@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the seeded PRNG: determinism, range, and rough moment checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace
+{
+
+TEST(RngTest, DeterministicForSeed)
+{
+    vn::Rng a(12345);
+    vn::Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    vn::Rng a(1);
+    vn::Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    vn::Rng a(777);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(777);
+    for (int i = 0; i < 16; ++i)
+        ASSERT_EQ(a.next(), first[i]);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    vn::Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    vn::Rng rng(10);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    vn::Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    vn::Rng rng(12);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard)
+{
+    vn::Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaledMoments)
+{
+    vn::Rng rng(14);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+} // namespace

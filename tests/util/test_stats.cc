@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for descriptive statistics, including the Pearson correlation
+ * used by the inter-core propagation analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace
+{
+
+TEST(RunningStatsTest, EmptyIsZero)
+{
+    vn::RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.peakToPeak(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence)
+{
+    vn::RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.peakToPeak(), 7.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSinglePass)
+{
+    vn::Rng rng(5);
+    vn::RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(-5.0, 5.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty)
+{
+    vn::RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StatsTest, MeanAndStddev)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(vn::mean(xs), 2.5);
+    EXPECT_NEAR(vn::stddev(xs), std::sqrt(1.25), 1e-12);
+}
+
+TEST(StatsTest, PeakToPeak)
+{
+    std::vector<double> xs{3.0, -2.0, 8.0, 0.5};
+    EXPECT_DOUBLE_EQ(vn::peakToPeak(xs), 10.0);
+    EXPECT_DOUBLE_EQ(vn::minOf(xs), -2.0);
+    EXPECT_DOUBLE_EQ(vn::maxOf(xs), 8.0);
+}
+
+TEST(StatsTest, PercentileEndpointsAndMedian)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(vn::percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(vn::percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(vn::percentile(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(vn::percentile(xs, 25.0), 2.0);
+}
+
+TEST(StatsTest, PerfectCorrelation)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(vn::pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PerfectAntiCorrelation)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    std::vector<double> ys{3.0, 2.0, 1.0};
+    EXPECT_NEAR(vn::pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(StatsTest, ConstantSeriesGivesZero)
+{
+    std::vector<double> xs{1.0, 1.0, 1.0};
+    std::vector<double> ys{3.0, 2.0, 1.0};
+    EXPECT_EQ(vn::pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(StatsTest, IndependentSeriesNearZero)
+{
+    vn::Rng rng(21);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.uniform());
+        ys.push_back(rng.uniform());
+    }
+    EXPECT_NEAR(vn::pearsonCorrelation(xs, ys), 0.0, 0.03);
+}
+
+TEST(StatsTest, CorrelationMatrixSymmetricUnitDiagonal)
+{
+    vn::Rng rng(22);
+    std::vector<std::vector<double>> series(4);
+    for (auto &s : series)
+        for (int i = 0; i < 100; ++i)
+            s.push_back(rng.uniform());
+
+    auto m = vn::correlationMatrix(series);
+    ASSERT_EQ(m.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(m[i][i], 1.0, 1e-12);
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+    }
+}
+
+} // namespace

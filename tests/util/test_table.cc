@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the table/CSV emitters and frequency labelling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+TEST(TextTableTest, RendersHeaderAndRows)
+{
+    vn::TextTable t({"Rank", "Instr", "Power"});
+    t.addRow({"1", "CIB", "1.58"});
+    t.addRow({"2", "CRB", "1.57"});
+    EXPECT_EQ(t.rowCount(), 2u);
+
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("Rank"), std::string::npos);
+    EXPECT_NE(out.find("CIB"), std::string::npos);
+    EXPECT_NE(out.find("1.58"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, RowArityMismatchIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    vn::TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(TextTableTest, NumFormatting)
+{
+    EXPECT_EQ(vn::TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(vn::TextTable::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(vn::TextTable::num(static_cast<long long>(42)), "42");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows)
+{
+    std::ostringstream oss;
+    vn::CsvWriter csv(oss, {"f_hz", "p2p"});
+    csv.addRow({"1000", "12.5"});
+    csv.addRow({"2000", "14.5"});
+    EXPECT_EQ(oss.str(), "f_hz,p2p\n1000,12.5\n2000,14.5\n");
+}
+
+TEST(CsvWriterTest, ArityMismatchIsFatal)
+{
+    bool prev = vn::setThrowOnError(true);
+    std::ostringstream oss;
+    vn::CsvWriter csv(oss, {"a"});
+    EXPECT_THROW(csv.addRow({"1", "2"}), vn::FatalError);
+    vn::setThrowOnError(prev);
+}
+
+TEST(FreqLabelTest, Scales)
+{
+    EXPECT_EQ(vn::freqLabel(1.0), "1Hz");
+    EXPECT_EQ(vn::freqLabel(40e3), "40kHz");
+    EXPECT_EQ(vn::freqLabel(2e6), "2MHz");
+    EXPECT_EQ(vn::freqLabel(2.5e6), "2.5MHz");
+    EXPECT_EQ(vn::freqLabel(5.5e9), "5.5GHz");
+}
+
+} // namespace

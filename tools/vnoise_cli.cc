@@ -1,0 +1,323 @@
+/**
+ * @file
+ * vnoise_cli: command-line driver over the library, mirroring the
+ * workflow a post-silicon characterization engineer would run from the
+ * service element.
+ *
+ * Subcommands:
+ *   impedance [--core N]                 PDN impedance profile
+ *   epi [--top N]                        EPI profile excerpt (Table I)
+ *   sweep [--sync] [--points N]          noise vs stimulus frequency
+ *   stressmark --freq HZ [--no-sync] [--events N] [--misalign TICKS]
+ *                                        build + run one stressmark
+ *   vmin (--idle|--unsync|--sync)        margin experiment
+ *   map --jobs K                         best/worst workload mapping
+ *   spectrum [--freq HZ]                 droop spectrum of a run (FFT)
+ */
+
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+using namespace vn;
+
+/** Tiny --key value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                fatal("vnoise_cli: unexpected argument '", key, "'");
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                values_[key] = argv[i + 1];
+                ++i;
+            } else {
+                values_[key] = "1";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return values_.count(key); }
+
+    std::string
+    text(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    double
+    number(const std::string &key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stod(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/** Chip configuration, optionally overridden by --config PATH. */
+ChipConfig
+chipConfig(const Args &args)
+{
+    std::string path = args.text("config", "");
+    if (path.empty())
+        return ChipConfig{};
+    return loadChipConfig(path);
+}
+
+const CoreModel &
+cliCore()
+{
+    static CoreModel core;
+    return core;
+}
+
+const StressmarkKit &
+kit()
+{
+    static StressmarkKit k =
+        StressmarkKit::cached(cliCore(), "vnoise_kit.cache");
+    return k;
+}
+
+int
+cmdImpedance(const Args &args)
+{
+    int core = static_cast<int>(args.number("core", 0));
+    ChipModel chip(chipConfig(args));
+    auto profile = impedanceProfile(chip.pdn(), core, 1e3, 1e8, 30);
+    TextTable table({"Frequency", "|Z| (mOhm)"});
+    for (const auto &p : profile.points)
+        table.addRow({freqLabel(p.freq_hz),
+                      TextTable::num(std::abs(p.z) * 1e3, 3)});
+    table.print(std::cout);
+    std::printf("bands: board %s, die %s\n",
+                freqLabel(profile.board_resonance_hz).c_str(),
+                freqLabel(profile.die_resonance_hz).c_str());
+    return 0;
+}
+
+int
+cmdEpi(const Args &args)
+{
+    size_t top = static_cast<size_t>(args.number("top", 10));
+    EpiProfiler profiler(kit().core(), 1000);
+    auto profile = profiler.profile();
+    TextTable table({"Rank", "Instr", "Power", "IPC"});
+    for (size_t i = 0; i < std::min(top, profile.size()); ++i) {
+        table.addRow({TextTable::num(static_cast<long long>(i + 1)),
+                      profile[i].instr->mnemonic,
+                      TextTable::num(profile[i].normalized, 2),
+                      TextTable::num(profile[i].ipc, 2)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    AnalysisContext ctx;
+    ctx.kit = &kit();
+    ctx.window = 20e-6;
+    bool sync = args.has("sync");
+    auto freqs = logspace(10e3, 50e6,
+                          static_cast<size_t>(args.number("points", 9)));
+    auto points = sweepStimulusFrequency(ctx, freqs, sync);
+    TextTable table({"Stimulus", "max %p2p", "min VDie"});
+    for (const auto &p : points)
+        table.addRow({freqLabel(p.freq_hz),
+                      TextTable::num(p.max_p2p, 1),
+                      TextTable::num(p.min_v, 4)});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdStressmark(const Args &args)
+{
+    StressmarkSpec spec;
+    spec.stimulus_freq_hz = args.number("freq", 2.4e6);
+    spec.consecutive_events =
+        static_cast<int>(args.number("events", 1000));
+    spec.synchronized = !args.has("no-sync");
+    spec.misalignment_ticks =
+        static_cast<uint64_t>(args.number("misalign", 0));
+    Stressmark sm = kit().make(spec);
+
+    std::printf("stressmark @ %s: %zu high + %zu low instrs/event, "
+                "deltaP %.2f units\n",
+                freqLabel(spec.stimulus_freq_hz).c_str(), sm.high_instrs,
+                sm.low_instrs, sm.deltaPower());
+    std::printf("high sequence: %s\n",
+                sm.high_sequence.toString().c_str());
+
+    ChipModel chip(chipConfig(args));
+    std::array<CoreActivity, kNumCores> w = {
+        sm.activity(), sm.activity(), sm.activity(),
+        sm.activity(), sm.activity(), sm.activity()};
+    auto r = chip.run(w, 30e-6);
+    TextTable table({"Core", "%p2p", "Vmin"});
+    for (int c = 0; c < kNumCores; ++c)
+        table.addRow({"core" + std::to_string(c),
+                      TextTable::num(r.core[c].p2p, 1),
+                      TextTable::num(r.core[c].v_min, 4)});
+    for (int u = 0; u < kNumSharedUnits; ++u)
+        table.addRow({sharedUnitName(u),
+                      TextTable::num(r.shared[u].p2p, 1),
+                      TextTable::num(r.shared[u].v_min, 4)});
+    table.print(std::cout);
+    std::printf("chip power %.0f W, failure: %s\n", r.avg_power_watts,
+                r.failed ? "YES" : "no");
+    return 0;
+}
+
+int
+cmdVmin(const Args &args)
+{
+    ChipConfig config = chipConfig(args);
+    VminExperiment vmin(config);
+    std::array<CoreActivity, kNumCores> w = {
+        ChipModel(config).idleActivity(), ChipModel(config).idleActivity(),
+        ChipModel(config).idleActivity(), ChipModel(config).idleActivity(),
+        ChipModel(config).idleActivity(), ChipModel(config).idleActivity()};
+    double window = 4e-6;
+    if (args.has("sync") || args.has("unsync")) {
+        StressmarkSpec spec;
+        spec.stimulus_freq_hz = 2.4e6;
+        spec.synchronized = args.has("sync");
+        Stressmark sm = kit().make(spec);
+        Rng rng(1);
+        for (int c = 0; c < kNumCores; ++c) {
+            double delay = args.has("unsync")
+                               ? rng.uniform() / spec.stimulus_freq_hz
+                               : 0.0;
+            w[c] = sm.activity(delay);
+        }
+        window = 24e-6;
+    }
+    auto r = vmin.run(w, window);
+    std::printf("margin: %.1f%% bias at first failure (%d steps)\n",
+                r.bias_at_failure * 100.0, r.steps);
+    return 0;
+}
+
+int
+cmdMap(const Args &args)
+{
+    int jobs = static_cast<int>(args.number("jobs", 3));
+    if (jobs < 1 || jobs > kNumCores)
+        fatal("vnoise_cli map: --jobs must be in [1, 6]");
+    AnalysisContext ctx;
+    ctx.kit = &kit();
+    ctx.window = 16e-6;
+    MappingStudy study(ctx, 2.4e6);
+    auto opportunities = mappingOpportunity(study);
+    const auto &o = opportunities[static_cast<size_t>(jobs - 1)];
+    auto show = [](const Mapping &m) {
+        std::string s;
+        for (int c = 0; c < kNumCores; ++c)
+            s += m[c] == WorkloadClass::Max ? 'X' : '.';
+        return s;
+    };
+    std::printf("%d jobs: best mapping %s (%.1f %%p2p), worst %s "
+                "(%.1f %%p2p)\n",
+                jobs, show(o.best_mapping).c_str(), o.best_noise,
+                show(o.worst_mapping).c_str(), o.worst_noise);
+    return 0;
+}
+
+int
+cmdSpectrum(const Args &args)
+{
+    StressmarkSpec spec;
+    spec.stimulus_freq_hz = args.number("freq", 2.4e6);
+    Stressmark sm = kit().make(spec);
+    ChipModel chip;
+    RunOptions options;
+    options.capture_traces = true;
+    std::array<CoreActivity, kNumCores> w = {
+        sm.activity(), sm.activity(), sm.activity(),
+        sm.activity(), sm.activity(), sm.activity()};
+    auto r = chip.run(w, 40e-6, options);
+
+    auto trace = r.traces[0].slice(4e-6, 40e-6);
+    auto spectrum = magnitudeSpectrum(trace.samples(), trace.dt());
+    double fundamental =
+        dominantFrequency(spectrum, spec.stimulus_freq_hz * 0.5,
+                          spec.stimulus_freq_hz * 1.5);
+    std::printf("droop spectrum of core 0 under the stressmark:\n");
+    TextTable table({"Band", "Amplitude (mV)"});
+    for (double f = spec.stimulus_freq_hz; f < 2e7;
+         f += 2.0 * spec.stimulus_freq_hz) {
+        double best = 0.0;
+        for (const auto &p : spectrum)
+            if (std::fabs(p.freq_hz - f) < 2.0 / (40e-6 - 4e-6))
+                best = std::max(best, p.magnitude);
+        table.addRow({freqLabel(f), TextTable::num(best * 1e3, 2)});
+    }
+    table.print(std::cout);
+    std::printf("fundamental found at %s\n",
+                freqLabel(fundamental).c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: vnoise_cli <command> [options]\n"
+        "  impedance [--core N]\n"
+        "  epi [--top N]\n"
+        "  sweep [--sync] [--points N]\n"
+        "  stressmark [--freq HZ] [--events N] [--no-sync] "
+        "[--misalign TICKS]\n"
+        "  vmin [--idle|--unsync|--sync]\n"
+        "  map [--jobs K]\n"
+        "  spectrum [--freq HZ]\n"
+        "common: --config PATH  (key=value chip configuration; see\n"
+        "        saveChipConfig / docs)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    Args args(argc, argv);
+    std::string command = argv[1];
+    if (command == "impedance")
+        return cmdImpedance(args);
+    if (command == "epi")
+        return cmdEpi(args);
+    if (command == "sweep")
+        return cmdSweep(args);
+    if (command == "stressmark")
+        return cmdStressmark(args);
+    if (command == "vmin")
+        return cmdVmin(args);
+    if (command == "map")
+        return cmdMap(args);
+    if (command == "spectrum")
+        return cmdSpectrum(args);
+    usage();
+    return 1;
+}
