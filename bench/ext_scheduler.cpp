@@ -9,13 +9,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Extension (section VII-A)",
                     "online noise-aware workload scheduling");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     ctx.window = 14e-6;
     MappingStudy study(ctx, 2.4e6);
     inform("precomputing the 64-placement noise oracle...");
@@ -41,5 +41,6 @@ main()
                 "trimming the time-average worst-case noise; peaks "
                 "converge at high load where every core is busy "
                 "(Fig. 15's shrinking opportunity at k=6)\n");
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -13,65 +13,109 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Extension", "process-variation corners: per-core "
                                  "spread and cluster robustness");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     ctx.window = 12e-6;
 
     const int corners = 6;
+
+    // One campaign job per process corner: each runs the all-max
+    // mapping plus the reduced mapping set and reduces to one row of
+    // the table.
+    struct CornerResult
+    {
+        double lo = 0.0, hi = 0.0, v_spread = 0.0;
+        int worst = 0;
+        bool layout_clusters = false;
+    };
+    runtime::Campaign<CornerResult> campaign(
+        ctx.campaign, ctx.seed, analysisScope(ctx, "variation-corners"));
+    campaign.setCodec(
+        [](const CornerResult &r, KeyValueFile &kv) {
+            kv.set("lo", r.lo);
+            kv.set("hi", r.hi);
+            kv.set("v_spread", r.v_spread);
+            kv.set("worst", r.worst);
+            kv.set("layout_clusters", r.layout_clusters ? 1.0 : 0.0);
+        },
+        [](const KeyValueFile &kv) {
+            CornerResult r;
+            r.lo = kv.require("lo");
+            r.hi = kv.require("hi");
+            r.v_spread = kv.require("v_spread");
+            r.worst = static_cast<int>(kv.require("worst"));
+            r.layout_clusters = kv.require("layout_clusters") != 0.0;
+            return r;
+        });
+
+    for (int corner = 0; corner < corners; ++corner) {
+        campaign.submit(
+            "corner " + std::to_string(corner), [&ctx, corner](uint64_t) {
+                AnalysisContext corner_ctx = ctx;
+                corner_ctx.chip_config.variation =
+                    VariationProfile::randomCorner(
+                        1000 + static_cast<uint64_t>(corner), 0.03);
+                // The per-corner mapping runs happen inside this job;
+                // keep them serial and uncached (the corner result is
+                // the cacheable unit).
+                corner_ctx.campaign = runtime::CampaignOptions{};
+                MappingStudy study(corner_ctx, 2.4e6);
+
+                // All-max mapping for the spread numbers.
+                Mapping all{};
+                all.fill(WorkloadClass::Max);
+                auto r = study.run(all);
+                CornerResult out;
+                out.lo = 1e9;
+                double v_lo = 1e9, v_hi = 0.0;
+                for (int c = 0; c < kNumCores; ++c) {
+                    out.lo = std::min(out.lo, r.p2p[c]);
+                    out.hi = std::max(out.hi, r.p2p[c]);
+                    v_lo = std::min(v_lo, r.v_min[c]);
+                    v_hi = std::max(v_hi, r.v_min[c]);
+                    if (r.p2p[c] >= r.p2p[out.worst])
+                        out.worst = c;
+                }
+                out.v_spread = v_hi - v_lo;
+
+                // Reduced mapping set for the correlation clusters.
+                std::vector<MappingResult> results;
+                for (int mask = 1; mask < 64; mask += 2) {
+                    Mapping m{};
+                    for (int c = 0; c < kNumCores; ++c) {
+                        m[c] = (mask >> c) & 1 ? WorkloadClass::Max
+                                               : WorkloadClass::Idle;
+                    }
+                    results.push_back(study.run(m));
+                }
+                auto clusters =
+                    detectClusters(noiseCorrelationMatrix(results));
+                out.layout_clusters = clusters[0] == clusters[2] &&
+                                      clusters[2] == clusters[4] &&
+                                      clusters[1] == clusters[3] &&
+                                      clusters[3] == clusters[5] &&
+                                      clusters[0] != clusters[1];
+                return out;
+            });
+    }
+    auto corner_results = campaign.collectOrFatal();
+
     TextTable table({"Corner", "worst core", "max %p2p", "min %p2p",
                      "Vmin spread (mV)", "clusters"});
     int clusters_ok = 0;
     for (int corner = 0; corner < corners; ++corner) {
-        AnalysisContext corner_ctx = ctx;
-        corner_ctx.chip_config.variation =
-            VariationProfile::randomCorner(1000 +
-                                           static_cast<uint64_t>(corner),
-                                           0.03);
-        MappingStudy study(corner_ctx, 2.4e6);
-
-        // All-max mapping for the spread numbers.
-        Mapping all{};
-        all.fill(WorkloadClass::Max);
-        auto r = study.run(all);
-        double lo = 1e9, hi = 0.0, v_lo = 1e9, v_hi = 0.0;
-        int worst = 0;
-        for (int c = 0; c < kNumCores; ++c) {
-            lo = std::min(lo, r.p2p[c]);
-            hi = std::max(hi, r.p2p[c]);
-            v_lo = std::min(v_lo, r.v_min[c]);
-            v_hi = std::max(v_hi, r.v_min[c]);
-            if (r.p2p[c] >= r.p2p[worst])
-                worst = c;
-        }
-
-        // Reduced mapping set for the correlation clusters.
-        std::vector<MappingResult> results;
-        for (int mask = 1; mask < 64; mask += 2) {
-            Mapping m{};
-            for (int c = 0; c < kNumCores; ++c) {
-                m[c] = (mask >> c) & 1 ? WorkloadClass::Max
-                                       : WorkloadClass::Idle;
-            }
-            results.push_back(study.run(m));
-        }
-        auto clusters = detectClusters(noiseCorrelationMatrix(results));
-        bool layout_clusters = clusters[0] == clusters[2] &&
-                               clusters[2] == clusters[4] &&
-                               clusters[1] == clusters[3] &&
-                               clusters[3] == clusters[5] &&
-                               clusters[0] != clusters[1];
-        clusters_ok += layout_clusters;
-
+        const auto &r = corner_results[static_cast<size_t>(corner)];
+        clusters_ok += r.layout_clusters;
         table.addRow({TextTable::num(static_cast<long long>(corner)),
-                      "core" + std::to_string(worst),
-                      TextTable::num(hi, 1), TextTable::num(lo, 1),
-                      TextTable::num((v_hi - v_lo) * 1e3, 2),
-                      layout_clusters ? "{0,2,4}/{1,3,5}" : "OTHER"});
+                      "core" + std::to_string(r.worst),
+                      TextTable::num(r.hi, 1), TextTable::num(r.lo, 1),
+                      TextTable::num(r.v_spread * 1e3, 2),
+                      r.layout_clusters ? "{0,2,4}/{1,3,5}" : "OTHER"});
     }
     table.print(std::cout);
 
@@ -79,5 +123,6 @@ main()
                 " a PDN-design property, per-core magnitudes are the "
                 "process-variation part (paper section V-A / VI)\n",
                 clusters_ok, corners);
+    vnbench::printCampaignSummary();
     return clusters_ok == corners ? 0 : 1;
 }

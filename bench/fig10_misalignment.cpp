@@ -10,13 +10,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 10", "noise sensitivity to deltaI event "
                                  "alignment (62.5 ns steps)");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     std::vector<uint64_t> ticks{0, 1, 2, 3, 4, 6, 8, 10};
     inform("sweeping ", ticks.size(), " misalignment windows x 3 "
                                       "assignments...");
@@ -43,5 +43,6 @@ main()
                 points.back().avg_max_p2p);
     std::printf("paper: a small misalignment (62.5 ns granularity) is "
                 "sufficient to diminish the synchronization effect\n");
+    vnbench::printCampaignSummary();
     return 0;
 }

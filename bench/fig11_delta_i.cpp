@@ -15,13 +15,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 11", "noise sensitivity to the amount of "
                                  "deltaI (729 workload mappings)");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     MappingStudy study(ctx, 2.4e6);
     auto results = study.runAll(true);
 
@@ -103,5 +103,6 @@ main()
                     " significant)\n",
                     it_06->second.mean(), it_30->second.mean());
     }
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -11,13 +11,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 12", "available margin vs consecutive deltaI"
                                  " events and stimulus frequency");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     // The paper's frequency set: resonant bands and surroundings, plus
     // the degenerate extremes.
     std::vector<double> freqs{1.0,   35e3,  350e3,
@@ -91,5 +91,6 @@ main()
                 "(paper draws this line above the no-sync results: "
                 "'plenty of margin for optimization opportunities')\n",
                 (customer_margin.bias_at_failure - worst) * 100.0);
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -10,13 +10,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 13", "inter-core noise propagation");
 
     // --- Fig. 13a: correlation across all mappings -------------------
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     MappingStudy study(ctx, 2.4e6);
     inform("running all 729 workload mappings for the correlation "
            "dataset...");
@@ -97,5 +97,6 @@ main()
     std::printf("\nthe deltaI on core 0 reaches cores 2/4 faster and "
                 "more strongly than cores 1/3/5 (paper's finding); the "
                 "L3 damps the cross-cluster path\n");
+    vnbench::printCampaignSummary();
     return 0;
 }

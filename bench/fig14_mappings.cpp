@@ -38,13 +38,13 @@ printChip(const vn::MappingResult &r, const char *title)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 14", "two mappings of 3 worst-case dI/dt "
                                  "stressmarks");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     MappingStudy study(ctx, 2.4e6);
 
     auto place = [](std::initializer_list<int> cores) {
@@ -68,5 +68,6 @@ main()
                 worst.max_p2p - best.max_p2p);
     std::printf("core 2 suffers most in (b): it sits between two other "
                 "noisy cores, as in the paper\n");
+    vnbench::printCampaignSummary();
     return 0;
 }

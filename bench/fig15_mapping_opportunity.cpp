@@ -9,13 +9,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 15", "worst-case noise reduction via "
                                  "noise-aware workload mapping");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     MappingStudy study(ctx, 2.4e6);
     inform("evaluating all C(6,k) placements for k = 1..6...");
     auto opportunities = mappingOpportunity(study);
@@ -43,5 +43,6 @@ main()
                 "workloads (paper: 2-3 points for 2-4 workloads, "
                 "smaller at the extremes)\n",
                 best_reduction, best_k);
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -12,7 +12,7 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 7", "noise sensitivity to stimulus frequency"
@@ -34,7 +34,7 @@ main()
                 profile.die_resonance_hz / 1e6);
 
     // (a) per-core noise sweep, free-running copies.
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     auto freqs = logspace(10e3, 50e6, 19);
     inform("sweeping ", freqs.size(), " stimulus frequencies x ",
            ctx.unsync_draws, " alignment draws...");
@@ -61,5 +61,6 @@ main()
     std::printf("\npeak noise %.1f %%p2p at %s (paper: ~41 %%p2p around "
                 "2 MHz); noise declines above ~5 MHz as in the paper\n",
                 peak->max_p2p, freqLabel(peak->freq_hz).c_str());
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -57,7 +57,7 @@ main()
     const Waveform &trace = r.traces[0];
     // (a) 20 us window (skip the start-up).
     Waveform shot = trace.slice(2e-6, 22e-6);
-    shot.writeCsv("fig8_20us.csv", "v_core0");
+    shot.writeCsv(vn::outputPath("fig8_20us.csv"), "v_core0");
 
     std::printf("--- Fig. 8a: 20 us shot (decimated ASCII view) ---\n");
     asciiPlot(shot, 40);
@@ -65,7 +65,7 @@ main()
     // (b) single period.
     double period = 1.0 / spec.stimulus_freq_hz;
     Waveform one = trace.slice(10e-6, 10e-6 + period);
-    one.writeCsv("fig8_period.csv", "v_core0");
+    one.writeCsv(vn::outputPath("fig8_period.csv"), "v_core0");
     std::printf("\n--- Fig. 8b: single period (%.0f ns) ---\n",
                 period * 1e9);
     asciiPlot(one, 24);
@@ -84,8 +84,9 @@ main()
                 "%.2f MHz (stimulus %.2f MHz)\n",
                 shot.peakToPeak() * 1e3, mean, measured_freq / 1e6,
                 spec.stimulus_freq_hz / 1e6);
-    std::printf("full-resolution traces written to fig8_20us.csv / "
-                "fig8_period.csv\n");
+    std::printf("full-resolution traces written to %s / %s\n",
+                vn::outputPath("fig8_20us.csv").c_str(),
+                vn::outputPath("fig8_period.csv").c_str());
 
     // Droop-event statistics at 5% / 10% below nominal: the quantity
     // voltage-emergency predictors (section VIII related work) consume.

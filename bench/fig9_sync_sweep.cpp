@@ -9,13 +9,13 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vn;
     vnbench::banner("Figure 9", "noise sensitivity to stimulus frequency"
                                 " with TOD synchronization every 4 ms");
 
-    auto ctx = vnbench::defaultContext();
+    auto ctx = vnbench::defaultContext(argc, argv);
     auto freqs = logspace(10e3, 50e6, 19);
 
     inform("synchronized sweep...");
@@ -54,5 +54,6 @@ main()
                 "key claim\n",
                 sync_offres, unsync_peak,
                 sync_offres > unsync_peak ? "beats" : "approaches");
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the campaign runtime: pool
+ * dispatch overhead, campaign throughput vs thread count on a
+ * synthetic transient-solve job, and the result-cache replay path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "vnoise/vnoise.hh"
+
+namespace
+{
+
+const vn::ChipPdn &
+pdn()
+{
+    static vn::ChipPdn p = vn::buildZec12Pdn();
+    return p;
+}
+
+/** A job shaped like a real campaign unit: a short transient solve. */
+double
+transientJob(uint64_t seed)
+{
+    vn::Rng rng(seed);
+    vn::TransientSolver sim(pdn().netlist, 1e-9);
+    std::vector<double> load(pdn().portCount(), 0.0);
+    sim.initDcOperatingPoint(load);
+    double v_min = 1e9;
+    for (int i = 0; i < 200; ++i) {
+        load[0] = 10.0 + 10.0 * rng.uniform();
+        sim.step(load);
+        v_min = std::min(v_min, sim.nodeVoltage(pdn().core_node[0]));
+    }
+    return v_min;
+}
+
+void
+BM_PoolDispatch(benchmark::State &state)
+{
+    // Raw submit/wait cost for trivial tasks; bounds the minimum
+    // useful job granularity.
+    vn::runtime::Pool pool(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            pool.submit([] {});
+        pool.wait();
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PoolDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_CampaignThroughput(benchmark::State &state)
+{
+    // Campaign of synthetic transient-solve jobs vs thread count. The
+    // serial (jobs = 1) run is the baseline the speedup is read
+    // against; results are identical for every arg by construction.
+    vn::runtime::CampaignOptions options;
+    options.jobs = static_cast<int>(state.range(0));
+    const int n = 32;
+    for (auto _ : state) {
+        vn::runtime::Campaign<double> campaign(options, 7, "perf");
+        for (int i = 0; i < n; ++i) {
+            campaign.submit("job " + std::to_string(i),
+                            [](uint64_t seed) {
+                                return transientJob(seed);
+                            });
+        }
+        auto results = campaign.collectOrFatal();
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CampaignThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_CampaignCacheReplay(benchmark::State &state)
+{
+    // All-hits replay: the cost of a campaign whose every job is
+    // already cached (hash + load + decode per job).
+    std::string dir = vn::outputPath("perf_runtime.cache");
+    std::filesystem::remove_all(dir);
+    vn::runtime::CampaignOptions options;
+    options.cache_dir = dir;
+    const int n = 32;
+    auto run = [&] {
+        vn::runtime::Campaign<double> campaign(options, 7, "perf");
+        campaign.setCodec(
+            [](const double &v, vn::KeyValueFile &kv) {
+                kv.set("v", v);
+            },
+            [](const vn::KeyValueFile &kv) { return kv.require("v"); });
+        for (int i = 0; i < n; ++i) {
+            campaign.submit("job " + std::to_string(i),
+                            [](uint64_t seed) {
+                                return transientJob(seed);
+                            });
+        }
+        return campaign.collectOrFatal();
+    };
+    run(); // populate
+    for (auto _ : state) {
+        auto results = run();
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CampaignCacheReplay);
+
+} // namespace
+
+BENCHMARK_MAIN();

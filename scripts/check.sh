@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, run the full test suite, then build the
+# campaign runtime tests under ThreadSanitizer and run them. This is
+# the gate a change must pass before merging.
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+jobs=$(nproc 2>/dev/null || echo 2)
+while getopts "j:" opt; do
+    case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + full test suite =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== tier 2: campaign runtime under ThreadSanitizer =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs"
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+
+echo "== all checks passed =="

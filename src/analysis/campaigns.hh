@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Campaign glue for the analysis harnesses: the shared-configuration
+ * scope string (cache invalidation) and KeyValueFile codecs for the
+ * harness result types (cache persistence).
+ *
+ * A codec must round-trip exactly — KeyValueFile stores full-precision
+ * doubles, so a cache replay is byte-identical to a fresh run.
+ */
+
+#ifndef VN_ANALYSIS_CAMPAIGNS_HH
+#define VN_ANALYSIS_CAMPAIGNS_HH
+
+#include <string>
+
+#include "analysis/context.hh"
+#include "analysis/mapping.hh"
+#include "analysis/margins.hh"
+#include "analysis/sweeps.hh"
+
+namespace vn
+{
+
+/**
+ * Serialized configuration every analysis campaign result depends on:
+ * the full chip/PDN config plus the harness knobs of `ctx`. Two
+ * contexts with equal scope strings may share cached results.
+ *
+ * @param extra harness-specific parameters that are not part of the
+ *              per-job key (e.g. a study-wide stimulus frequency)
+ */
+std::string analysisScope(const AnalysisContext &ctx,
+                          const std::string &extra = "");
+
+/** FreqSweepPoint <-> KeyValueFile. */
+void encodeFreqSweepPoint(const FreqSweepPoint &p, KeyValueFile &kv);
+FreqSweepPoint decodeFreqSweepPoint(const KeyValueFile &kv);
+
+/** MisalignmentPoint <-> KeyValueFile. */
+void encodeMisalignmentPoint(const MisalignmentPoint &p,
+                             KeyValueFile &kv);
+MisalignmentPoint decodeMisalignmentPoint(const KeyValueFile &kv);
+
+/** MappingResult <-> KeyValueFile. */
+void encodeMappingResult(const MappingResult &r, KeyValueFile &kv);
+MappingResult decodeMappingResult(const KeyValueFile &kv);
+
+/** MarginPoint <-> KeyValueFile. */
+void encodeMarginPoint(const MarginPoint &p, KeyValueFile &kv);
+MarginPoint decodeMarginPoint(const KeyValueFile &kv);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_CAMPAIGNS_HH

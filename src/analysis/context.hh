@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "chip/chip.hh"
+#include "runtime/campaign.hh"
 #include "stressmark/kit.hh"
 
 namespace vn
@@ -20,6 +21,14 @@ namespace vn
 struct AnalysisContext
 {
     ChipConfig chip_config;
+
+    /**
+     * Campaign execution knobs (worker threads, result-cache dir,
+     * retry budget). Results are independent of `campaign.jobs`:
+     * harness loops derive per-job seeds from `seed` and the job key,
+     * so a parallel campaign is bit-identical to a serial one.
+     */
+    runtime::CampaignOptions campaign;
 
     /** Stressmark methodology output; must outlive the context. */
     const StressmarkKit *kit = nullptr;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "analysis/campaigns.hh"
+#include "runtime/campaign.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -50,6 +53,7 @@ MappingStudy::MappingStudy(const AnalysisContext &ctx, double freq_hz)
     max_sm_ = ctx.kit->make(spec);
     medium_sm_ = ctx.kit->makeMedium(spec);
     window_ = std::clamp(10.0 / freq_hz, ctx.window, 2e-4);
+    freq_hz_ = freq_hz;
 }
 
 MappingResult
@@ -83,11 +87,37 @@ MappingStudy::run(const Mapping &mapping) const
 }
 
 std::vector<MappingResult>
+MappingStudy::runMany(std::span<const Mapping> mappings) const
+{
+    // Scope over the *effective* study configuration: the constructor
+    // bumps dt and derives its own window, so fingerprint those, not
+    // the raw context values.
+    AnalysisContext effective = ctx_;
+    effective.chip_config = chip_.config();
+    effective.window = window_;
+
+    char extra[48];
+    std::snprintf(extra, sizeof(extra), "mapping f=%.17g", freq_hz_);
+    runtime::Campaign<MappingResult> campaign(
+        ctx_.campaign, ctx_.seed, analysisScope(effective, extra));
+    campaign.setCodec(encodeMappingResult, decodeMappingResult);
+
+    for (const Mapping &mapping : mappings) {
+        std::string key = "mapping ";
+        for (int c = 0; c < kNumCores; ++c)
+            key += static_cast<char>('0' + static_cast<int>(mapping[c]));
+        campaign.submit(key,
+                        [this, mapping](uint64_t) { return run(mapping); });
+    }
+    return campaign.collectOrFatal();
+}
+
+std::vector<MappingResult>
 MappingStudy::runAll(bool progress) const
 {
-    std::vector<MappingResult> results;
     const int total = 729; // 3^6
-    results.reserve(total);
+    std::vector<Mapping> mappings;
+    mappings.reserve(total);
     for (int code = 0; code < total; ++code) {
         Mapping mapping;
         int c = code;
@@ -95,11 +125,13 @@ MappingStudy::runAll(bool progress) const
             mapping[core] = static_cast<WorkloadClass>(c % 3);
             c /= 3;
         }
-        results.push_back(run(mapping));
-        if (progress && (code + 1) % 81 == 0)
-            inform("MappingStudy: ", code + 1, "/", total, " mappings");
+        mappings.push_back(mapping);
     }
-    return results;
+    if (progress)
+        inform("MappingStudy: running ", total, " mappings on ",
+               ctx_.campaign.jobs,
+               ctx_.campaign.jobs == 1 ? " thread" : " threads");
+    return runMany(mappings);
 }
 
 std::vector<std::vector<double>>
@@ -175,28 +207,35 @@ detectClusters(const std::vector<std::vector<double>> &correlation)
 std::vector<MappingOpportunity>
 mappingOpportunity(const MappingStudy &study)
 {
+    // One campaign over all 2^6 - 1 idle/max placements; the per-k
+    // best/worst reduction happens on the ordered results.
+    std::vector<Mapping> mappings;
+    mappings.reserve((1 << kNumCores) - 1);
+    for (int mask = 1; mask < (1 << kNumCores); ++mask) {
+        Mapping mapping;
+        for (int c = 0; c < kNumCores; ++c) {
+            mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
+                                         : WorkloadClass::Idle;
+        }
+        mappings.push_back(mapping);
+    }
+    auto results = study.runMany(mappings);
+
     std::vector<MappingOpportunity> out;
     for (int k = 1; k <= kNumCores; ++k) {
         MappingOpportunity opp;
         opp.workloads = k;
         bool first = true;
-        // Enumerate all 6-bit masks with k bits set.
-        for (int mask = 0; mask < (1 << kNumCores); ++mask) {
-            if (__builtin_popcount(static_cast<unsigned>(mask)) != k)
+        for (const auto &result : results) {
+            if (activeCores(result.mapping) != k)
                 continue;
-            Mapping mapping;
-            for (int c = 0; c < kNumCores; ++c) {
-                mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
-                                             : WorkloadClass::Idle;
-            }
-            auto result = study.run(mapping);
             if (first || result.max_p2p < opp.best_noise) {
                 opp.best_noise = result.max_p2p;
-                opp.best_mapping = mapping;
+                opp.best_mapping = result.mapping;
             }
             if (first || result.max_p2p > opp.worst_noise) {
                 opp.worst_noise = result.max_p2p;
-                opp.worst_mapping = mapping;
+                opp.worst_mapping = result.mapping;
             }
             first = false;
         }

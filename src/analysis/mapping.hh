@@ -10,6 +10,7 @@
 #define VN_ANALYSIS_MAPPING_HH
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "analysis/context.hh"
@@ -64,6 +65,13 @@ class MappingStudy
     /** Run one mapping. */
     MappingResult run(const Mapping &mapping) const;
 
+    /**
+     * Run a batch of mappings as a campaign (parallel/cached per the
+     * context's CampaignOptions); results follow the input order.
+     */
+    std::vector<MappingResult>
+    runMany(std::span<const Mapping> mappings) const;
+
     /** Run every workload-to-core mapping (3^6 = 729). */
     std::vector<MappingResult> runAll(bool progress = false) const;
 
@@ -75,6 +83,7 @@ class MappingStudy
     Stressmark max_sm_;
     Stressmark medium_sm_;
     double window_;
+    double freq_hz_;
 };
 
 /**

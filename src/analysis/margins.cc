@@ -1,9 +1,12 @@
 #include "analysis/margins.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "analysis/campaigns.hh"
 #include "chip/tod.hh"
 #include "chip/vmin.hh"
+#include "runtime/campaign.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -18,54 +21,68 @@ consecutiveEventsStudy(const AnalysisContext &ctx,
     if (ctx.kit == nullptr)
         fatal("consecutiveEventsStudy: kit must be set");
 
-    std::vector<MarginPoint> out;
-    Rng rng(ctx.seed);
+    char extra[48];
+    std::snprintf(extra, sizeof(extra), "vmin-grid step=%.17g",
+                  bias_step);
+    runtime::Campaign<MarginPoint> campaign(ctx.campaign, ctx.seed,
+                                            analysisScope(ctx, extra));
+    campaign.setCodec(encodeMarginPoint, decodeMarginPoint);
+
     VminExperiment vmin(ctx.chip_config, bias_step, 0.15);
 
     for (double f : freqs) {
-        double period = 1.0 / f;
-        double sync_interval =
-            static_cast<double>(64000) * TodClock::tick_seconds;
-        double window = std::clamp(4.0 * period, 20e-6, 120e-6);
-
         for (int n : events) {
-            StressmarkSpec spec;
-            spec.stimulus_freq_hz = f;
-            spec.synchronized = n > 0;
-            spec.consecutive_events = n > 0 ? n : 1000;
-            Stressmark sm = ctx.kit->make(spec);
+            char key[64];
+            std::snprintf(key, sizeof(key), "vmin f=%.17g n=%d", f, n);
+            campaign.submit(key, [&ctx, &vmin, f, n](uint64_t seed) {
+                double period = 1.0 / f;
+                double sync_interval = static_cast<double>(64000) *
+                                       TodClock::tick_seconds;
+                double window =
+                    std::clamp(4.0 * period, 20e-6, 120e-6);
 
-            std::array<CoreActivity, kNumCores> workloads = {
-                sm.activity(), sm.activity(), sm.activity(),
-                sm.activity(), sm.activity(), sm.activity()};
+                StressmarkSpec spec;
+                spec.stimulus_freq_hz = f;
+                spec.synchronized = n > 0;
+                spec.consecutive_events = n > 0 ? n : 1000;
+                Stressmark sm = ctx.kit->make(spec);
 
-            if (n <= 0) {
-                // "Infinite" events: free-running copies from random
-                // start phases.
-                for (int c = 0; c < kNumCores; ++c)
-                    workloads[c] = sm.activity(period * rng.uniform());
-            } else if (period > sync_interval) {
-                // Footnote 6: when events are rarer than the sync
-                // interval, copies align to different 4 ms boundaries.
-                for (int c = 0; c < kNumCores; ++c) {
-                    StressmarkSpec misaligned = spec;
-                    misaligned.misalignment_ticks =
-                        static_cast<uint64_t>(c) * 64000 / kNumCores;
-                    workloads[c] =
-                        ctx.kit->make(misaligned).activity();
+                std::array<CoreActivity, kNumCores> workloads = {
+                    sm.activity(), sm.activity(), sm.activity(),
+                    sm.activity(), sm.activity(), sm.activity()};
+
+                if (n <= 0) {
+                    // "Infinite" events: free-running copies from
+                    // random start phases.
+                    Rng rng(seed);
+                    for (int c = 0; c < kNumCores; ++c)
+                        workloads[c] =
+                            sm.activity(period * rng.uniform());
+                } else if (period > sync_interval) {
+                    // Footnote 6: when events are rarer than the sync
+                    // interval, copies align to different 4 ms
+                    // boundaries.
+                    for (int c = 0; c < kNumCores; ++c) {
+                        StressmarkSpec misaligned = spec;
+                        misaligned.misalignment_ticks =
+                            static_cast<uint64_t>(c) * 64000 /
+                            kNumCores;
+                        workloads[c] =
+                            ctx.kit->make(misaligned).activity();
+                    }
                 }
-            }
 
-            auto result = vmin.run(workloads, window);
-            MarginPoint point;
-            point.freq_hz = f;
-            point.events = n;
-            point.bias_at_failure = result.bias_at_failure;
-            point.failed = result.failed;
-            out.push_back(point);
+                auto result = vmin.run(workloads, window);
+                MarginPoint point;
+                point.freq_hz = f;
+                point.events = n;
+                point.bias_at_failure = result.bias_at_failure;
+                point.failed = result.failed;
+                return point;
+            });
         }
     }
-    return out;
+    return campaign.collectOrFatal();
 }
 
 } // namespace vn

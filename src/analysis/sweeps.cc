@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "analysis/campaigns.hh"
 #include "chip/tod.hh"
 #include "measure/skitter.hh"
+#include "runtime/campaign.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -49,6 +52,15 @@ windowFor(const AnalysisContext &ctx, double freq_hz)
     return std::clamp(12.0 * period, ctx.window, 6.0e-4);
 }
 
+/** Full-precision number for job keys: equal keys iff equal values. */
+std::string
+numKey(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
 /** Synchronized max-stressmark activity with a misalignment offset. */
 CoreActivity
 makeActivity(const AnalysisContext &ctx, double freq_hz,
@@ -62,6 +74,77 @@ makeActivity(const AnalysisContext &ctx, double freq_hz,
     return ctx.kit->make(spec).activity();
 }
 
+/** One frequency point; `seed` drives the unsynchronized phase draws. */
+FreqSweepPoint
+sweepOnePoint(const AnalysisContext &ctx, const ChipModel &chip,
+              double nominal_pos, double f, bool synchronized,
+              uint64_t seed)
+{
+    StressmarkSpec spec;
+    spec.stimulus_freq_hz = f;
+    spec.consecutive_events = ctx.consecutive_events;
+    spec.synchronized = synchronized;
+    Stressmark sm = ctx.kit->make(spec);
+    double window = windowFor(ctx, f);
+
+    FreqSweepPoint point;
+    point.freq_hz = f;
+
+    if (synchronized) {
+        std::array<CoreActivity, kNumCores> w = {
+            sm.activity(), sm.activity(), sm.activity(),
+            sm.activity(), sm.activity(), sm.activity()};
+        auto r = chip.run(w, window);
+        for (int c = 0; c < kNumCores; ++c) {
+            point.p2p[c] = r.core[c].p2p;
+            point.v_min[c] = r.core[c].v_min;
+        }
+    } else {
+        // Free-running copies drift through every relative
+        // alignment over a long measurement; approximate the
+        // sticky-mode union with several random-phase draws.
+        Rng rng(seed);
+        std::array<int, kNumCores> lo{};
+        std::array<int, kNumCores> hi{};
+        std::array<double, kNumCores> vmin;
+        vmin.fill(1e9);
+        bool first = true;
+        double period = 1.0 / f;
+        for (int d = 0; d < ctx.unsync_draws; ++d) {
+            std::array<CoreActivity, kNumCores> w = {
+                sm.activity(period * rng.uniform()),
+                sm.activity(period * rng.uniform()),
+                sm.activity(period * rng.uniform()),
+                sm.activity(period * rng.uniform()),
+                sm.activity(period * rng.uniform()),
+                sm.activity(period * rng.uniform())};
+            auto r = chip.run(w, window);
+            for (int c = 0; c < kNumCores; ++c) {
+                if (first) {
+                    lo[c] = r.core[c].min_latch;
+                    hi[c] = r.core[c].max_latch;
+                } else {
+                    lo[c] = std::min(lo[c], r.core[c].min_latch);
+                    hi[c] = std::max(hi[c], r.core[c].max_latch);
+                }
+                vmin[c] = std::min(vmin[c], r.core[c].v_min);
+            }
+            first = false;
+        }
+        for (int c = 0; c < kNumCores; ++c) {
+            point.p2p[c] = 100.0 * static_cast<double>(hi[c] - lo[c]) /
+                           nominal_pos;
+            point.v_min[c] = vmin[c];
+        }
+    }
+
+    point.max_p2p =
+        *std::max_element(point.p2p.begin(), point.p2p.end());
+    point.min_v =
+        *std::min_element(point.v_min.begin(), point.v_min.end());
+    return point;
+}
+
 } // namespace
 
 std::vector<FreqSweepPoint>
@@ -73,76 +156,20 @@ sweepStimulusFrequency(const AnalysisContext &ctx,
     double nominal_pos =
         Skitter(ctx.chip_config.skitter).nominalPosition();
 
-    std::vector<FreqSweepPoint> out;
-    out.reserve(freqs.size());
-    Rng rng(ctx.seed);
-
+    runtime::Campaign<FreqSweepPoint> campaign(ctx.campaign, ctx.seed,
+                                               analysisScope(ctx));
+    campaign.setCodec(encodeFreqSweepPoint, decodeFreqSweepPoint);
     for (double f : freqs) {
-        StressmarkSpec spec;
-        spec.stimulus_freq_hz = f;
-        spec.consecutive_events = ctx.consecutive_events;
-        spec.synchronized = synchronized;
-        Stressmark sm = ctx.kit->make(spec);
-        double window = windowFor(ctx, f);
-
-        FreqSweepPoint point;
-        point.freq_hz = f;
-
-        if (synchronized) {
-            std::array<CoreActivity, kNumCores> w = {
-                sm.activity(), sm.activity(), sm.activity(),
-                sm.activity(), sm.activity(), sm.activity()};
-            auto r = chip.run(w, window);
-            for (int c = 0; c < kNumCores; ++c) {
-                point.p2p[c] = r.core[c].p2p;
-                point.v_min[c] = r.core[c].v_min;
-            }
-        } else {
-            // Free-running copies drift through every relative
-            // alignment over a long measurement; approximate the
-            // sticky-mode union with several random-phase draws.
-            std::array<int, kNumCores> lo{};
-            std::array<int, kNumCores> hi{};
-            std::array<double, kNumCores> vmin;
-            vmin.fill(1e9);
-            bool first = true;
-            double period = 1.0 / f;
-            for (int d = 0; d < ctx.unsync_draws; ++d) {
-                std::array<CoreActivity, kNumCores> w = {
-                    sm.activity(period * rng.uniform()),
-                    sm.activity(period * rng.uniform()),
-                    sm.activity(period * rng.uniform()),
-                    sm.activity(period * rng.uniform()),
-                    sm.activity(period * rng.uniform()),
-                    sm.activity(period * rng.uniform())};
-                auto r = chip.run(w, window);
-                for (int c = 0; c < kNumCores; ++c) {
-                    if (first) {
-                        lo[c] = r.core[c].min_latch;
-                        hi[c] = r.core[c].max_latch;
-                    } else {
-                        lo[c] = std::min(lo[c], r.core[c].min_latch);
-                        hi[c] = std::max(hi[c], r.core[c].max_latch);
-                    }
-                    vmin[c] = std::min(vmin[c], r.core[c].v_min);
-                }
-                first = false;
-            }
-            for (int c = 0; c < kNumCores; ++c) {
-                point.p2p[c] =
-                    100.0 * static_cast<double>(hi[c] - lo[c]) /
-                    nominal_pos;
-                point.v_min[c] = vmin[c];
-            }
-        }
-
-        point.max_p2p =
-            *std::max_element(point.p2p.begin(), point.p2p.end());
-        point.min_v =
-            *std::min_element(point.v_min.begin(), point.v_min.end());
-        out.push_back(point);
+        std::string key = std::string("fsweep sync=") +
+                          (synchronized ? "1" : "0") +
+                          " f=" + numKey(f);
+        campaign.submit(key, [&ctx, &chip, nominal_pos, f,
+                              synchronized](uint64_t seed) {
+            return sweepOnePoint(ctx, chip, nominal_pos, f,
+                                 synchronized, seed);
+        });
     }
-    return out;
+    return campaign.collectOrFatal();
 }
 
 std::vector<MisalignmentPoint>
@@ -154,53 +181,61 @@ sweepMisalignment(const AnalysisContext &ctx, double freq_hz,
         fatal("sweepMisalignment: rotations must be in [1, 6]");
 
     ChipModel chip(ctx.chip_config);
-    std::vector<MisalignmentPoint> out;
-    out.reserve(max_ticks.size());
+
+    runtime::Campaign<MisalignmentPoint> campaign(
+        ctx.campaign, ctx.seed,
+        analysisScope(ctx, "misalign f=" + numKey(freq_hz) +
+                               " rot=" + std::to_string(rotations)));
+    campaign.setCodec(encodeMisalignmentPoint, decodeMisalignmentPoint);
 
     for (uint64_t m : max_ticks) {
-        MisalignmentPoint point;
-        point.max_misalignment_s =
-            static_cast<double>(m) * TodClock::tick_seconds;
+        std::string key = "misalign m=" + std::to_string(m);
+        campaign.submit(key, [&ctx, &chip, freq_hz, rotations,
+                              m](uint64_t) {
+            MisalignmentPoint point;
+            point.max_misalignment_s =
+                static_cast<double>(m) * TodClock::tick_seconds;
 
-        // Distribute the six stressmarks evenly over the allowed
-        // offset range [0, m] ticks.
-        std::array<uint64_t, kNumCores> offsets;
-        for (int c = 0; c < kNumCores; ++c) {
-            offsets[c] = m == 0
-                             ? 0
-                             : static_cast<uint64_t>(std::llround(
-                                   static_cast<double>(c) *
-                                   static_cast<double>(m) / 5.0));
-        }
+            // Distribute the six stressmarks evenly over the allowed
+            // offset range [0, m] ticks.
+            std::array<uint64_t, kNumCores> offsets;
+            for (int c = 0; c < kNumCores; ++c) {
+                offsets[c] = m == 0
+                                 ? 0
+                                 : static_cast<uint64_t>(std::llround(
+                                       static_cast<double>(c) *
+                                       static_cast<double>(m) / 5.0));
+            }
 
-        std::array<RunningStats, kNumCores> stats;
-        for (int rot = 0; rot < rotations; ++rot) {
-            std::array<CoreActivity, kNumCores> w = {
-                makeActivity(ctx, freq_hz,
-                             offsets[(0 + rot) % kNumCores]),
-                makeActivity(ctx, freq_hz,
-                             offsets[(1 + rot) % kNumCores]),
-                makeActivity(ctx, freq_hz,
-                             offsets[(2 + rot) % kNumCores]),
-                makeActivity(ctx, freq_hz,
-                             offsets[(3 + rot) % kNumCores]),
-                makeActivity(ctx, freq_hz,
-                             offsets[(4 + rot) % kNumCores]),
-                makeActivity(ctx, freq_hz,
-                             offsets[(5 + rot) % kNumCores])};
-            auto r = chip.run(w, windowFor(ctx, freq_hz));
-            for (int c = 0; c < kNumCores; ++c)
-                stats[c].add(r.core[c].p2p);
-        }
-        double max_avg = 0.0;
-        for (int c = 0; c < kNumCores; ++c) {
-            point.avg_p2p[c] = stats[c].mean();
-            max_avg = std::max(max_avg, point.avg_p2p[c]);
-        }
-        point.avg_max_p2p = max_avg;
-        out.push_back(point);
+            std::array<RunningStats, kNumCores> stats;
+            for (int rot = 0; rot < rotations; ++rot) {
+                std::array<CoreActivity, kNumCores> w = {
+                    makeActivity(ctx, freq_hz,
+                                 offsets[(0 + rot) % kNumCores]),
+                    makeActivity(ctx, freq_hz,
+                                 offsets[(1 + rot) % kNumCores]),
+                    makeActivity(ctx, freq_hz,
+                                 offsets[(2 + rot) % kNumCores]),
+                    makeActivity(ctx, freq_hz,
+                                 offsets[(3 + rot) % kNumCores]),
+                    makeActivity(ctx, freq_hz,
+                                 offsets[(4 + rot) % kNumCores]),
+                    makeActivity(ctx, freq_hz,
+                                 offsets[(5 + rot) % kNumCores])};
+                auto r = chip.run(w, windowFor(ctx, freq_hz));
+                for (int c = 0; c < kNumCores; ++c)
+                    stats[c].add(r.core[c].p2p);
+            }
+            double max_avg = 0.0;
+            for (int c = 0; c < kNumCores; ++c) {
+                point.avg_p2p[c] = stats[c].mean();
+                max_avg = std::max(max_avg, point.avg_p2p[c]);
+            }
+            point.avg_max_p2p = max_avg;
+            return point;
+        });
     }
-    return out;
+    return campaign.collectOrFatal();
 }
 
 } // namespace vn

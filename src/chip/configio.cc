@@ -102,8 +102,8 @@ coreKey(const char *what, int core)
 
 } // namespace
 
-void
-saveChipConfig(const ChipConfig &config, const std::string &path)
+KeyValueFile
+chipConfigKeyValues(const ChipConfig &config)
 {
     KeyValueFile kv;
     ChipConfig copy = config;
@@ -125,8 +125,13 @@ saveChipConfig(const ChipConfig &config, const std::string &path)
         kv.set(coreKey("decap_scale", c), v.decap_scale);
         kv.set(coreKey("skitter_gain_scale", c), v.skitter_gain_scale);
     }
+    return kv;
+}
 
-    kv.save(path, "vnoise chip configuration");
+void
+saveChipConfig(const ChipConfig &config, const std::string &path)
+{
+    chipConfigKeyValues(config).save(path, "vnoise chip configuration");
 }
 
 ChipConfig

@@ -11,9 +11,17 @@
 #include <string>
 
 #include "chip/chip.hh"
+#include "util/kvfile.hh"
 
 namespace vn
 {
+
+/**
+ * Every tunable of the configuration as key = value pairs — the
+ * payload saveChipConfig() writes, also used to content-fingerprint
+ * a configuration for the campaign result cache.
+ */
+KeyValueFile chipConfigKeyValues(const ChipConfig &config);
 
 /** Write every tunable of the configuration to `path`. */
 void saveChipConfig(const ChipConfig &config, const std::string &path);

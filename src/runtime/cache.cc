@@ -1,0 +1,69 @@
+#include "runtime/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "runtime/hash.hh"
+#include "util/logging.hh"
+
+namespace vn::runtime
+{
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        fatal("ResultCache: empty cache directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("ResultCache: cannot create '", dir_, "': ",
+              ec.message());
+}
+
+uint64_t
+ResultCache::keyFor(std::string_view scope, std::string_view job_key)
+{
+    uint64_t h = fnv1a(kCodeVersionTag);
+    // A separator byte keeps (scope, key) pairs unambiguous: "ab"+"c"
+    // must not collide with "a"+"bc".
+    h = fnv1aAppend(h, std::string_view("\x1f", 1));
+    h = fnv1aAppend(h, scope);
+    h = fnv1aAppend(h, std::string_view("\x1f", 1));
+    h = fnv1aAppend(h, job_key);
+    return h;
+}
+
+std::string
+ResultCache::entryPath(uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.kv",
+                  static_cast<unsigned long long>(key));
+    return (std::filesystem::path(dir_) / name).string();
+}
+
+std::optional<KeyValueFile>
+ResultCache::load(uint64_t key) const
+{
+    return KeyValueFile::tryLoad(entryPath(key));
+}
+
+void
+ResultCache::store(uint64_t key, const KeyValueFile &entry) const
+{
+    std::string path = entryPath(key);
+    // Unique temp name per store: concurrent writers (even of the
+    // same key) never see each other's partial writes.
+    std::string tmp =
+        path + ".tmp" + std::to_string(tmp_counter_.fetch_add(1));
+    entry.save(tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        warn("ResultCache: cannot publish '", path, "'; result not "
+             "cached");
+    }
+}
+
+} // namespace vn::runtime

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache for experiment campaigns.
+ *
+ * An entry is named by the FNV-1a hash of (code version tag, campaign
+ * scope, job key):
+ *
+ *   - the *scope* is the serialized configuration shared by every job
+ *     of the campaign (chip/PDN config, window, seed, ...);
+ *   - the *job key* identifies one job inside it ("fsweep f=2.6e6");
+ *   - the *version tag* (kCodeVersionTag) is bumped whenever a model
+ *     change invalidates previously computed results.
+ *
+ * Entries are KeyValueFile snapshots (numbers only, full precision,
+ * so a cached result decodes bit-identical to a fresh one) written
+ * atomically via rename, one file per entry under the cache
+ * directory. A missing or corrupt entry is simply a miss.
+ */
+
+#ifndef VN_RUNTIME_CACHE_HH
+#define VN_RUNTIME_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/kvfile.hh"
+
+namespace vn::runtime
+{
+
+/**
+ * Bump on model/semantics changes that invalidate cached campaign
+ * results (solver fidelity, stressmark methodology, result layouts).
+ */
+inline constexpr std::string_view kCodeVersionTag = "vnoise-runtime-1";
+
+/** The on-disk cache; all methods are thread-safe. */
+class ResultCache
+{
+  public:
+    /** Opens (and creates, if needed) the cache directory. */
+    explicit ResultCache(std::string dir);
+
+    /** Content address of (version tag, scope, job key). */
+    static uint64_t keyFor(std::string_view scope,
+                           std::string_view job_key);
+
+    /** Cached entry for `key`, or nullopt (missing/corrupt) on miss. */
+    std::optional<KeyValueFile> load(uint64_t key) const;
+
+    /** Persist an entry (atomic replace; last writer wins). */
+    void store(uint64_t key, const KeyValueFile &entry) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string entryPath(uint64_t key) const;
+
+    std::string dir_;
+    mutable std::atomic<uint64_t> tmp_counter_{0};
+};
+
+} // namespace vn::runtime
+
+#endif // VN_RUNTIME_CACHE_HH

@@ -1,0 +1,36 @@
+#include "runtime/campaign.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vn::runtime
+{
+
+void
+CampaignStats::add(const CampaignStats &other)
+{
+    jobs += other.jobs;
+    cache_hits += other.cache_hits;
+    executed += other.executed;
+    retries += other.retries;
+    failures += other.failures;
+    steals += other.steals;
+    threads = std::max(threads, other.threads);
+}
+
+std::string
+CampaignStats::summary() const
+{
+    std::ostringstream oss;
+    oss << jobs << " jobs: " << cache_hits << " cached, " << executed
+        << " run on " << threads
+        << (threads == 1 ? " thread" : " threads") << " (" << steals
+        << (steals == 1 ? " steal" : " steals") << ")";
+    if (retries > 0)
+        oss << ", " << retries << (retries == 1 ? " retry" : " retries");
+    if (failures > 0)
+        oss << ", " << failures << " FAILED";
+    return oss.str();
+}
+
+} // namespace vn::runtime

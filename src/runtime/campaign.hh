@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Typed experiment-campaign engine.
+ *
+ * A *campaign* is a batch of independent jobs (one per sweep point,
+ * mapping, Vmin step, process corner, ...) producing results of one
+ * type. The engine runs them over a work-stealing pool (pool.hh) with
+ * three guarantees:
+ *
+ *  1. Determinism: each job's RNG seed is derived from the campaign
+ *     seed and the job key (hash.hh), and collect() returns results
+ *     in submission order — a run with N workers is bit-identical to
+ *     a serial run.
+ *  2. Caching: with a cache directory configured and a codec set, a
+ *     finished job's result is persisted content-addressed (cache.hh)
+ *     and replayed on the next campaign with an unchanged (scope,
+ *     key, code version).
+ *  3. Fault containment: a throwing job is retried (same seed) up to
+ *     `max_attempts` total tries, then recorded as a structured
+ *     failure without sinking the rest of the campaign.
+ *
+ * Counters (cache hits/misses, steals, retries, failures) accumulate
+ * into a CampaignStats that harnesses print alongside their tables.
+ */
+
+#ifndef VN_RUNTIME_CAMPAIGN_HH
+#define VN_RUNTIME_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/cache.hh"
+#include "runtime/hash.hh"
+#include "runtime/pool.hh"
+#include "util/kvfile.hh"
+#include "util/logging.hh"
+
+namespace vn::runtime
+{
+
+/** Execution knobs shared by every campaign of a harness run. */
+struct CampaignOptions
+{
+    /** Worker threads; 1 = serial (the reference behaviour). */
+    int jobs = 1;
+
+    /** Result-cache directory; empty disables caching. */
+    std::string cache_dir;
+
+    /** Total tries per job (first attempt + retries). */
+    int max_attempts = 2;
+
+    /**
+     * When set, every campaign running under these options adds its
+     * counters here so the harness can print one aggregate summary.
+     */
+    struct CampaignStats *stats_sink = nullptr;
+};
+
+/** One contained job failure. */
+struct JobFailure
+{
+    size_t index = 0;  //!< submission index within the campaign
+    std::string key;   //!< the job key
+    std::string error; //!< what() of the last attempt
+    int attempts = 0;  //!< tries consumed
+};
+
+/** Aggregated campaign counters. */
+struct CampaignStats
+{
+    size_t jobs = 0;
+    size_t cache_hits = 0;
+    size_t executed = 0; //!< jobs actually run (cache misses)
+    size_t retries = 0;
+    size_t failures = 0;
+    uint64_t steals = 0;
+    int threads = 1; //!< largest pool that contributed
+
+    void add(const CampaignStats &other);
+
+    /** One-line human-readable summary for bench output. */
+    std::string summary() const;
+};
+
+/**
+ * A campaign producing `Result` values.
+ *
+ * Usage:
+ *   Campaign<Point> c(options, seed, scope);
+ *   c.setCodec(encodePoint, decodePoint);          // enables caching
+ *   for (...) c.submit(key, [&](uint64_t seed) { return ...; });
+ *   std::vector<Point> points = c.collectOrFatal();
+ */
+template <typename Result>
+class Campaign
+{
+  public:
+    /** Compute one result; `seed` is the job's derived RNG seed. */
+    using JobFn = std::function<Result(uint64_t seed)>;
+    /** Serialize a result into numeric key/value pairs. */
+    using EncodeFn = std::function<void(const Result &, KeyValueFile &)>;
+    /** Rebuild a result from its serialized form. */
+    using DecodeFn = std::function<Result(const KeyValueFile &)>;
+
+    /**
+     * @param options execution knobs
+     * @param seed    campaign seed; per-job seeds derive from it
+     * @param scope   serialized shared configuration — everything the
+     *                results depend on that is not in the job keys
+     */
+    Campaign(CampaignOptions options, uint64_t seed, std::string scope)
+        : options_(std::move(options)), seed_(seed),
+          scope_(std::move(scope))
+    {
+        if (options_.jobs < 1)
+            fatal("Campaign: jobs must be >= 1");
+        if (options_.max_attempts < 1)
+            fatal("Campaign: max_attempts must be >= 1");
+    }
+
+    /** Install the result codec; required for caching. */
+    void
+    setCodec(EncodeFn encode, DecodeFn decode)
+    {
+        encode_ = std::move(encode);
+        decode_ = std::move(decode);
+    }
+
+    /** Queue a job. Keys must be unique within the campaign. */
+    void
+    submit(std::string key, JobFn fn)
+    {
+        pending_.push_back({std::move(key), std::move(fn)});
+    }
+
+    /**
+     * Run every submitted job and return the results in submission
+     * order; a failed job yields nullopt at its slot. Callable once
+     * per batch of submissions.
+     */
+    std::vector<std::optional<Result>>
+    collect()
+    {
+        std::vector<Job> jobs = std::move(pending_);
+        pending_.clear();
+
+        std::vector<std::optional<Result>> results(jobs.size());
+        stats_ = CampaignStats{};
+        stats_.jobs = jobs.size();
+        failures_.clear();
+
+        std::optional<ResultCache> cache;
+        if (!options_.cache_dir.empty() && encode_ && decode_)
+            cache.emplace(options_.cache_dir);
+
+        {
+            Pool pool(options_.jobs);
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                pool.submit([this, &jobs, &results, &cache, i] {
+                    runJob(jobs[i], i, results[i], cache);
+                });
+            }
+            pool.wait();
+            stats_.steals = pool.steals();
+            stats_.threads = pool.threads();
+        }
+
+        if (options_.stats_sink != nullptr)
+            options_.stats_sink->add(stats_);
+        return results;
+    }
+
+    /**
+     * collect(), but any contained failure is re-raised as fatal()
+     * with the per-job errors listed. For harnesses where a partial
+     * campaign is useless.
+     */
+    std::vector<Result>
+    collectOrFatal()
+    {
+        auto maybe = collect();
+        if (!failures_.empty()) {
+            std::string detail;
+            for (const auto &f : failures_)
+                detail += "\n  job '" + f.key + "' (" +
+                          std::to_string(f.attempts) +
+                          " attempts): " + f.error;
+            fatal("Campaign: ", failures_.size(), "/", maybe.size(),
+                  " jobs failed:", detail);
+        }
+        std::vector<Result> out;
+        out.reserve(maybe.size());
+        for (auto &r : maybe)
+            out.push_back(std::move(*r));
+        return out;
+    }
+
+    /** Counters of the last collect(). */
+    const CampaignStats &stats() const { return stats_; }
+
+    /** Contained failures of the last collect(). */
+    const std::vector<JobFailure> &failures() const { return failures_; }
+
+  private:
+    struct Job
+    {
+        std::string key;
+        JobFn fn;
+    };
+
+    void
+    runJob(const Job &job, size_t index, std::optional<Result> &slot,
+           std::optional<ResultCache> &cache)
+    {
+        uint64_t cache_key = 0;
+        if (cache) {
+            cache_key = ResultCache::keyFor(scope_, job.key);
+            if (auto entry = cache->load(cache_key)) {
+                slot = decode_(*entry);
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.cache_hits;
+                return;
+            }
+        }
+
+        uint64_t seed = deriveSeed(seed_, job.key);
+        std::string error;
+        for (int attempt = 1; attempt <= options_.max_attempts;
+             ++attempt) {
+            try {
+                Result r = job.fn(seed);
+                if (cache) {
+                    KeyValueFile entry;
+                    encode_(r, entry);
+                    cache->store(cache_key, entry);
+                }
+                slot = std::move(r);
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.executed;
+                stats_.retries += static_cast<size_t>(attempt - 1);
+                return;
+            } catch (const std::exception &e) {
+                error = e.what();
+            } catch (...) {
+                error = "unknown exception";
+            }
+        }
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.executed;
+        stats_.retries +=
+            static_cast<size_t>(options_.max_attempts - 1);
+        ++stats_.failures;
+        failures_.push_back(
+            {index, job.key, error, options_.max_attempts});
+    }
+
+    CampaignOptions options_;
+    uint64_t seed_;
+    std::string scope_;
+    EncodeFn encode_;
+    DecodeFn decode_;
+
+    std::vector<Job> pending_;
+    std::mutex mutex_; //!< guards stats_ and failures_ during collect
+    CampaignStats stats_;
+    std::vector<JobFailure> failures_;
+};
+
+} // namespace vn::runtime
+
+#endif // VN_RUNTIME_CAMPAIGN_HH

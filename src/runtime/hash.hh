@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Content hashing and deterministic seed derivation for the campaign
+ * runtime.
+ *
+ * Two jobs with the same key in the same campaign must always see the
+ * same RNG seed, no matter which worker thread picks them up or in
+ * which order they complete — that is what makes a parallel campaign
+ * bit-identical to a serial one. Seeds are therefore *derived* from
+ * (campaign seed, job key) instead of drawn from a shared generator.
+ *
+ * The same FNV-1a hash doubles as the content address of the result
+ * cache: hash(version tag, campaign scope, job key) names the cache
+ * entry.
+ */
+
+#ifndef VN_RUNTIME_HASH_HH
+#define VN_RUNTIME_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace vn::runtime
+{
+
+/** FNV-1a offset basis (64-bit). */
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/** FNV-1a prime (64-bit). */
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Fold `text` into a running FNV-1a state. */
+constexpr uint64_t
+fnv1aAppend(uint64_t state, std::string_view text)
+{
+    for (char c : text) {
+        state ^= static_cast<uint8_t>(c);
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
+/** Fold a 64-bit word into a running FNV-1a state (little-endian). */
+constexpr uint64_t
+fnv1aAppend(uint64_t state, uint64_t word)
+{
+    for (int i = 0; i < 8; ++i) {
+        state ^= (word >> (8 * i)) & 0xff;
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
+/** FNV-1a hash of a string. */
+constexpr uint64_t
+fnv1a(std::string_view text)
+{
+    return fnv1aAppend(kFnvOffset, text);
+}
+
+/** One splitmix64 finalization round (bijective 64-bit mixer). */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Deterministic per-job RNG seed: hash of the campaign seed and the
+ * job key, finalized through splitmix64 so near-identical keys land
+ * far apart in seed space.
+ */
+constexpr uint64_t
+deriveSeed(uint64_t campaign_seed, std::string_view job_key)
+{
+    return mix64(fnv1aAppend(fnv1aAppend(kFnvOffset, campaign_seed),
+                             job_key));
+}
+
+} // namespace vn::runtime
+
+#endif // VN_RUNTIME_HASH_HH

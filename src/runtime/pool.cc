@@ -1,0 +1,136 @@
+#include "runtime/pool.hh"
+
+#include <exception>
+
+#include "util/logging.hh"
+
+namespace vn::runtime
+{
+
+Pool::Pool(int threads) : n_(threads < 1 ? 1 : threads)
+{
+    if (n_ == 1)
+        return;
+    workers_.reserve(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i)
+        threads_.emplace_back(
+            [this, i] { workerLoop(static_cast<size_t>(i)); });
+}
+
+Pool::~Pool()
+{
+    if (n_ == 1)
+        return;
+    stop_.store(true);
+    {
+        // Taking the lock pairs with the predicate check in
+        // workerLoop: a worker between its check and its block cannot
+        // miss this wakeup.
+        std::lock_guard<std::mutex> lock(cv_mutex_);
+    }
+    cv_work_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+Pool::submit(Task task)
+{
+    if (n_ == 1) {
+        // Inline pool: the serial baseline. No queues, no threads.
+        try {
+            task();
+        } catch (...) {
+            panic("runtime::Pool: a task leaked an exception (jobs "
+                  "must be wrapped by the campaign layer)");
+        }
+        executed_.fetch_add(1);
+        return;
+    }
+
+    in_flight_.fetch_add(1);
+    size_t w = next_.fetch_add(1) % static_cast<size_t>(n_);
+    {
+        std::lock_guard<std::mutex> lock(workers_[w]->mutex);
+        workers_[w]->queue.push_back(std::move(task));
+    }
+    queued_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(cv_mutex_);
+    }
+    cv_work_.notify_one();
+}
+
+void
+Pool::wait()
+{
+    if (n_ == 1)
+        return;
+    std::unique_lock<std::mutex> lock(cv_mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_.load() == 0; });
+}
+
+bool
+Pool::runOneTask(size_t id)
+{
+    Task task;
+    {
+        Worker &own = *workers_[id];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.queue.empty()) {
+            task = std::move(own.queue.front());
+            own.queue.pop_front();
+        }
+    }
+    if (!task) {
+        // Steal from the back of a victim's deque, scanning the other
+        // workers starting after our own slot.
+        for (size_t k = 1; k < static_cast<size_t>(n_) && !task; ++k) {
+            Worker &victim = *workers_[(id + k) % static_cast<size_t>(n_)];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.queue.empty()) {
+                task = std::move(victim.queue.back());
+                victim.queue.pop_back();
+                steals_.fetch_add(1);
+            }
+        }
+    }
+    if (!task)
+        return false;
+
+    queued_.fetch_sub(1);
+    try {
+        task();
+    } catch (...) {
+        panic("runtime::Pool: a task leaked an exception (jobs must be "
+              "wrapped by the campaign layer)");
+    }
+    executed_.fetch_add(1);
+    if (in_flight_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(cv_mutex_);
+        cv_done_.notify_all();
+    }
+    return true;
+}
+
+void
+Pool::workerLoop(size_t id)
+{
+    while (true) {
+        if (runOneTask(id))
+            continue;
+        std::unique_lock<std::mutex> lock(cv_mutex_);
+        if (stop_.load() && queued_.load() == 0)
+            return;
+        cv_work_.wait(lock, [this] {
+            return stop_.load() || queued_.load() > 0;
+        });
+        if (stop_.load() && queued_.load() == 0)
+            return;
+    }
+}
+
+} // namespace vn::runtime

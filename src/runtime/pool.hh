@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Work-stealing thread pool for experiment campaigns.
+ *
+ * Design: one deque per worker. submit() distributes tasks round-robin
+ * over the deques; a worker pops from the front of its own deque and,
+ * when empty, steals from the back of a victim's. Campaign jobs are
+ * coarse (a job is typically a multi-millisecond chip co-simulation),
+ * so deques are mutex-guarded — contention is negligible at this
+ * granularity and the implementation stays obviously correct under
+ * ThreadSanitizer.
+ *
+ * A pool constructed with one thread (or fewer) executes tasks inline
+ * on the calling thread: the serial path involves no threads at all,
+ * which is the baseline the determinism tests compare against.
+ *
+ * Tasks must not let exceptions escape; the campaign layer wraps user
+ * jobs in its own try/catch (see campaign.hh). An escaping exception
+ * is a library bug and panics with context instead of slamming into
+ * std::terminate.
+ */
+
+#ifndef VN_RUNTIME_POOL_HH
+#define VN_RUNTIME_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vn::runtime
+{
+
+/** Work-stealing pool; see the file comment for the design. */
+class Pool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param threads worker threads to spawn; <= 1 means inline
+     *                (serial) execution with no threads
+     */
+    explicit Pool(int threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~Pool();
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+
+    /** Enqueue a task (executes immediately when threads <= 1). */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Worker threads backing the pool (1 for the inline pool). */
+    int threads() const { return n_; }
+
+    /** Tasks taken from another worker's deque so far. */
+    uint64_t steals() const { return steals_.load(); }
+
+    /** Tasks executed so far. */
+    uint64_t executed() const { return executed_.load(); }
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> queue;
+    };
+
+    void workerLoop(size_t id);
+    bool runOneTask(size_t id);
+
+    int n_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex cv_mutex_;
+    std::condition_variable cv_work_; //!< workers sleep here
+    std::condition_variable cv_done_; //!< wait() sleeps here
+
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> executed_{0};
+    std::atomic<size_t> queued_{0};    //!< tasks sitting in deques
+    std::atomic<size_t> in_flight_{0}; //!< queued or running
+    std::atomic<size_t> next_{0};      //!< round-robin cursor
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace vn::runtime
+
+#endif // VN_RUNTIME_POOL_HH

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the campaign runtime: work-stealing pool,
+ * deterministic seed derivation, content-addressed result cache, and
+ * the typed Job/Campaign engine tying them together.
+ */
+
+#ifndef VN_RUNTIME_RUNTIME_HH
+#define VN_RUNTIME_RUNTIME_HH
+
+#include "runtime/cache.hh"
+#include "runtime/campaign.hh"
+#include "runtime/hash.hh"
+#include "runtime/pool.hh"
+
+#endif // VN_RUNTIME_RUNTIME_HH

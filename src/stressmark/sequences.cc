@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/pool.hh"
 #include "util/logging.hh"
 
 namespace vn
@@ -202,18 +203,38 @@ SequenceSearch::run(const std::vector<EpiEntry> &profile) const
     scored.resize(keep);
     result.after_ipc_filter = keep;
 
-    // Stage: power evaluation of the finalists.
+    // Stage: power evaluation of the finalists. Each evaluation is
+    // independent, so fan out over the pool; the winner is reduced
+    // serially in `scored` order afterwards, which keeps the chosen
+    // sequence identical for any thread count.
+    struct PowerEval
+    {
+        double power = 0.0;
+        double ipc = 0.0;
+    };
+    std::vector<PowerEval> evals(scored.size());
+    {
+        runtime::Pool pool(params_.jobs);
+        for (size_t i = 0; i < scored.size(); ++i) {
+            pool.submit([this, &scored, &evals, &decode, i] {
+                Program p = decode(scored[i].code);
+                RunResult r =
+                    core_.run(p, params_.power_eval_instrs,
+                              params_.power_eval_instrs * 40);
+                evals[i] = {r.avg_power, r.ipc()};
+            });
+        }
+        pool.wait();
+    }
+
     double best_power = -1.0;
     uint64_t best_code = scored.front().code;
     double best_ipc = 0.0;
-    for (const auto &s : scored) {
-        Program p = decode(s.code);
-        RunResult r = core_.run(p, params_.power_eval_instrs,
-                                params_.power_eval_instrs * 40);
-        if (r.avg_power > best_power) {
-            best_power = r.avg_power;
-            best_code = s.code;
-            best_ipc = r.ipc();
+    for (size_t i = 0; i < scored.size(); ++i) {
+        if (evals[i].power > best_power) {
+            best_power = evals[i].power;
+            best_code = scored[i].code;
+            best_ipc = evals[i].ipc;
         }
     }
     result.best_sequence = decode(best_code);

@@ -45,6 +45,13 @@ struct SequenceSearchParams
 
     /** Instructions completed per power evaluation run. */
     uint64_t power_eval_instrs = 3000;
+
+    /**
+     * Worker threads for the power evaluation of the finalists (the
+     * paper notes this stage is "cheap, parallel in the real flow").
+     * The chosen sequence is independent of the thread count.
+     */
+    int jobs = 1;
 };
 
 /** Search outcome plus the funnel statistics of Fig. 5. */

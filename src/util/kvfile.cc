@@ -30,12 +30,18 @@ trim(const std::string &s)
 
 } // namespace
 
-KeyValueFile
-KeyValueFile::load(const std::string &path)
+namespace
+{
+
+/** Shared parser; on failure `error` describes the offending line. */
+std::optional<KeyValueFile>
+parseFile(const std::string &path, std::string &error)
 {
     std::ifstream ifs(path);
-    if (!ifs)
-        fatal("KeyValueFile: cannot open '", path, "'");
+    if (!ifs) {
+        error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
 
     KeyValueFile kv;
     std::string line;
@@ -49,26 +55,60 @@ KeyValueFile::load(const std::string &path)
         if (line.empty())
             continue;
         auto eq = line.find('=');
-        if (eq == std::string::npos)
-            fatal("KeyValueFile: '", path, "' line ", line_no,
-                  ": expected 'key = value'");
+        if (eq == std::string::npos) {
+            error = "'" + path + "' line " + std::to_string(line_no) +
+                    ": expected 'key = value'";
+            return std::nullopt;
+        }
         std::string key = trim(line.substr(0, eq));
         std::string value_text = trim(line.substr(eq + 1));
-        if (key.empty() || value_text.empty())
-            fatal("KeyValueFile: '", path, "' line ", line_no,
-                  ": empty key or value");
+        if (key.empty() || value_text.empty()) {
+            error = "'" + path + "' line " + std::to_string(line_no) +
+                    ": empty key or value";
+            return std::nullopt;
+        }
         try {
             size_t consumed = 0;
             double value = std::stod(value_text, &consumed);
             if (consumed != value_text.size())
                 throw std::invalid_argument("trailing junk");
-            kv.values_[key] = value;
+            kv.set(key, value);
         } catch (const std::exception &) {
-            fatal("KeyValueFile: '", path, "' line ", line_no,
-                  ": cannot parse number '", value_text, "'");
+            error = "'" + path + "' line " + std::to_string(line_no) +
+                    ": cannot parse number '" + value_text + "'";
+            return std::nullopt;
         }
     }
     return kv;
+}
+
+} // namespace
+
+KeyValueFile
+KeyValueFile::load(const std::string &path)
+{
+    std::string error;
+    auto kv = parseFile(path, error);
+    if (!kv)
+        fatal("KeyValueFile: ", error);
+    return *kv;
+}
+
+std::optional<KeyValueFile>
+KeyValueFile::tryLoad(const std::string &path)
+{
+    std::string error;
+    return parseFile(path, error);
+}
+
+std::string
+KeyValueFile::serialize() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    for (const auto &[key, value] : values_)
+        oss << key << " = " << value << "\n";
+    return oss.str();
 }
 
 void
@@ -80,9 +120,7 @@ KeyValueFile::save(const std::string &path,
         fatal("KeyValueFile: cannot write '", path, "'");
     if (!header.empty())
         ofs << "# " << header << "\n";
-    ofs.precision(17);
-    for (const auto &[key, value] : values_)
-        ofs << key << " = " << value << "\n";
+    ofs << serialize();
 }
 
 void

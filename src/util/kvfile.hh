@@ -12,6 +12,7 @@
 #define VN_UTIL_KVFILE_HH
 
 #include <map>
+#include <optional>
 #include <string>
 
 namespace vn
@@ -26,9 +27,23 @@ class KeyValueFile
     /** Parse a file; fatal() on malformed lines or missing file. */
     static KeyValueFile load(const std::string &path);
 
+    /**
+     * Parse a file; nullopt when the file is missing or malformed.
+     * Used where an unreadable file is an expected condition (e.g. a
+     * truncated cache entry) rather than a user error.
+     */
+    static std::optional<KeyValueFile> tryLoad(const std::string &path);
+
     /** Write all pairs, sorted by key. */
     void save(const std::string &path,
               const std::string &header = "") const;
+
+    /**
+     * The exact text save() would write (minus the header), with
+     * full-precision numbers: two KeyValueFiles serialize equal iff
+     * they round-trip identically. Used for content fingerprinting.
+     */
+    std::string serialize() const;
 
     /** Set/overwrite a value. */
     void set(const std::string &key, double value);

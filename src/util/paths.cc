@@ -1,0 +1,49 @@
+#include "util/paths.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace vn
+{
+
+namespace
+{
+
+std::string
+envOr(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return (value != nullptr && value[0] != '\0') ? value : fallback;
+}
+
+} // namespace
+
+std::string
+outputDir()
+{
+    std::string dir = envOr("VNOISE_OUT_DIR", "out");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("outputDir: cannot create '", dir, "': ", ec.message());
+    return dir;
+}
+
+std::string
+outputPath(const std::string &name)
+{
+    return (std::filesystem::path(outputDir()) / name).string();
+}
+
+std::string
+defaultCacheDir()
+{
+    std::string dir = envOr("VNOISE_CACHE_DIR", "");
+    if (!dir.empty())
+        return dir;
+    return (std::filesystem::path(outputDir()) / "cache").string();
+}
+
+} // namespace vn

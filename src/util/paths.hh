@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Output- and cache-directory routing.
+ *
+ * Benches, tools and the campaign runtime write artifacts (CSV traces,
+ * stressmark-kit memos, result-cache entries) under one output tree
+ * instead of littering the current working directory:
+ *
+ *   - VNOISE_OUT_DIR    root for generated artifacts (default "out")
+ *   - VNOISE_CACHE_DIR  campaign result cache (default
+ *                       "<VNOISE_OUT_DIR>/cache")
+ */
+
+#ifndef VN_UTIL_PATHS_HH
+#define VN_UTIL_PATHS_HH
+
+#include <string>
+
+namespace vn
+{
+
+/** VNOISE_OUT_DIR (or "out"), created on first use. */
+std::string outputDir();
+
+/** `name` joined onto outputDir(). */
+std::string outputPath(const std::string &name);
+
+/** VNOISE_CACHE_DIR (or outputDir() + "/cache"); not created here. */
+std::string defaultCacheDir();
+
+} // namespace vn
+
+#endif // VN_UTIL_PATHS_HH

@@ -6,6 +6,7 @@
  *
  * Layers, bottom to top:
  *  - util:       logging, RNG, statistics, tables, dense linear algebra
+ *  - runtime:    work-stealing pool, campaign engine, result cache
  *  - circuit:    RLC netlists, transient (MNA/trapezoidal) and AC solvers
  *  - pdn:        the zEC12-like power distribution network
  *  - isa/uarch:  synthetic z-like ISA and the superscalar core model
@@ -19,6 +20,7 @@
 #ifndef VN_VNOISE_VNOISE_HH
 #define VN_VNOISE_VNOISE_HH
 
+#include "analysis/campaigns.hh"
 #include "analysis/context.hh"
 #include "analysis/customer.hh"
 #include "analysis/estimator.hh"
@@ -48,6 +50,7 @@
 #include "measure/meter.hh"
 #include "measure/skitter.hh"
 #include "pdn/pdn.hh"
+#include "runtime/runtime.hh"
 #include "stressmark/epi.hh"
 #include "stressmark/genetic.hh"
 #include "stressmark/kit.hh"
@@ -56,6 +59,7 @@
 #include "uarch/core.hh"
 #include "util/kvfile.hh"
 #include "util/logging.hh"
+#include "util/paths.hh"
 #include "util/fft.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the campaign engine: the three guarantees (determinism
+ * across thread counts, cache round-trips, fault containment) plus the
+ * counters that report them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace vn::runtime;
+
+/** A fresh cache directory under the test working dir. */
+class CacheDir
+{
+  public:
+    explicit CacheDir(const std::string &name)
+        : path_("campaign_test_" + name)
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~CacheDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A result with enough structure to expose codec bugs. */
+struct Point
+{
+    double value = 0.0;
+    double noise = 0.0;
+};
+
+void
+encodePoint(const Point &p, vn::KeyValueFile &kv)
+{
+    kv.set("value", p.value);
+    kv.set("noise", p.noise);
+}
+
+Point
+decodePoint(const vn::KeyValueFile &kv)
+{
+    return {kv.require("value"), kv.require("noise")};
+}
+
+/** A job whose output depends on its derived seed. */
+Point
+seededJob(uint64_t seed, int index)
+{
+    vn::Rng rng(seed);
+    Point p;
+    p.value = index + rng.uniform();
+    for (int i = 0; i < 10; ++i)
+        p.noise += rng.uniform(-1.0, 1.0);
+    return p;
+}
+
+std::vector<Point>
+runCampaign(int jobs, const std::string &cache_dir, int n,
+            CampaignStats *sink = nullptr)
+{
+    CampaignOptions options;
+    options.jobs = jobs;
+    options.cache_dir = cache_dir;
+    options.stats_sink = sink;
+    Campaign<Point> campaign(options, 99, "scope window=1e-6");
+    campaign.setCodec(encodePoint, decodePoint);
+    for (int i = 0; i < n; ++i) {
+        campaign.submit("point " + std::to_string(i),
+                        [i](uint64_t seed) { return seededJob(seed, i); });
+    }
+    return campaign.collectOrFatal();
+}
+
+TEST(CampaignTest, ParallelRunIsBitIdenticalToSerial)
+{
+    auto serial = runCampaign(1, "", 40);
+    auto parallel = runCampaign(4, "", 40);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].value, parallel[i].value) << "at " << i;
+        EXPECT_EQ(serial[i].noise, parallel[i].noise) << "at " << i;
+    }
+}
+
+TEST(CampaignTest, ResultsComeBackInSubmissionOrder)
+{
+    auto results = runCampaign(4, "", 64);
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_GE(results[i].value, static_cast<double>(i));
+        EXPECT_LT(results[i].value, static_cast<double>(i) + 1.0);
+    }
+}
+
+TEST(CampaignTest, SecondRunIsAllCacheHitsAndByteIdentical)
+{
+    CacheDir dir("roundtrip");
+    CampaignStats first, second;
+    auto fresh = runCampaign(2, dir.path(), 20, &first);
+    auto cached = runCampaign(2, dir.path(), 20, &second);
+
+    EXPECT_EQ(first.cache_hits, 0u);
+    EXPECT_EQ(first.executed, 20u);
+    EXPECT_EQ(second.cache_hits, 20u);
+    EXPECT_EQ(second.executed, 0u);
+
+    ASSERT_EQ(fresh.size(), cached.size());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(fresh[i].value, cached[i].value) << "at " << i;
+        EXPECT_EQ(fresh[i].noise, cached[i].noise) << "at " << i;
+    }
+}
+
+TEST(CampaignTest, ScopeChangeInvalidatesCache)
+{
+    CacheDir dir("scope");
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+    auto run = [&](const std::string &scope, CampaignStats &stats) {
+        options.stats_sink = &stats;
+        Campaign<Point> campaign(options, 1, scope);
+        campaign.setCodec(encodePoint, decodePoint);
+        campaign.submit("p", [](uint64_t s) { return seededJob(s, 0); });
+        campaign.collectOrFatal();
+    };
+    CampaignStats a, b, c;
+    run("window=1e-6", a);
+    run("window=2e-6", b); // different scope: must not hit
+    run("window=1e-6", c); // original scope again: must hit
+    EXPECT_EQ(a.executed, 1u);
+    EXPECT_EQ(b.executed, 1u);
+    EXPECT_EQ(b.cache_hits, 0u);
+    EXPECT_EQ(c.cache_hits, 1u);
+}
+
+TEST(CampaignTest, CorruptCacheEntryIsAMiss)
+{
+    CacheDir dir("corrupt");
+    CampaignStats first;
+    runCampaign(1, dir.path(), 3, &first);
+    ASSERT_EQ(first.executed, 3u);
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir.path())) {
+        std::ofstream out(e.path());
+        out << "not a kvfile\n";
+    }
+    CampaignStats second;
+    auto results = runCampaign(1, dir.path(), 3, &second);
+    EXPECT_EQ(second.cache_hits, 0u);
+    EXPECT_EQ(second.executed, 3u);
+    EXPECT_EQ(results.size(), 3u);
+}
+
+TEST(CampaignTest, ThrowingJobIsContainedAndRetried)
+{
+    CampaignOptions options;
+    options.jobs = 2;
+    Campaign<Point> campaign(options, 5, "scope");
+    for (int i = 0; i < 6; ++i) {
+        campaign.submit("job " + std::to_string(i), [i](uint64_t seed) {
+            if (i == 3)
+                throw std::runtime_error("solver diverged");
+            return seededJob(seed, i);
+        });
+    }
+    auto results = campaign.collect();
+    ASSERT_EQ(results.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(results[static_cast<size_t>(i)].has_value(), i != 3);
+
+    ASSERT_EQ(campaign.failures().size(), 1u);
+    const auto &f = campaign.failures()[0];
+    EXPECT_EQ(f.index, 3u);
+    EXPECT_EQ(f.key, "job 3");
+    EXPECT_EQ(f.attempts, 2); // default max_attempts
+    EXPECT_EQ(f.error, "solver diverged");
+    EXPECT_EQ(campaign.stats().failures, 1u);
+    EXPECT_EQ(campaign.stats().retries, 1u);
+}
+
+TEST(CampaignTest, FlakyJobSucceedsOnRetryWithSameSeed)
+{
+    std::atomic<int> calls{0};
+    std::atomic<uint64_t> first_seed{0}, second_seed{0};
+    CampaignOptions options;
+    Campaign<Point> campaign(options, 5, "scope");
+    campaign.submit("flaky", [&](uint64_t seed) {
+        if (calls++ == 0) {
+            first_seed = seed;
+            throw std::runtime_error("transient");
+        }
+        second_seed = seed;
+        return seededJob(seed, 0);
+    });
+    auto results = campaign.collectOrFatal();
+    EXPECT_EQ(results.size(), 1u);
+    EXPECT_EQ(calls.load(), 2);
+    EXPECT_EQ(first_seed.load(), second_seed.load());
+    EXPECT_EQ(campaign.stats().retries, 1u);
+    EXPECT_EQ(campaign.stats().failures, 0u);
+}
+
+TEST(CampaignTest, StatsSinkAggregatesAcrossCampaigns)
+{
+    CampaignStats sink;
+    runCampaign(2, "", 10, &sink);
+    runCampaign(4, "", 5, &sink);
+    EXPECT_EQ(sink.jobs, 15u);
+    EXPECT_EQ(sink.executed, 15u);
+    EXPECT_EQ(sink.threads, 4);
+    EXPECT_FALSE(sink.summary().empty());
+}
+
+} // namespace

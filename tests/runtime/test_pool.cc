@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the work-stealing pool: completion, counters, the inline
+ * serial path, and reuse across batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/pool.hh"
+
+namespace
+{
+
+using vn::runtime::Pool;
+
+TEST(PoolTest, RunsEveryTaskOnce)
+{
+    for (int threads : {1, 2, 4}) {
+        Pool pool(threads);
+        std::atomic<int> counter{0};
+        const int tasks = 200;
+        for (int i = 0; i < tasks; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), tasks);
+        EXPECT_EQ(pool.executed(), static_cast<uint64_t>(tasks));
+    }
+}
+
+TEST(PoolTest, InlinePoolUsesNoThreads)
+{
+    Pool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    std::thread::id caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.submit([&seen] { seen = std::this_thread::get_id(); });
+    pool.wait();
+    EXPECT_EQ(seen, caller);
+    EXPECT_EQ(pool.steals(), 0u);
+}
+
+TEST(PoolTest, ClampsNonPositiveThreadCounts)
+{
+    Pool pool(0);
+    EXPECT_EQ(pool.threads(), 1);
+    int ran = 0;
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(PoolTest, ReusableAcrossBatches)
+{
+    Pool pool(2);
+    std::atomic<int> counter{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+        pool.wait();
+        EXPECT_EQ(counter.load(), 50 * (batch + 1));
+    }
+}
+
+TEST(PoolTest, StealingMovesWorkToIdleWorkers)
+{
+    // One long task pins a worker; the short tasks round-robin'd onto
+    // its deque must still all finish (stolen by the other workers).
+    Pool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&counter, i] {
+            if (i == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            ++counter;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(PoolTest, WaitWithNoTasksReturnsImmediately)
+{
+    Pool pool(2);
+    pool.wait();
+    EXPECT_EQ(pool.executed(), 0u);
+}
+
+} // namespace

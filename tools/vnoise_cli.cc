@@ -69,6 +69,21 @@ class Args
     std::map<std::string, std::string> values_;
 };
 
+/** Campaign runtime knobs shared by all subcommands. */
+vn::runtime::CampaignOptions
+campaignOptions(const Args &args)
+{
+    vn::runtime::CampaignOptions options;
+    options.jobs = static_cast<int>(args.number("jobs", 1));
+    if (options.jobs < 1)
+        fatal("vnoise_cli: --jobs must be >= 1");
+    options.cache_dir =
+        args.text("cache-dir", vn::defaultCacheDir());
+    if (args.has("no-cache"))
+        options.cache_dir.clear();
+    return options;
+}
+
 /** Chip configuration, optionally overridden by --config PATH. */
 ChipConfig
 chipConfig(const Args &args)
@@ -89,8 +104,8 @@ cliCore()
 const StressmarkKit &
 kit()
 {
-    static StressmarkKit k =
-        StressmarkKit::cached(cliCore(), "vnoise_kit.cache");
+    static StressmarkKit k = StressmarkKit::cached(
+        cliCore(), vn::outputPath("vnoise_kit.cache"));
     return k;
 }
 
@@ -134,6 +149,9 @@ cmdSweep(const Args &args)
     AnalysisContext ctx;
     ctx.kit = &kit();
     ctx.window = 20e-6;
+    runtime::CampaignStats stats;
+    ctx.campaign = campaignOptions(args);
+    ctx.campaign.stats_sink = &stats;
     bool sync = args.has("sync");
     auto freqs = logspace(10e3, 50e6,
                           static_cast<size_t>(args.number("points", 9)));
@@ -144,6 +162,7 @@ cmdSweep(const Args &args)
                       TextTable::num(p.max_p2p, 1),
                       TextTable::num(p.min_v, 4)});
     table.print(std::cout);
+    inform("campaign: ", stats.summary());
     return 0;
 }
 
@@ -219,24 +238,28 @@ cmdVmin(const Args &args)
 int
 cmdMap(const Args &args)
 {
-    int jobs = static_cast<int>(args.number("jobs", 3));
-    if (jobs < 1 || jobs > kNumCores)
-        fatal("vnoise_cli map: --jobs must be in [1, 6]");
+    int workloads = static_cast<int>(args.number("workloads", 3));
+    if (workloads < 1 || workloads > kNumCores)
+        fatal("vnoise_cli map: --workloads must be in [1, 6]");
     AnalysisContext ctx;
     ctx.kit = &kit();
     ctx.window = 16e-6;
+    runtime::CampaignStats stats;
+    ctx.campaign = campaignOptions(args);
+    ctx.campaign.stats_sink = &stats;
     MappingStudy study(ctx, 2.4e6);
     auto opportunities = mappingOpportunity(study);
-    const auto &o = opportunities[static_cast<size_t>(jobs - 1)];
+    inform("campaign: ", stats.summary());
+    const auto &o = opportunities[static_cast<size_t>(workloads - 1)];
     auto show = [](const Mapping &m) {
         std::string s;
         for (int c = 0; c < kNumCores; ++c)
             s += m[c] == WorkloadClass::Max ? 'X' : '.';
         return s;
     };
-    std::printf("%d jobs: best mapping %s (%.1f %%p2p), worst %s "
+    std::printf("%d workloads: best mapping %s (%.1f %%p2p), worst %s "
                 "(%.1f %%p2p)\n",
-                jobs, show(o.best_mapping).c_str(), o.best_noise,
+                workloads, show(o.best_mapping).c_str(), o.best_noise,
                 show(o.worst_mapping).c_str(), o.worst_noise);
     return 0;
 }
@@ -287,10 +310,14 @@ usage()
         "  stressmark [--freq HZ] [--events N] [--no-sync] "
         "[--misalign TICKS]\n"
         "  vmin [--idle|--unsync|--sync]\n"
-        "  map [--jobs K]\n"
+        "  map [--workloads K]\n"
         "  spectrum [--freq HZ]\n"
         "common: --config PATH  (key=value chip configuration; see\n"
-        "        saveChipConfig / docs)\n");
+        "        saveChipConfig / docs)\n"
+        "        --jobs N       (campaign worker threads, default 1)\n"
+        "        --cache-dir P  (result cache; default VNOISE_CACHE_DIR\n"
+        "                       or <VNOISE_OUT_DIR>/cache)\n"
+        "        --no-cache     (disable the result cache)\n");
 }
 
 } // namespace
