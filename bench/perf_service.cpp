@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Serving-layer performance: sustained throughput and tail latency of
+ * vnoised under concurrent clients, measured against an in-process
+ * server (loopback TCP, the real wire path).
+ *
+ * Three load shapes:
+ *  - ping: protocol overhead only (framing + JSON + scheduling),
+ *  - hot sweep: compute requests answered from the campaign result
+ *    cache (the steady state of a characterization dashboard),
+ *  - cold sweep: distinct compute requests that must run the chip
+ *    co-simulation (throughput is solver-bound).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadResult
+{
+    double seconds = 0.0;
+    size_t requests = 0;
+    std::vector<double> latency_ms;
+
+    double throughput() const
+    {
+        return static_cast<double>(requests) / seconds;
+    }
+
+    double
+    percentile(double p) const
+    {
+        if (latency_ms.empty())
+            return 0.0;
+        std::vector<double> sorted = latency_ms;
+        std::sort(sorted.begin(), sorted.end());
+        double rank = (p / 100.0) *
+                      static_cast<double>(sorted.size() - 1);
+        size_t lo = static_cast<size_t>(std::floor(rank));
+        size_t hi = std::min(lo + 1, sorted.size() - 1);
+        return sorted[lo] +
+               (rank - static_cast<double>(lo)) *
+                   (sorted[hi] - sorted[lo]);
+    }
+};
+
+/** Run `per_client` calls of `fn` from `clients` concurrent clients. */
+template <typename Fn>
+LoadResult
+drive(int port, int clients, int per_client, Fn fn)
+{
+    LoadResult result;
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            vn::service::Client client(port);
+            auto &mine = latencies[static_cast<size_t>(c)];
+            mine.reserve(static_cast<size_t>(per_client));
+            for (int i = 0; i < per_client; ++i) {
+                Clock::time_point t0 = Clock::now();
+                fn(client, c, i);
+                mine.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count());
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (auto &l : latencies)
+        result.latency_ms.insert(result.latency_ms.end(), l.begin(),
+                                 l.end());
+    result.requests = result.latency_ms.size();
+    return result;
+}
+
+void
+report(const char *shape, const LoadResult &r)
+{
+    std::printf("%-10s %7zu requests in %6.2f s  %8.1f req/s  "
+                "p50 %7.2f ms  p99 %7.2f ms\n",
+                shape, r.requests, r.seconds, r.throughput(),
+                r.percentile(50.0), r.percentile(99.0));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vnbench::banner("perf_service",
+                    "vnoised serving throughput and tail latency");
+
+    vn::AnalysisContext ctx = vnbench::defaultContext(argc, argv);
+    ctx.window = 8e-6; // solver cost per request, not accuracy, matters
+
+    vn::service::ServerConfig config;
+    config.dispatcher.queue_depth = 256;
+    config.dispatcher.max_batch = 64;
+    vn::service::Server server(ctx, config);
+    server.start();
+    std::printf("in-process vnoised on 127.0.0.1:%d, %d worker(s)\n\n",
+                server.port(), server.dispatcher().threads());
+
+    // Protocol overhead only.
+    LoadResult ping = drive(
+        server.port(), 4, 500,
+        [](vn::service::Client &client, int, int) { client.ping(); });
+    report("ping", ping);
+
+    // Distinct sweep points: every request runs the co-simulation.
+    const int kColdClients = 4, kColdPerClient = 8;
+    LoadResult cold = drive(
+        server.port(), kColdClients, kColdPerClient,
+        [](vn::service::Client &client, int c, int i) {
+            double freq = 1e6 + 1e5 * (c * kColdPerClient + i);
+            client.sweep(vn::service::SweepRequest{{freq, true}});
+        });
+    report("cold sweep", cold);
+
+    // The same points again: answered from the campaign result cache.
+    LoadResult hot = drive(
+        server.port(), kColdClients, kColdPerClient,
+        [](vn::service::Client &client, int c, int i) {
+            double freq = 1e6 + 1e5 * (c * kColdPerClient + i);
+            client.sweep(vn::service::SweepRequest{{freq, true}});
+        });
+    report("hot sweep", hot);
+
+    vn::service::ServiceCounters counters =
+        server.dispatcher().counters();
+    std::printf("\nserver: %llu requests, %llu batches, %llu coalesced, "
+                "%zu cache hits, %zu executed\n",
+                static_cast<unsigned long long>(counters.received),
+                static_cast<unsigned long long>(counters.batches),
+                static_cast<unsigned long long>(counters.coalesced),
+                counters.campaign.cache_hits,
+                counters.campaign.executed);
+
+    server.beginShutdown();
+    server.wait();
+    return 0;
+}

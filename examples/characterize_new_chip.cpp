@@ -64,7 +64,8 @@ main()
 
     // 3. Stressmarks from the shared methodology kit.
     CoreModel core;
-    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    StressmarkKit kit =
+        StressmarkKit::cached(core, outputPath("vnoise_kit.cache"));
     StressmarkSpec spec;
     spec.stimulus_freq_hz = mod_z.die_resonance_hz; // hunt *its* band
     Stressmark sm = kit.make(spec);

@@ -39,7 +39,8 @@ main()
     using namespace vn;
 
     CoreModel core;
-    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    StressmarkKit kit =
+        StressmarkKit::cached(core, outputPath("vnoise_kit.cache"));
 
     AnalysisContext ctx;
     ctx.kit = &kit;

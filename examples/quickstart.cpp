@@ -24,7 +24,8 @@ main()
     // 2. Run the stressmark generation methodology: EPI profile,
     //    max-power sequence search, min/medium sequences. The result
     //    is cached next to the binary so re-runs are instant.
-    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    StressmarkKit kit =
+        StressmarkKit::cached(core, outputPath("vnoise_kit.cache"));
 
     std::printf("max-power sequence: %s\n",
                 kit.maxSequence().toString().c_str());

@@ -34,7 +34,8 @@ main()
 
     // Behavioural view: free-running stressmark sweep.
     CoreModel core;
-    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    StressmarkKit kit =
+        StressmarkKit::cached(core, outputPath("vnoise_kit.cache"));
     AnalysisContext ctx;
     ctx.kit = &kit;
     ctx.window = 16e-6;

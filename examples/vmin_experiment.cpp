@@ -20,7 +20,8 @@ main()
     using namespace vn;
 
     CoreModel core;
-    StressmarkKit kit = StressmarkKit::cached(core, "vnoise_kit.cache");
+    StressmarkKit kit =
+        StressmarkKit::cached(core, outputPath("vnoise_kit.cache"));
 
     ChipConfig config;
     VminExperiment vmin(config); // 0.5% steps, the service element's knob

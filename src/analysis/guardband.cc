@@ -25,33 +25,28 @@ guardbandStudy(const AnalysisContext &ctx,
     GuardbandResult result;
 
     // Worst-case droop bound per active-core count: the deepest
-    // per-core droop over every placement of k max stressmarks.
-    result.worst_droop[0] = 0.0;
-    for (int k = 1; k <= kNumCores; ++k) {
-        double worst = 0.0;
-        for (int mask = 0; mask < (1 << kNumCores); ++mask) {
-            if (__builtin_popcount(static_cast<unsigned>(mask)) != k)
-                continue;
-            Mapping mapping;
-            for (int c = 0; c < kNumCores; ++c) {
-                mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
-                                             : WorkloadClass::Idle;
-            }
-            auto r = study.run(mapping);
-            for (int c = 0; c < kNumCores; ++c)
-                worst = std::max(worst, vnom - r.v_min[c]);
+    // per-core droop over every placement of k max stressmarks (the
+    // all-idle mapping covers k = 0, static IR only). One campaign
+    // over all 64 placements so the runs parallelize and share the
+    // mapping-study result cache.
+    std::vector<Mapping> placements;
+    placements.reserve(1 << kNumCores);
+    for (int mask = 0; mask < (1 << kNumCores); ++mask) {
+        Mapping mapping;
+        for (int c = 0; c < kNumCores; ++c) {
+            mapping[c] = (mask >> c) & 1 ? WorkloadClass::Max
+                                         : WorkloadClass::Idle;
         }
-        result.worst_droop[k] = worst;
+        placements.push_back(mapping);
     }
-    // Idle droop: static IR only; reuse the all-idle mapping.
-    {
-        Mapping idle{};
-        idle.fill(WorkloadClass::Idle);
-        auto r = study.run(idle);
-        double worst = 0.0;
-        for (int c = 0; c < kNumCores; ++c)
-            worst = std::max(worst, vnom - r.v_min[c]);
-        result.worst_droop[0] = worst;
+    auto runs = study.runMany(placements);
+    for (const auto &r : runs) {
+        int k = activeCores(r.mapping);
+        for (int c = 0; c < kNumCores; ++c) {
+            result.worst_droop[static_cast<size_t>(k)] =
+                std::max(result.worst_droop[static_cast<size_t>(k)],
+                         vnom - r.v_min[c]);
+        }
     }
 
     // Safe bias per utilization level: supply*(1-bias) - droop(bias)

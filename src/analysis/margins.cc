@@ -18,8 +18,20 @@ consecutiveEventsStudy(const AnalysisContext &ctx,
                        std::span<const double> freqs,
                        std::span<const int> events, double bias_step)
 {
+    std::vector<MarginSpec> specs;
+    specs.reserve(freqs.size() * events.size());
+    for (double f : freqs)
+        for (int n : events)
+            specs.push_back({f, n});
+    return marginPoints(ctx, specs, bias_step);
+}
+
+std::vector<MarginPoint>
+marginPoints(const AnalysisContext &ctx, std::span<const MarginSpec> specs,
+             double bias_step)
+{
     if (ctx.kit == nullptr)
-        fatal("consecutiveEventsStudy: kit must be set");
+        fatal("marginPoints: kit must be set");
 
     char extra[48];
     std::snprintf(extra, sizeof(extra), "vmin-grid step=%.17g",
@@ -30,57 +42,57 @@ consecutiveEventsStudy(const AnalysisContext &ctx,
 
     VminExperiment vmin(ctx.chip_config, bias_step, 0.15);
 
-    for (double f : freqs) {
-        for (int n : events) {
-            char key[64];
-            std::snprintf(key, sizeof(key), "vmin f=%.17g n=%d", f, n);
-            campaign.submit(key, [&ctx, &vmin, f, n](uint64_t seed) {
-                double period = 1.0 / f;
-                double sync_interval = static_cast<double>(64000) *
-                                       TodClock::tick_seconds;
-                double window =
-                    std::clamp(4.0 * period, 20e-6, 120e-6);
+    for (const MarginSpec &cell : specs) {
+        double f = cell.freq_hz;
+        int n = cell.events;
+        char key[64];
+        std::snprintf(key, sizeof(key), "vmin f=%.17g n=%d", f, n);
+        campaign.submit(key, [&ctx, &vmin, f, n](uint64_t seed) {
+            double period = 1.0 / f;
+            double sync_interval = static_cast<double>(64000) *
+                                   TodClock::tick_seconds;
+            double window =
+                std::clamp(4.0 * period, 20e-6, 120e-6);
 
-                StressmarkSpec spec;
-                spec.stimulus_freq_hz = f;
-                spec.synchronized = n > 0;
-                spec.consecutive_events = n > 0 ? n : 1000;
-                Stressmark sm = ctx.kit->make(spec);
+            StressmarkSpec spec;
+            spec.stimulus_freq_hz = f;
+            spec.synchronized = n > 0;
+            spec.consecutive_events = n > 0 ? n : 1000;
+            Stressmark sm = ctx.kit->make(spec);
 
-                std::array<CoreActivity, kNumCores> workloads = {
-                    sm.activity(), sm.activity(), sm.activity(),
-                    sm.activity(), sm.activity(), sm.activity()};
+            std::array<CoreActivity, kNumCores> workloads = {
+                sm.activity(), sm.activity(), sm.activity(),
+                sm.activity(), sm.activity(), sm.activity()};
 
-                if (n <= 0) {
-                    // "Infinite" events: free-running copies from
-                    // random start phases.
-                    Rng rng(seed);
-                    for (int c = 0; c < kNumCores; ++c)
-                        workloads[c] =
-                            sm.activity(period * rng.uniform());
-                } else if (period > sync_interval) {
-                    // Footnote 6: when events are rarer than the sync
-                    // interval, copies align to different 4 ms
-                    // boundaries.
-                    for (int c = 0; c < kNumCores; ++c) {
-                        StressmarkSpec misaligned = spec;
-                        misaligned.misalignment_ticks =
-                            static_cast<uint64_t>(c) * 64000 /
-                            kNumCores;
-                        workloads[c] =
-                            ctx.kit->make(misaligned).activity();
-                    }
+            if (n <= 0) {
+                // "Infinite" events: free-running copies from
+                // random start phases.
+                Rng rng(seed);
+                for (int c = 0; c < kNumCores; ++c)
+                    workloads[c] =
+                        sm.activity(period * rng.uniform());
+            } else if (period > sync_interval) {
+                // Footnote 6: when events are rarer than the sync
+                // interval, copies align to different 4 ms
+                // boundaries.
+                for (int c = 0; c < kNumCores; ++c) {
+                    StressmarkSpec misaligned = spec;
+                    misaligned.misalignment_ticks =
+                        static_cast<uint64_t>(c) * 64000 /
+                        kNumCores;
+                    workloads[c] =
+                        ctx.kit->make(misaligned).activity();
                 }
+            }
 
-                auto result = vmin.run(workloads, window);
-                MarginPoint point;
-                point.freq_hz = f;
-                point.events = n;
-                point.bias_at_failure = result.bias_at_failure;
-                point.failed = result.failed;
-                return point;
-            });
-        }
+            auto result = vmin.run(workloads, window);
+            MarginPoint point;
+            point.freq_hz = f;
+            point.events = n;
+            point.bias_at_failure = result.bias_at_failure;
+            point.failed = result.failed;
+            return point;
+        });
     }
     return campaign.collectOrFatal();
 }

@@ -47,6 +47,24 @@ consecutiveEventsStudy(const AnalysisContext &ctx,
                        std::span<const int> events,
                        double bias_step = 0.005);
 
+/** One requested cell of a margin batch. */
+struct MarginSpec
+{
+    double freq_hz = 0.0;
+    int events = 0; //!< <= 0 means "infinite" (no synchronization)
+};
+
+/**
+ * Cell-granular form of consecutiveEventsStudy(): one campaign over an
+ * arbitrary list of (frequency, events) cells instead of a full grid.
+ * Each cell is bit-identical to the matching grid cell — job keys and
+ * seeds depend only on the cell — so serving-layer batches share the
+ * cache with grid studies.
+ */
+std::vector<MarginPoint>
+marginPoints(const AnalysisContext &ctx, std::span<const MarginSpec> specs,
+             double bias_step = 0.005);
+
 } // namespace vn
 
 #endif // VN_ANALYSIS_MARGINS_HH

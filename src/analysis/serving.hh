@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Request -> campaign adapters for the serving layer (src/service):
+ * the droop-trace study plus the KeyValueFile codec that lets trace
+ * jobs persist in the campaign result cache. The other request types
+ * map onto existing point-granular harness entry points
+ * (sweepStimulusPoints, MappingStudy::runMany, marginPoints,
+ * guardbandStudy).
+ */
+
+#ifndef VN_ANALYSIS_SERVING_HH
+#define VN_ANALYSIS_SERVING_HH
+
+#include <span>
+#include <vector>
+
+#include "analysis/context.hh"
+
+namespace vn
+{
+
+/** One requested oscilloscope-style VDie capture (Fig. 8 view). */
+struct DroopTraceSpec
+{
+    double freq_hz = 2.4e6; //!< stimulus frequency of the stressmark
+    double window = 20e-6;  //!< seconds co-simulated
+    int core = 0;           //!< observed core
+    unsigned decimation = 8; //!< keep one sample in this many steps
+};
+
+/** Decimated single-core VDie trace. */
+struct DroopTrace
+{
+    double t0 = 0.0; //!< time of the first sample
+    double dt = 0.0; //!< sample spacing (chip dt * decimation)
+    double v_min = 0.0;
+    double v_max = 0.0;
+    std::vector<double> v; //!< samples, volts
+};
+
+/** Samples a single trace job may produce (guards the cache and the
+ *  wire protocol against absurd window/decimation combinations). */
+inline constexpr size_t kMaxTraceSamples = 20000;
+
+/**
+ * Capture the VDie trace of `spec.core` while every core runs the
+ * synchronized maximum stressmark at `spec.freq_hz`, one campaign job
+ * per spec. Deterministic (no per-job randomness), so identical specs
+ * coalesce perfectly in the result cache.
+ */
+std::vector<DroopTrace> droopTraces(const AnalysisContext &ctx,
+                                    std::span<const DroopTraceSpec> specs);
+
+/** DroopTrace <-> KeyValueFile (campaign result cache). */
+void encodeDroopTrace(const DroopTrace &t, KeyValueFile &kv);
+DroopTrace decodeDroopTrace(const KeyValueFile &kv);
+
+} // namespace vn
+
+#endif // VN_ANALYSIS_SERVING_HH

@@ -151,6 +151,17 @@ std::vector<FreqSweepPoint>
 sweepStimulusFrequency(const AnalysisContext &ctx,
                        std::span<const double> freqs, bool synchronized)
 {
+    std::vector<SweepPointSpec> specs;
+    specs.reserve(freqs.size());
+    for (double f : freqs)
+        specs.push_back({f, synchronized});
+    return sweepStimulusPoints(ctx, specs);
+}
+
+std::vector<FreqSweepPoint>
+sweepStimulusPoints(const AnalysisContext &ctx,
+                    std::span<const SweepPointSpec> specs)
+{
     checkContext(ctx);
     ChipModel chip(ctx.chip_config);
     double nominal_pos =
@@ -159,14 +170,14 @@ sweepStimulusFrequency(const AnalysisContext &ctx,
     runtime::Campaign<FreqSweepPoint> campaign(ctx.campaign, ctx.seed,
                                                analysisScope(ctx));
     campaign.setCodec(encodeFreqSweepPoint, decodeFreqSweepPoint);
-    for (double f : freqs) {
+    for (const SweepPointSpec &spec : specs) {
         std::string key = std::string("fsweep sync=") +
-                          (synchronized ? "1" : "0") +
-                          " f=" + numKey(f);
-        campaign.submit(key, [&ctx, &chip, nominal_pos, f,
-                              synchronized](uint64_t seed) {
-            return sweepOnePoint(ctx, chip, nominal_pos, f,
-                                 synchronized, seed);
+                          (spec.synchronized ? "1" : "0") +
+                          " f=" + numKey(spec.freq_hz);
+        campaign.submit(key, [&ctx, &chip, nominal_pos,
+                              spec](uint64_t seed) {
+            return sweepOnePoint(ctx, chip, nominal_pos, spec.freq_hz,
+                                 spec.synchronized, seed);
         });
     }
     return campaign.collectOrFatal();

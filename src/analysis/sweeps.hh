@@ -40,6 +40,25 @@ std::vector<FreqSweepPoint>
 sweepStimulusFrequency(const AnalysisContext &ctx,
                        std::span<const double> freqs, bool synchronized);
 
+/** One requested point of a mixed sweep batch. */
+struct SweepPointSpec
+{
+    double freq_hz = 0.0;
+    bool synchronized = false;
+};
+
+/**
+ * Point-granular form of sweepStimulusFrequency(): one campaign over
+ * an arbitrary mix of (frequency, synchronized) points. Each point is
+ * bit-identical to what sweepStimulusFrequency() returns for it —
+ * per-job seeds derive from the job key alone — so batches assembled
+ * from independent requests (the serving layer) replay the cache of
+ * ordinary sweeps and vice versa.
+ */
+std::vector<FreqSweepPoint>
+sweepStimulusPoints(const AnalysisContext &ctx,
+                    std::span<const SweepPointSpec> specs);
+
 /** One misalignment point (Fig. 10). */
 struct MisalignmentPoint
 {

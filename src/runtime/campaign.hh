@@ -56,6 +56,16 @@ struct CampaignOptions
     int max_attempts = 2;
 
     /**
+     * Borrowed long-lived pool to run on instead of constructing a
+     * private one (`jobs` is then ignored). Campaigns sharing a pool
+     * must be serialized by the caller — Pool::wait() waits for
+     * *every* task in the pool, so two interleaved campaigns would
+     * wait on each other's jobs. The serving dispatcher owns exactly
+     * this discipline: one batch at a time onto the daemon's pool.
+     */
+    Pool *pool = nullptr;
+
+    /**
      * When set, every campaign running under these options adds its
      * counters here so the harness can print one aggregate summary.
      */
@@ -160,15 +170,21 @@ class Campaign
             cache.emplace(options_.cache_dir);
 
         {
-            Pool pool(options_.jobs);
+            std::optional<Pool> own;
+            Pool *pool = options_.pool;
+            if (pool == nullptr) {
+                own.emplace(options_.jobs);
+                pool = &*own;
+            }
+            uint64_t steals_before = pool->steals();
             for (size_t i = 0; i < jobs.size(); ++i) {
-                pool.submit([this, &jobs, &results, &cache, i] {
+                pool->submit([this, &jobs, &results, &cache, i] {
                     runJob(jobs[i], i, results[i], cache);
                 });
             }
-            pool.wait();
-            stats_.steals = pool.steals();
-            stats_.threads = pool.threads();
+            pool->wait();
+            stats_.steals = pool->steals() - steals_before;
+            stats_.threads = pool->threads();
         }
 
         if (options_.stats_sink != nullptr)

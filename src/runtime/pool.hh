@@ -14,6 +14,13 @@
  * on the calling thread: the serial path involves no threads at all,
  * which is the baseline the determinism tests compare against.
  *
+ * submit() and wait() are safe to call from any thread, so a
+ * long-lived pool can serve work submitted by foreign threads (the
+ * vnoised dispatcher drives one from its batcher thread). wait()
+ * blocks until the pool is globally idle; callers that share a pool
+ * must therefore serialize their batches — there is no notion of
+ * waiting for "my" subset of tasks.
+ *
  * Tasks must not let exceptions escape; the campaign layer wraps user
  * jobs in its own try/catch (see campaign.hh). An escaping exception
  * is a library bug and panics with context instead of slamming into

@@ -1,0 +1,189 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vn::service
+{
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_), deadline_ms_(other.deadline_ms_)
+{}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        next_id_ = other.next_id_;
+        deadline_ms_ = other.deadline_ms_;
+    }
+    return *this;
+}
+
+void
+Client::connect(int port)
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ServiceError("io_error",
+                           std::string("socket: ") +
+                               std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        throw ServiceError("io_error",
+                           "connect 127.0.0.1:" + std::to_string(port) +
+                               ": " + std::strerror(saved));
+    }
+    fd_ = fd;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Json
+Client::call(const std::string &verb, Json params)
+{
+    if (fd_ < 0)
+        throw ServiceError("io_error", "client is not connected");
+
+    double id = static_cast<double>(next_id_++);
+    Json request = Json::object();
+    request.set("id", Json::number(id));
+    request.set("verb", Json::str(verb));
+    request.set("params", std::move(params));
+    if (deadline_ms_)
+        request.set("deadline_ms", Json::number(*deadline_ms_));
+
+    if (!writeFrame(fd_, request.dump())) {
+        close();
+        throw ServiceError("io_error", "request write failed");
+    }
+
+    std::string payload;
+    FrameStatus status =
+        readFrame(fd_, payload, kDefaultMaxFrameBytes);
+    if (status != FrameStatus::Ok) {
+        close();
+        throw ServiceError("io_error",
+                           status == FrameStatus::Eof
+                               ? "server closed the connection"
+                               : "response read failed");
+    }
+
+    Json response;
+    try {
+        response = Json::parse(payload);
+    } catch (const JsonError &e) {
+        throw ServiceError("bad_response", e.what());
+    }
+    if (!response.isObject() || !response.has("ok"))
+        throw ServiceError("bad_response",
+                           "response missing 'ok' field");
+    if (response.has("id") && response.at("id").isNumber() &&
+        response.at("id").asNumber() != id)
+        throw ServiceError("bad_response",
+                           "response id does not match request id");
+
+    if (!response.at("ok").asBool()) {
+        if (!response.has("error"))
+            throw ServiceError("bad_response",
+                               "error response without detail");
+        const Json &error = response.at("error");
+        throw ServiceError(error.has("code")
+                               ? error.at("code").asString()
+                               : "unknown",
+                           error.has("message")
+                               ? error.at("message").asString()
+                               : "");
+    }
+    if (!response.has("result"))
+        throw ServiceError("bad_response",
+                           "ok response without 'result'");
+    return response.at("result");
+}
+
+AnyResult
+Client::callTyped(const AnyRequest &request)
+{
+    Verb verb = requestVerb(request);
+    Json result = call(verbName(verb), encodeRequestParams(request));
+    try {
+        return decodeResult(verb, result);
+    } catch (const JsonError &e) {
+        throw ServiceError("bad_response", e.what());
+    }
+}
+
+FreqSweepPoint
+Client::sweep(const SweepRequest &request)
+{
+    return std::get<FreqSweepPoint>(callTyped(request));
+}
+
+MappingResult
+Client::map(const MapRequest &request)
+{
+    return std::get<MappingResult>(callTyped(request));
+}
+
+MarginPoint
+Client::margin(const MarginRequest &request)
+{
+    return std::get<MarginPoint>(callTyped(request));
+}
+
+GuardbandResult
+Client::guardband(const GuardbandRequest &request)
+{
+    return std::get<GuardbandResult>(callTyped(request));
+}
+
+DroopTrace
+Client::trace(const TraceRequest &request)
+{
+    return std::get<DroopTrace>(callTyped(request));
+}
+
+int
+Client::ping()
+{
+    Json result = call("ping", Json::object());
+    return static_cast<int>(result.numberOr("protocol", 0));
+}
+
+Json
+Client::stats()
+{
+    return call("stats", Json::object());
+}
+
+void
+Client::shutdown()
+{
+    call("shutdown", Json::object());
+}
+
+} // namespace vn::service

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Synchronous typed client for vnoised.
+ *
+ * One Client owns one TCP connection and issues one request at a time:
+ * call() frames the request, blocks for the matching response, and
+ * either returns the decoded result or throws ServiceError carrying
+ * the structured error code from the wire. The typed wrappers
+ * (sweep(), map(), ...) round-trip through the same codec the server
+ * uses, so a value returned here is bit-identical to the direct
+ * library call (numbers travel with 17 significant digits).
+ *
+ * A Client is NOT thread-safe — use one per thread (the server happily
+ * serves many connections; that is the concurrency model).
+ */
+
+#ifndef VN_SERVICE_CLIENT_HH
+#define VN_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "service/codec.hh"
+
+namespace vn::service
+{
+
+/** A structured error response (or transport failure) from call(). */
+class ServiceError : public std::runtime_error
+{
+  public:
+    ServiceError(std::string code, const std::string &message)
+        : std::runtime_error(code + ": " + message),
+          code_(std::move(code))
+    {}
+
+    /** Machine-readable code ("overloaded", "io_error", ...). */
+    const std::string &code() const { return code_; }
+
+  private:
+    std::string code_;
+};
+
+/** Synchronous vnoised connection; see the file comment. */
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Connect to 127.0.0.1:port; throws ServiceError("io_error"). */
+    explicit Client(int port) { connect(port); }
+
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    void connect(int port);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Per-request deadline (milliseconds, relative to server-side
+     * arrival) attached to every subsequent compute call; nullopt
+     * (the default) sends none.
+     */
+    void setDeadlineMs(std::optional<double> deadline_ms)
+    {
+        deadline_ms_ = deadline_ms;
+    }
+
+    /**
+     * Issue one request and block for its response. Returns the
+     * `result` member on success; throws ServiceError with the wire
+     * error code otherwise ("io_error" for transport failures,
+     * "bad_response" for an undecodable reply).
+     */
+    Json call(const std::string &verb, Json params);
+
+    /** Typed compute calls (throw ServiceError). */
+    FreqSweepPoint sweep(const SweepRequest &request);
+    MappingResult map(const MapRequest &request);
+    MarginPoint margin(const MarginRequest &request);
+    GuardbandResult guardband(const GuardbandRequest &request);
+    DroopTrace trace(const TraceRequest &request);
+
+    /** Round-trip a ping; returns the server's protocol version. */
+    int ping();
+
+    /** Fetch the cumulative serving statistics document. */
+    Json stats();
+
+    /** Ask the daemon to drain and exit. */
+    void shutdown();
+
+  private:
+    AnyResult callTyped(const AnyRequest &request);
+
+    int fd_ = -1;
+    uint64_t next_id_ = 1;
+    std::optional<double> deadline_ms_;
+};
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_CLIENT_HH

@@ -1,0 +1,367 @@
+#include "service/dispatcher.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace vn::service
+{
+
+namespace
+{
+
+/** Latency samples kept for percentile reporting. */
+constexpr size_t kLatencyWindow = 2048;
+
+double
+millisecondsSince(Dispatcher::Clock::time_point start,
+                  Dispatcher::Clock::time_point now)
+{
+    return std::chrono::duration<double, std::milli>(now - start)
+        .count();
+}
+
+} // namespace
+
+Dispatcher::Dispatcher(const AnalysisContext &base,
+                       DispatcherConfig config)
+    : base_(base), config_(config), pool_(base.campaign.jobs)
+{
+    if (config_.queue_depth < 1)
+        fatal("Dispatcher: queue_depth must be >= 1");
+    if (config_.max_batch < 1)
+        fatal("Dispatcher: max_batch must be >= 1");
+    // Campaigns constructed by batches run on the shared pool; a
+    // private per-campaign pool would defeat worker sharing.
+    base_.campaign.pool = &pool_;
+    base_.campaign.stats_sink = nullptr;
+    latency_ring_.resize(kLatencyWindow, 0.0);
+}
+
+Dispatcher::~Dispatcher()
+{
+    drain();
+}
+
+void
+Dispatcher::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_)
+        return;
+    started_ = true;
+    // Harness errors must surface as per-request `internal` responses,
+    // not a daemon exit: fatal()/panic() throw from here on.
+    setThrowOnError(true);
+    batcher_ = std::thread([this] { batcherLoop(); });
+}
+
+void
+Dispatcher::submit(AnyRequest request,
+                   std::optional<Clock::time_point> deadline,
+                   Completion done)
+{
+    std::string key = requestKey(request);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++counters_.received;
+        if (draining_ || !started_) {
+            ++counters_.rejected_shutdown;
+            lock.unlock();
+            done(WireError{"shutting_down",
+                           "the service is draining; retry elsewhere"});
+            return;
+        }
+        if (queue_.size() >=
+            static_cast<size_t>(config_.queue_depth)) {
+            ++counters_.rejected_overloaded;
+            lock.unlock();
+            done(WireError{"overloaded",
+                           "admission queue is full (depth " +
+                               std::to_string(config_.queue_depth) +
+                               "); retry with backoff"});
+            return;
+        }
+        ++counters_.admitted;
+        queue_.push_back(Pending{std::move(request), std::move(key),
+                                 deadline, Clock::now(),
+                                 std::move(done)});
+    }
+    cv_.notify_one();
+}
+
+void
+Dispatcher::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    cv_.notify_all();
+    // join_mutex_ serializes concurrent drain() calls (signal thread
+    // vs destructor); joinable() goes false after the first join.
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (batcher_.joinable())
+        batcher_.join();
+}
+
+ServiceCounters
+Dispatcher::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::vector<double>
+Dispatcher::latencySamplesMs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = std::min(latency_count_, latency_ring_.size());
+    return std::vector<double>(latency_ring_.begin(),
+                               latency_ring_.begin() +
+                                   static_cast<long>(n));
+}
+
+void
+Dispatcher::pauseForTest(bool paused)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = paused;
+    }
+    cv_.notify_all();
+}
+
+void
+Dispatcher::batcherLoop()
+{
+    while (true) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return draining_ || (!queue_.empty() && !paused_);
+            });
+            if (queue_.empty() && draining_)
+                return;
+            if (queue_.empty() || (paused_ && !draining_))
+                continue;
+
+            if (config_.batch_window_ms > 0 && !draining_) {
+                // Linger so near-simultaneous clients land in the
+                // same batch (and coalesce / share the campaign).
+                lock.unlock();
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    config_.batch_window_ms));
+                lock.lock();
+            }
+
+            size_t take = std::min(
+                queue_.size(), static_cast<size_t>(config_.max_batch));
+            batch.reserve(take);
+            for (size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+        runBatch(std::move(batch));
+    }
+}
+
+void
+Dispatcher::complete(Pending &pending,
+                     std::variant<AnyResult, WireError> outcome)
+{
+    bool ok = std::holds_alternative<AnyResult>(outcome);
+    double latency_ms =
+        millisecondsSince(pending.admitted, Clock::now());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ok)
+            ++counters_.completed_ok;
+        else
+            ++counters_.completed_error;
+        latency_ring_[latency_next_] = latency_ms;
+        latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+        ++latency_count_;
+    }
+    pending.done(std::move(outcome));
+}
+
+void
+Dispatcher::runBatch(std::vector<Pending> batch)
+{
+    // Expired deadlines are answered without being computed.
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    Clock::time_point now = Clock::now();
+    for (Pending &pending : batch) {
+        if (pending.deadline && *pending.deadline <= now) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.deadline_expired;
+            }
+            complete(pending,
+                     WireError{"deadline_exceeded",
+                               "request expired while queued"});
+        } else {
+            live.push_back(std::move(pending));
+        }
+    }
+    if (live.empty())
+        return;
+
+    // Group by verb, coalescing identical requests under one key.
+    // std::map keeps the key order deterministic, which keeps the
+    // campaign job order (and thus any log output) reproducible.
+    std::map<Verb, std::map<std::string, std::vector<size_t>>> groups;
+    for (size_t i = 0; i < live.size(); ++i)
+        groups[requestVerb(live[i].request)][live[i].key].push_back(i);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.batches;
+        size_t unique = 0;
+        for (const auto &[verb, keyed] : groups)
+            unique += keyed.size();
+        counters_.coalesced += live.size() - unique;
+    }
+
+    // Per-batch campaign counters, merged under the lock afterwards
+    // (the sink itself must not be written concurrently with a
+    // counters() snapshot).
+    runtime::CampaignStats batch_stats;
+    AnalysisContext ctx = base_;
+    ctx.campaign.stats_sink = &batch_stats;
+
+    for (auto &[verb, keyed] : groups) {
+        // One result per unique key, in key order.
+        std::vector<AnyResult> results;
+        std::string error;
+        try {
+            switch (verb) {
+            case Verb::Sweep: {
+                std::vector<SweepPointSpec> specs;
+                for (const auto &[key, idx] : keyed)
+                    specs.push_back(std::get<SweepRequest>(
+                                        live[idx.front()].request)
+                                        .spec);
+                for (FreqSweepPoint &p :
+                     sweepStimulusPoints(ctx, specs))
+                    results.push_back(std::move(p));
+                break;
+            }
+            case Verb::Map: {
+                // Sub-group by stimulus frequency: one MappingStudy
+                // (and one campaign) per frequency.
+                std::map<std::string, std::vector<const std::string *>>
+                    by_freq;
+                std::map<std::string, AnyResult> by_key;
+                std::map<std::string, double> freq_of;
+                std::map<std::string, std::vector<Mapping>> mappings;
+                for (const auto &[key, idx] : keyed) {
+                    const auto &request = std::get<MapRequest>(
+                        live[idx.front()].request);
+                    char fkey[40];
+                    std::snprintf(fkey, sizeof(fkey), "%.17g",
+                                  request.freq_hz);
+                    freq_of[fkey] = request.freq_hz;
+                    by_freq[fkey].push_back(&key);
+                    mappings[fkey].push_back(request.mapping);
+                }
+                for (const auto &[fkey, keys] : by_freq) {
+                    MappingStudy study(ctx, freq_of[fkey]);
+                    auto batch_results =
+                        study.runMany(mappings[fkey]);
+                    for (size_t i = 0; i < keys.size(); ++i)
+                        by_key[*keys[i]] =
+                            std::move(batch_results[i]);
+                }
+                for (const auto &[key, idx] : keyed)
+                    results.push_back(std::move(by_key[key]));
+                break;
+            }
+            case Verb::Margin: {
+                // Sub-group by bias step (part of the campaign scope).
+                std::map<std::string,
+                         std::vector<const std::string *>>
+                    by_step;
+                std::map<std::string, std::vector<MarginSpec>> specs;
+                std::map<std::string, double> step_of;
+                std::map<std::string, AnyResult> by_key;
+                for (const auto &[key, idx] : keyed) {
+                    const auto &request = std::get<MarginRequest>(
+                        live[idx.front()].request);
+                    char skey[40];
+                    std::snprintf(skey, sizeof(skey), "%.17g",
+                                  request.bias_step);
+                    step_of[skey] = request.bias_step;
+                    by_step[skey].push_back(&key);
+                    specs[skey].push_back(request.spec);
+                }
+                for (const auto &[skey, keys] : by_step) {
+                    auto batch_results = marginPoints(
+                        ctx, specs[skey], step_of[skey]);
+                    for (size_t i = 0; i < keys.size(); ++i)
+                        by_key[*keys[i]] =
+                            std::move(batch_results[i]);
+                }
+                for (const auto &[key, idx] : keyed)
+                    results.push_back(std::move(by_key[key]));
+                break;
+            }
+            case Verb::Guardband: {
+                for (const auto &[key, idx] : keyed) {
+                    const auto &request = std::get<GuardbandRequest>(
+                        live[idx.front()].request);
+                    results.push_back(
+                        guardbandStudy(ctx, request.trace));
+                }
+                break;
+            }
+            case Verb::Trace: {
+                std::vector<DroopTraceSpec> specs;
+                for (const auto &[key, idx] : keyed)
+                    specs.push_back(std::get<TraceRequest>(
+                                        live[idx.front()].request)
+                                        .spec);
+                for (DroopTrace &t : droopTraces(ctx, specs))
+                    results.push_back(std::move(t));
+                break;
+            }
+            default:
+                error = "control verb reached the batcher";
+            }
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception";
+        }
+
+        // Merge campaign counters BEFORE completing, so a client that
+        // sees its response and immediately asks for `stats` finds its
+        // own job already counted.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            counters_.campaign.add(batch_stats);
+        }
+        batch_stats = runtime::CampaignStats{};
+
+        size_t slot = 0;
+        for (const auto &[key, idx] : keyed) {
+            for (size_t i : idx) {
+                if (!error.empty()) {
+                    complete(live[i],
+                             WireError{"internal", error});
+                } else {
+                    complete(live[i], results[slot]);
+                }
+            }
+            ++slot;
+        }
+    }
+}
+
+} // namespace vn::service

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Admission control and micro-batching for vnoised.
+ *
+ * Connection threads submit() typed requests; a single batcher thread
+ * drains the bounded queue, groups the drained requests by verb (and
+ * per-verb sub-key, e.g. the mapping study's stimulus frequency),
+ * coalesces identical requests into one computation, and runs each
+ * group as ONE campaign on the daemon's long-lived work-stealing pool
+ * — so concurrent clients share workers and the content-addressed
+ * result cache exactly like the points of a single big sweep would.
+ *
+ * Backpressure is explicit: a submit() beyond `queue_depth` is
+ * answered immediately with a structured `overloaded` error instead
+ * of queueing unboundedly; a request whose deadline has passed by the
+ * time the batcher picks it up is answered `deadline_exceeded`
+ * without being computed; after drain() begins, new submissions get
+ * `shutting_down` while everything already admitted still completes.
+ *
+ * Completions run on the batcher thread (or on the submitting thread
+ * for the reject paths) — they must be quick and non-blocking apart
+ * from socket writes.
+ */
+
+#ifndef VN_SERVICE_DISPATCHER_HH
+#define VN_SERVICE_DISPATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "analysis/context.hh"
+#include "runtime/pool.hh"
+#include "service/codec.hh"
+
+namespace vn::service
+{
+
+/** Dispatcher knobs (see docs/serving.md for tuning guidance). */
+struct DispatcherConfig
+{
+    /** Admitted-but-unbatched requests beyond this are rejected. */
+    int queue_depth = 64;
+
+    /** Largest number of requests drained into one batch. */
+    int max_batch = 32;
+
+    /**
+     * Linger this long after the first request of a batch before
+     * draining, letting near-simultaneous clients coalesce. 0 batches
+     * only what has already arrived.
+     */
+    int batch_window_ms = 0;
+};
+
+/** Cumulative serving counters (served by the `stats` verb). */
+struct ServiceCounters
+{
+    uint64_t received = 0;  //!< compute requests submitted
+    uint64_t admitted = 0;  //!< accepted into the queue
+    uint64_t completed_ok = 0;
+    uint64_t completed_error = 0;
+    uint64_t rejected_overloaded = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t deadline_expired = 0;
+    uint64_t batches = 0;   //!< batches executed
+    uint64_t coalesced = 0; //!< requests answered by another's job
+
+    /** Aggregated campaign counters (cache hits, steals, ...). */
+    runtime::CampaignStats campaign;
+};
+
+/** The admission queue + batcher; see the file comment. */
+class Dispatcher
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Exactly-once completion: a result or a structured error. */
+    using Completion =
+        std::function<void(std::variant<AnyResult, WireError>)>;
+
+    /**
+     * @param base   harness configuration; `base.campaign.jobs` sizes
+     *               the pool, `base.campaign.cache_dir` is the shared
+     *               result cache. The kit must outlive the dispatcher.
+     * @param config dispatcher knobs
+     */
+    Dispatcher(const AnalysisContext &base, DispatcherConfig config);
+
+    /** Stops the batcher; pending completions get `shutting_down`. */
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /** Spawn the batcher thread. */
+    void start();
+
+    /**
+     * Submit one request from any thread. `done` is invoked exactly
+     * once — synchronously on the reject paths, on the batcher thread
+     * otherwise.
+     */
+    void submit(AnyRequest request,
+                std::optional<Clock::time_point> deadline,
+                Completion done);
+
+    /**
+     * Stop admitting (subsequent submissions are answered
+     * `shutting_down`), finish every admitted request, and join the
+     * batcher. Idempotent.
+     */
+    void drain();
+
+    /** Snapshot of the cumulative counters. */
+    ServiceCounters counters() const;
+
+    /**
+     * Completed-request latencies (milliseconds, most recent window,
+     * unordered) for percentile reporting.
+     */
+    std::vector<double> latencySamplesMs() const;
+
+    /** Worker threads of the shared pool. */
+    int threads() const { return pool_.threads(); }
+
+    /**
+     * Test hook: while paused the batcher leaves the queue alone, so
+     * tests can fill it deterministically and observe backpressure.
+     */
+    void pauseForTest(bool paused);
+
+  private:
+    struct Pending
+    {
+        AnyRequest request;
+        std::string key;
+        std::optional<Clock::time_point> deadline;
+        Clock::time_point admitted;
+        Completion done;
+    };
+
+    void batcherLoop();
+    void runBatch(std::vector<Pending> batch);
+    void complete(Pending &pending,
+                  std::variant<AnyResult, WireError> outcome);
+
+    AnalysisContext base_;
+    DispatcherConfig config_;
+    runtime::Pool pool_;
+
+    mutable std::mutex mutex_;
+    std::mutex join_mutex_; //!< serializes concurrent drain() joins
+    std::condition_variable cv_;
+    std::deque<Pending> queue_;
+    bool draining_ = false;
+    bool paused_ = false;
+    bool started_ = false;
+    std::thread batcher_;
+
+    ServiceCounters counters_;
+    std::vector<double> latency_ring_;
+    size_t latency_next_ = 0;
+    size_t latency_count_ = 0;
+};
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_DISPATCHER_HH

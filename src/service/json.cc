@@ -1,0 +1,508 @@
+#include "service/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vn::service
+{
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.type_ = Type::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    j.type_ = Type::Number;
+    j.number_ = v;
+    return j;
+}
+
+Json
+Json::str(std::string v)
+{
+    Json j;
+    j.type_ = Type::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        throw JsonError("expected a boolean");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    if (type_ != Type::Number)
+        throw JsonError("expected a number");
+    return number_;
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        throw JsonError("expected a string");
+    return string_;
+}
+
+size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return items_.size();
+    if (type_ == Type::Object)
+        return members_.size();
+    throw JsonError("expected an array or object");
+}
+
+const Json &
+Json::at(size_t index) const
+{
+    if (type_ != Type::Array)
+        throw JsonError("expected an array");
+    if (index >= items_.size())
+        throw JsonError("array index out of range");
+    return items_[index];
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return false;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        throw JsonError("expected an object");
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return v;
+    throw JsonError("missing member '" + key + "'");
+}
+
+double
+Json::numberOr(const std::string &key, double fallback) const
+{
+    return has(key) ? at(key).asNumber() : fallback;
+}
+
+bool
+Json::boolOr(const std::string &key, bool fallback) const
+{
+    return has(key) ? at(key).asBool() : fallback;
+}
+
+void
+Json::push(Json value)
+{
+    if (type_ != Type::Array)
+        throw JsonError("push on a non-array");
+    items_.push_back(std::move(value));
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    if (type_ != Type::Object)
+        throw JsonError("set on a non-object");
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    if (type_ != Type::Array)
+        throw JsonError("expected an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        throw JsonError("expected an object");
+    return members_;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json value = parseValue(1);
+        skipSpace();
+        if (pos_ != text_.size())
+            throw JsonError("trailing characters after document");
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            throw JsonError("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    take()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        if (take() != c)
+            throw JsonError(std::string("expected '") + c + "'");
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            throw JsonError("invalid literal");
+        pos_ += word.size();
+    }
+
+    Json
+    parseValue(int depth)
+    {
+        if (depth > Json::kMaxDepth)
+            throw JsonError("nesting too deep");
+        skipSpace();
+        switch (peek()) {
+        case '{':
+            return parseObject(depth);
+        case '[':
+            return parseArray(depth);
+        case '"':
+            return Json::str(parseString());
+        case 't':
+            literal("true");
+            return Json::boolean(true);
+        case 'f':
+            literal("false");
+            return Json::boolean(false);
+        case 'n':
+            literal("null");
+            return Json();
+        default:
+            return parseNumber();
+        }
+    }
+
+    Json
+    parseObject(int depth)
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseString();
+            skipSpace();
+            expect(':');
+            obj.set(key, parseValue(depth + 1));
+            skipSpace();
+            char c = take();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                throw JsonError("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    parseArray(int depth)
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue(depth + 1));
+            skipSpace();
+            char c = take();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                throw JsonError("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = take();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                throw JsonError("unescaped control character");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            char esc = take();
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': appendUnicode(out); break;
+            default: throw JsonError("invalid escape");
+            }
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = take();
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                throw JsonError("invalid \\u escape");
+        }
+        return value;
+    }
+
+    void
+    appendUnicode(std::string &out)
+    {
+        unsigned cp = hex4();
+        if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (take() != '\\' || take() != 'u')
+                throw JsonError("unpaired surrogate");
+            unsigned lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff)
+                throw JsonError("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+        } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            throw JsonError("unpaired surrogate");
+        }
+        // UTF-8 encode.
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            throw JsonError("invalid value");
+        std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0' || !std::isfinite(value))
+            throw JsonError("invalid number '" + token + "'");
+        return Json::number(value);
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+void
+dumpString(const std::string &s, std::string &out)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+dumpNumber(double v, std::string &out)
+{
+    char buf[40];
+    // 17 significant digits: every finite IEEE double round-trips.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+dumpValue(const Json &j, std::string &out)
+{
+    switch (j.type()) {
+    case Json::Type::Null:
+        out += "null";
+        break;
+    case Json::Type::Bool:
+        out += j.asBool() ? "true" : "false";
+        break;
+    case Json::Type::Number:
+        dumpNumber(j.asNumber(), out);
+        break;
+    case Json::Type::String:
+        dumpString(j.asString(), out);
+        break;
+    case Json::Type::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const Json &item : j.items()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            dumpValue(item, out);
+        }
+        out.push_back(']');
+        break;
+    }
+    case Json::Type::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, value] : j.members()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            dumpString(key, out);
+            out.push_back(':');
+            dumpValue(value, out);
+        }
+        out.push_back('}');
+        break;
+    }
+    }
+}
+
+} // namespace
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpValue(*this, out);
+    return out;
+}
+
+} // namespace vn::service

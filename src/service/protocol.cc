@@ -1,0 +1,146 @@
+#include "service/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vn::service
+{
+
+const char *
+verbName(Verb verb)
+{
+    switch (verb) {
+    case Verb::Ping: return "ping";
+    case Verb::Stats: return "stats";
+    case Verb::Shutdown: return "shutdown";
+    case Verb::Sweep: return "sweep";
+    case Verb::Map: return "map";
+    case Verb::Margin: return "margin";
+    case Verb::Guardband: return "guardband";
+    case Verb::Trace: return "trace";
+    }
+    return "?";
+}
+
+std::optional<Verb>
+verbFromName(const std::string &name)
+{
+    for (Verb verb : {Verb::Ping, Verb::Stats, Verb::Shutdown, Verb::Sweep,
+                      Verb::Map, Verb::Margin, Verb::Guardband,
+                      Verb::Trace}) {
+        if (name == verbName(verb))
+            return verb;
+    }
+    return std::nullopt;
+}
+
+namespace
+{
+
+/** read() exactly n bytes; 0 on success, 1 on EOF, -1 on error. */
+int
+readExactly(int fd, char *buf, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        ssize_t got = ::read(fd, buf + done, n - done);
+        if (got == 0)
+            return 1;
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        done += static_cast<size_t>(got);
+    }
+    return 0;
+}
+
+} // namespace
+
+FrameStatus
+readFrame(int fd, std::string &payload, size_t max_bytes)
+{
+    unsigned char header[4];
+    int rc = readExactly(fd, reinterpret_cast<char *>(header), 4);
+    if (rc == 1)
+        return FrameStatus::Eof;
+    if (rc < 0)
+        return FrameStatus::IoError;
+
+    uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                      (static_cast<uint32_t>(header[1]) << 16) |
+                      (static_cast<uint32_t>(header[2]) << 8) |
+                      static_cast<uint32_t>(header[3]);
+    if (length > max_bytes)
+        return FrameStatus::Oversized;
+
+    payload.resize(length);
+    rc = readExactly(fd, payload.data(), length);
+    if (rc == 1)
+        return FrameStatus::Truncated;
+    if (rc < 0)
+        return FrameStatus::IoError;
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > UINT32_MAX)
+        return false;
+    uint32_t length = static_cast<uint32_t>(payload.size());
+    unsigned char header[4] = {
+        static_cast<unsigned char>(length >> 24),
+        static_cast<unsigned char>(length >> 16),
+        static_cast<unsigned char>(length >> 8),
+        static_cast<unsigned char>(length),
+    };
+
+    std::string frame(reinterpret_cast<char *>(header), 4);
+    frame += payload;
+
+    size_t done = 0;
+    while (done < frame.size()) {
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface as
+        // an error return, not a process-killing SIGPIPE.
+        ssize_t put = ::send(fd, frame.data() + done, frame.size() - done,
+                             MSG_NOSIGNAL);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(put);
+    }
+    return true;
+}
+
+Json
+makeOkResponse(const Json &id, Json result)
+{
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(true));
+    response.set("result", std::move(result));
+    return response;
+}
+
+Json
+makeErrorResponse(const Json &id, const WireError &error)
+{
+    Json detail = Json::object();
+    detail.set("code", Json::str(error.code));
+    detail.set("message", Json::str(error.message));
+
+    Json response = Json::object();
+    response.set("id", id);
+    response.set("ok", Json::boolean(false));
+    response.set("error", std::move(detail));
+    return response;
+}
+
+} // namespace vn::service

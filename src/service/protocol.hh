@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The vnoised wire protocol.
+ *
+ * Transport: a TCP byte stream carrying length-prefixed frames. A
+ * frame is a 4-byte big-endian payload length followed by that many
+ * bytes of UTF-8 JSON. Frames above the receiver's size limit are
+ * answered with an `oversized_frame` error and the connection is
+ * closed (the declared length cannot be trusted for resync).
+ *
+ * Requests:  {"id": N, "verb": "sweep", "params": {...},
+ *             "deadline_ms": 2000}
+ * Responses: {"id": N, "ok": true,  "result": {...}}
+ *            {"id": N, "ok": false, "error": {"code": "...",
+ *                                             "message": "..."}}
+ *
+ * `id` is chosen by the client and echoed verbatim; `deadline_ms` is
+ * optional and relative to arrival — a request still queued when it
+ * expires is answered with `deadline_exceeded` instead of computed.
+ * Numbers are printed with 17 significant digits, so every double a
+ * harness computes survives the wire bit-exactly.
+ *
+ * Error codes: malformed_frame, oversized_frame, unknown_verb,
+ * bad_request, overloaded, deadline_exceeded, shutting_down, internal.
+ */
+
+#ifndef VN_SERVICE_PROTOCOL_HH
+#define VN_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/json.hh"
+
+namespace vn::service
+{
+
+/** Protocol revision announced by `ping`. */
+inline constexpr int kProtocolVersion = 1;
+
+/** Default vnoised TCP port (loopback only). */
+inline constexpr int kDefaultPort = 7411;
+
+/** Default cap on one frame's JSON payload. */
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/** Request verbs. */
+enum class Verb
+{
+    Ping,
+    Stats,
+    Shutdown,
+    Sweep,
+    Map,
+    Margin,
+    Guardband,
+    Trace,
+};
+
+/** Wire name of a verb ("sweep", ...). */
+const char *verbName(Verb verb);
+
+/** Verb for a wire name; nullopt for an unknown verb. */
+std::optional<Verb> verbFromName(const std::string &name);
+
+/** A structured protocol error. */
+struct WireError
+{
+    std::string code;    //!< machine-readable ("overloaded", ...)
+    std::string message; //!< human-readable detail
+};
+
+/** Outcome of reading one frame from a stream. */
+enum class FrameStatus
+{
+    Ok,        //!< payload filled
+    Eof,       //!< clean end of stream before a header byte
+    Truncated, //!< stream ended mid-frame
+    Oversized, //!< declared length exceeds the limit
+    IoError,   //!< read(2) failed
+};
+
+/**
+ * Read one length-prefixed frame from `fd` into `payload`.
+ * Blocks until a full frame, EOF, or an error; EINTR is retried.
+ */
+FrameStatus readFrame(int fd, std::string &payload, size_t max_bytes);
+
+/** Write one frame (retries partial writes); false on error/EPIPE. */
+bool writeFrame(int fd, const std::string &payload);
+
+/** Build the JSON envelope of a success response. */
+Json makeOkResponse(const Json &id, Json result);
+
+/** Build the JSON envelope of an error response. */
+Json makeErrorResponse(const Json &id, const WireError &error);
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_PROTOCOL_HH

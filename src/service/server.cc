@@ -1,0 +1,478 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace vn::service
+{
+
+namespace
+{
+
+/** Wake-pipe write end for the signal handlers (one server/process). */
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void
+handleShutdownSignal(int)
+{
+    int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char byte = 's';
+        // Best effort: a full pipe means a wake-up is already pending.
+        [[maybe_unused]] ssize_t rc = ::write(fd, &byte, 1);
+    }
+}
+
+void
+setCloexec(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/** Interpolated percentile of an unsorted sample (p in [0,100]). */
+double
+percentileOf(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = (p / 100.0) *
+                  static_cast<double>(samples.size() - 1);
+    size_t lo = static_cast<size_t>(std::floor(rank));
+    size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+} // namespace
+
+Server::Server(const AnalysisContext &ctx, ServerConfig config)
+    : config_(config),
+      dispatcher_(
+          std::make_unique<Dispatcher>(ctx, config.dispatcher))
+{
+    if (config_.port < 0 || config_.port > 65535)
+        fatal("Server: port must be in [0, 65535]");
+    if (config_.max_frame_bytes < 64)
+        fatal("Server: max_frame_bytes must be >= 64");
+}
+
+Server::~Server()
+{
+    if (started_ && !waited_) {
+        beginShutdown();
+        wait();
+    }
+}
+
+void
+Server::start()
+{
+    if (started_)
+        fatal("Server: start() called twice");
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        fatal("Server: pipe: ", std::strerror(errno));
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    setCloexec(wake_read_fd_);
+    setCloexec(wake_write_fd_);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("Server: socket: ", std::strerror(errno));
+    setCloexec(listen_fd_);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    // Loopback only: vnoised is a local co-processor, not an exposed
+    // network service.
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("Server: bind 127.0.0.1:", config_.port, ": ",
+              std::strerror(errno));
+    if (::listen(listen_fd_, 64) != 0)
+        fatal("Server: listen: ", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        fatal("Server: getsockname: ", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    started_at_ = Dispatcher::Clock::now();
+    dispatcher_->start();
+    started_ = true;
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::installSignalHandlers()
+{
+    if (!started_)
+        fatal("Server: installSignalHandlers() before start()");
+    g_signal_wake_fd.store(wake_write_fd_, std::memory_order_relaxed);
+    struct sigaction action{};
+    action.sa_handler = handleShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+}
+
+void
+Server::beginShutdown()
+{
+    if (shutting_down_.exchange(true))
+        return;
+    char byte = 'q';
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+}
+
+void
+Server::wait()
+{
+    if (!started_ || waited_)
+        return;
+    waited_ = true;
+
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    // Drain first: everything already admitted completes and its
+    // response is written before any connection is torn down.
+    dispatcher_->drain();
+
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto &conn : connections_) {
+            conn->open.store(false);
+            ::shutdown(conn->fd, SHUT_RDWR);
+        }
+    }
+    for (std::thread &t : connection_threads_)
+        if (t.joinable())
+            t.join();
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto &conn : connections_)
+            ::close(conn->fd);
+        connections_.clear();
+    }
+
+    if (g_signal_wake_fd.load() == wake_write_fd_)
+        g_signal_wake_fd.store(-1);
+    ::close(listen_fd_);
+    ::close(wake_read_fd_);
+    ::close(wake_write_fd_);
+    listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+ServerCounters
+Server::serverCounters() const
+{
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    return counters_;
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        pollfd fds[2] = {
+            {listen_fd_, POLLIN, 0},
+            {wake_read_fd_, POLLIN, 0},
+        };
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (fds[1].revents != 0) {
+            shutting_down_.store(true);
+            return;
+        }
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setCloexec(fd);
+
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(connections_mutex_);
+            connections_.push_back(conn);
+            connection_threads_.emplace_back(
+                [this, conn] { handleConnection(conn); });
+        }
+        {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.connections;
+        }
+    }
+}
+
+void
+Server::handleConnection(std::shared_ptr<Connection> conn)
+{
+    std::string payload;
+    while (true) {
+        FrameStatus status =
+            readFrame(conn->fd, payload, config_.max_frame_bytes);
+        if (status == FrameStatus::Oversized) {
+            {
+                std::lock_guard<std::mutex> lock(counters_mutex_);
+                ++counters_.oversized;
+            }
+            // The payload was never read, so the stream cannot be
+            // resynchronized: answer, then close.
+            sendJson(*conn,
+                     makeErrorResponse(
+                         Json(),
+                         WireError{"oversized_frame",
+                                   "frame exceeds " +
+                                       std::to_string(
+                                           config_.max_frame_bytes) +
+                                       " bytes"}));
+            break;
+        }
+        if (status != FrameStatus::Ok)
+            break; // EOF, truncated frame, or I/O error: hang up.
+
+        {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.frames;
+        }
+        if (!handleFrame(conn, payload))
+            break;
+    }
+    conn->open.store(false);
+    // Surface EOF to the peer now; the fd itself is closed in wait().
+    ::shutdown(conn->fd, SHUT_WR);
+}
+
+bool
+Server::handleFrame(const std::shared_ptr<Connection> &conn,
+                    const std::string &payload)
+{
+    Json request;
+    try {
+        request = Json::parse(payload);
+    } catch (const JsonError &e) {
+        {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.malformed;
+        }
+        sendJson(*conn,
+                 makeErrorResponse(
+                     Json(), WireError{"malformed_frame", e.what()}));
+        return true;
+    }
+    if (!request.isObject()) {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.malformed;
+        sendJson(*conn,
+                 makeErrorResponse(
+                     Json(),
+                     WireError{"malformed_frame",
+                               "request must be a JSON object"}));
+        return true;
+    }
+
+    Json id = request.has("id") ? request.at("id") : Json();
+
+    if (!request.has("verb") || !request.at("verb").isString()) {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.bad_requests;
+        sendJson(*conn,
+                 makeErrorResponse(
+                     id, WireError{"bad_request",
+                                   "missing string field 'verb'"}));
+        return true;
+    }
+    std::string verb_name = request.at("verb").asString();
+    std::optional<Verb> verb = verbFromName(verb_name);
+    if (!verb) {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.unknown_verbs;
+        sendJson(*conn,
+                 makeErrorResponse(
+                     id, WireError{"unknown_verb",
+                                   "unknown verb '" + verb_name +
+                                       "'"}));
+        return true;
+    }
+
+    switch (*verb) {
+    case Verb::Ping: {
+        Json result = Json::object();
+        result.set("pong", Json::boolean(true));
+        result.set("protocol",
+                   Json::number(static_cast<double>(kProtocolVersion)));
+        sendJson(*conn, makeOkResponse(id, std::move(result)));
+        return true;
+    }
+    case Verb::Stats: {
+        sendJson(*conn, makeOkResponse(id, statsJson()));
+        return true;
+    }
+    case Verb::Shutdown: {
+        Json result = Json::object();
+        result.set("draining", Json::boolean(true));
+        sendJson(*conn, makeOkResponse(id, std::move(result)));
+        beginShutdown();
+        return true;
+    }
+    default:
+        break;
+    }
+
+    AnyRequest typed;
+    try {
+        Json params =
+            request.has("params") ? request.at("params") : Json::object();
+        typed = decodeRequestParams(*verb, params);
+    } catch (const JsonError &e) {
+        {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.bad_requests;
+        }
+        sendJson(*conn,
+                 makeErrorResponse(
+                     id, WireError{"bad_request", e.what()}));
+        return true;
+    }
+
+    std::optional<Dispatcher::Clock::time_point> deadline;
+    if (request.has("deadline_ms")) {
+        double ms = request.at("deadline_ms").asNumber();
+        if (!(ms >= 0) || ms > 3.6e6) {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.bad_requests;
+            sendJson(*conn,
+                     makeErrorResponse(
+                         id,
+                         WireError{"bad_request",
+                                   "deadline_ms must be in [0, 3.6e6]"}));
+            return true;
+        }
+        deadline = Dispatcher::Clock::now() +
+                   std::chrono::microseconds(
+                       static_cast<int64_t>(ms * 1000.0));
+    }
+
+    dispatcher_->submit(
+        std::move(typed), deadline,
+        [this, conn, id](std::variant<AnyResult, WireError> outcome) {
+            if (std::holds_alternative<WireError>(outcome)) {
+                sendJson(*conn,
+                         makeErrorResponse(
+                             id, std::get<WireError>(outcome)));
+            } else {
+                sendJson(*conn,
+                         makeOkResponse(
+                             id, encodeResult(
+                                     std::get<AnyResult>(outcome))));
+            }
+        });
+    return true;
+}
+
+void
+Server::sendJson(Connection &conn, const Json &response)
+{
+    std::lock_guard<std::mutex> lock(conn.write_mutex);
+    if (!conn.open.load())
+        return;
+    if (!writeFrame(conn.fd, response.dump()))
+        conn.open.store(false);
+}
+
+Json
+Server::statsJson() const
+{
+    ServiceCounters c = dispatcher_->counters();
+    ServerCounters s = serverCounters();
+    std::vector<double> latency = dispatcher_->latencySamplesMs();
+
+    auto n = [](double v) { return Json::number(v); };
+    auto u = [](uint64_t v) {
+        return Json::number(static_cast<double>(v));
+    };
+
+    Json requests = Json::object();
+    requests.set("received", u(c.received));
+    requests.set("admitted", u(c.admitted));
+    requests.set("completed_ok", u(c.completed_ok));
+    requests.set("completed_error", u(c.completed_error));
+    requests.set("rejected_overloaded", u(c.rejected_overloaded));
+    requests.set("rejected_shutdown", u(c.rejected_shutdown));
+    requests.set("deadline_expired", u(c.deadline_expired));
+
+    Json batching = Json::object();
+    batching.set("batches", u(c.batches));
+    batching.set("coalesced", u(c.coalesced));
+
+    Json campaign = Json::object();
+    campaign.set("jobs", u(c.campaign.jobs));
+    campaign.set("cache_hits", u(c.campaign.cache_hits));
+    campaign.set("executed", u(c.campaign.executed));
+    campaign.set("retries", u(c.campaign.retries));
+    campaign.set("failures", u(c.campaign.failures));
+    campaign.set("steals", u(c.campaign.steals));
+
+    Json server = Json::object();
+    server.set("connections", u(s.connections));
+    server.set("frames", u(s.frames));
+    server.set("malformed", u(s.malformed));
+    server.set("oversized", u(s.oversized));
+    server.set("unknown_verbs", u(s.unknown_verbs));
+    server.set("bad_requests", u(s.bad_requests));
+
+    Json latency_ms = Json::object();
+    latency_ms.set("window", u(latency.size()));
+    latency_ms.set("p50", n(percentileOf(latency, 50.0)));
+    latency_ms.set("p99", n(percentileOf(latency, 99.0)));
+
+    Json stats = Json::object();
+    stats.set("protocol",
+              Json::number(static_cast<double>(kProtocolVersion)));
+    stats.set("uptime_s",
+              n(std::chrono::duration<double>(
+                    Dispatcher::Clock::now() - started_at_)
+                    .count()));
+    stats.set("threads",
+              Json::number(
+                  static_cast<double>(dispatcher_->threads())));
+    stats.set("requests", std::move(requests));
+    stats.set("batching", std::move(batching));
+    stats.set("campaign", std::move(campaign));
+    stats.set("server", std::move(server));
+    stats.set("latency_ms", std::move(latency_ms));
+    return stats;
+}
+
+} // namespace vn::service

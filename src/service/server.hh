@@ -1,0 +1,146 @@
+/**
+ * @file
+ * vnoised: the TCP daemon serving the simulator over the framed JSON
+ * protocol (protocol.hh).
+ *
+ * One accept thread poll()s the loopback listen socket plus a
+ * self-pipe; each accepted connection gets a reader thread that
+ * decodes frames, answers the control verbs (ping/stats/shutdown)
+ * inline, and hands compute verbs to the Dispatcher. Responses are
+ * written under a per-connection mutex, so a completion firing on the
+ * batcher thread never interleaves bytes with an inline control
+ * response.
+ *
+ * Shutdown (SIGINT/SIGTERM via installSignalHandlers(), the
+ * `shutdown` verb, or beginShutdown()) is graceful: the listener
+ * closes, the dispatcher drains every admitted request — responses
+ * still go out — and only then are connections torn down.
+ */
+
+#ifndef VN_SERVICE_SERVER_HH
+#define VN_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/dispatcher.hh"
+
+namespace vn::service
+{
+
+/** Daemon knobs (see docs/serving.md). */
+struct ServerConfig
+{
+    /** TCP port on 127.0.0.1; 0 picks an ephemeral port (tests). */
+    int port = 0;
+
+    /** Largest accepted request frame payload. */
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+    /** Admission / batching knobs. */
+    DispatcherConfig dispatcher;
+};
+
+/** Frame/verb-level error counters (server side of `stats`). */
+struct ServerCounters
+{
+    uint64_t connections = 0;
+    uint64_t frames = 0; //!< well-formed frames received
+    uint64_t malformed = 0;
+    uint64_t oversized = 0;
+    uint64_t unknown_verbs = 0;
+    uint64_t bad_requests = 0;
+};
+
+/** The vnoised daemon; see the file comment. */
+class Server
+{
+  public:
+    /**
+     * @param ctx    harness configuration shared by every request;
+     *               `ctx.kit` must outlive the server
+     * @param config daemon knobs
+     */
+    Server(const AnalysisContext &ctx, ServerConfig config);
+
+    /** beginShutdown() + wait() if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the accept loop. fatal() on failure. */
+    void start();
+
+    /** The bound port (resolves port 0 after start()). */
+    int port() const { return port_; }
+
+    /**
+     * Route SIGINT/SIGTERM to beginShutdown() of this server (one
+     * server per process). Call after start().
+     */
+    void installSignalHandlers();
+
+    /** Async-signal-safe shutdown trigger; returns immediately. */
+    void beginShutdown();
+
+    /**
+     * Block until shutdown is triggered, then drain the dispatcher
+     * (in-flight requests complete and their responses are written),
+     * close every connection, and join all threads.
+     */
+    void wait();
+
+    /** Dispatcher counters + latency window (for tests/bench). */
+    const Dispatcher &dispatcher() const { return *dispatcher_; }
+
+    /** Frame/verb-level counters. */
+    ServerCounters serverCounters() const;
+
+    /** Test hook, forwarded to the dispatcher. */
+    void pauseForTest(bool paused) { dispatcher_->pauseForTest(paused); }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::mutex write_mutex;
+        std::atomic<bool> open{true};
+    };
+
+    void acceptLoop();
+    void handleConnection(std::shared_ptr<Connection> conn);
+    bool handleFrame(const std::shared_ptr<Connection> &conn,
+                     const std::string &payload);
+    void sendJson(Connection &conn, const Json &response);
+    Json statsJson() const;
+
+    ServerConfig config_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> shutting_down_{false};
+    bool started_ = false;
+    bool waited_ = false;
+    std::thread accept_thread_;
+    Dispatcher::Clock::time_point started_at_;
+
+    mutable std::mutex connections_mutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::vector<std::thread> connection_threads_;
+
+    mutable std::mutex counters_mutex_;
+    ServerCounters counters_;
+};
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_SERVER_HH

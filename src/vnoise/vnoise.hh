@@ -30,6 +30,7 @@
 #include "analysis/margins.hh"
 #include "analysis/scaling.hh"
 #include "analysis/scheduler.hh"
+#include "analysis/serving.hh"
 #include "analysis/spectrum.hh"
 #include "analysis/sweeps.hh"
 #include "chip/activity.hh"

@@ -13,6 +13,8 @@
  *   vmin (--idle|--unsync|--sync)        margin experiment
  *   map --jobs K                         best/worst workload mapping
  *   spectrum [--freq HZ]                 droop spectrum of a run (FFT)
+ *   serve [--port N] [--jobs N] ...      run the vnoised daemon
+ *   query <verb> [--port N] ...          one request against vnoised
  */
 
 #include <complex>
@@ -21,8 +23,12 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "service/client.hh"
+#include "service/server.hh"
 #include "vnoise/vnoise.hh"
+#include "vnoise_version.hh"
 
 namespace
 {
@@ -33,12 +39,15 @@ using namespace vn;
 class Args
 {
   public:
-    Args(int argc, char **argv)
+    Args(int argc, char **argv, int start = 2)
     {
-        for (int i = 2; i < argc; ++i) {
+        for (int i = start; i < argc; ++i) {
             std::string key = argv[i];
-            if (key.rfind("--", 0) != 0)
-                fatal("vnoise_cli: unexpected argument '", key, "'");
+            if (key.rfind("--", 0) != 0) {
+                if (stray_.empty())
+                    stray_ = key;
+                continue;
+            }
             key = key.substr(2);
             if (i + 1 < argc && argv[i + 1][0] != '-') {
                 values_[key] = argv[i + 1];
@@ -51,6 +60,24 @@ class Args
 
     bool has(const std::string &key) const { return values_.count(key); }
 
+    /** First positional argument that is not a --flag ("" if none). */
+    const std::string &stray() const { return stray_; }
+
+    /** First parsed key not in `allowed` ("" if all are known). */
+    std::string
+    unknownKey(const std::vector<std::string> &allowed) const
+    {
+        for (const auto &[key, value] : values_) {
+            bool known = false;
+            for (const std::string &a : allowed)
+                if (key == a)
+                    known = true;
+            if (!known)
+                return key;
+        }
+        return "";
+    }
+
     std::string
     text(const std::string &key, const std::string &fallback) const
     {
@@ -62,12 +89,36 @@ class Args
     number(const std::string &key, double fallback) const
     {
         auto it = values_.find(key);
-        return it == values_.end() ? fallback : std::stod(it->second);
+        if (it == values_.end())
+            return fallback;
+        try {
+            size_t used = 0;
+            double v = std::stod(it->second, &used);
+            if (used != it->second.size())
+                throw std::invalid_argument(it->second);
+            return v;
+        } catch (const std::exception &) {
+            fatal("vnoise_cli: --", key, " expects a number, got '",
+                  it->second, "'");
+        }
+        return fallback;
     }
 
   private:
     std::map<std::string, std::string> values_;
+    std::string stray_;
 };
+
+/** Flags accepted by every subcommand. */
+const std::vector<std::string> kCommonFlags = {"config", "jobs",
+                                               "cache-dir", "no-cache"};
+
+std::vector<std::string>
+withCommon(std::vector<std::string> flags)
+{
+    flags.insert(flags.end(), kCommonFlags.begin(), kCommonFlags.end());
+    return flags;
+}
 
 /** Campaign runtime knobs shared by all subcommands. */
 vn::runtime::CampaignOptions
@@ -299,10 +350,158 @@ cmdSpectrum(const Args &args)
     return 0;
 }
 
-void
-usage()
+int
+cmdServe(const Args &args)
 {
-    std::printf(
+    service::ServerConfig config;
+    config.port =
+        static_cast<int>(args.number("port", service::kDefaultPort));
+    config.dispatcher.queue_depth =
+        static_cast<int>(args.number("queue-depth", 64));
+    config.dispatcher.max_batch =
+        static_cast<int>(args.number("max-batch", 32));
+    config.dispatcher.batch_window_ms =
+        static_cast<int>(args.number("batch-window-ms", 0));
+
+    AnalysisContext ctx;
+    ctx.chip_config = chipConfig(args);
+    ctx.kit = &kit();
+    ctx.campaign = campaignOptions(args);
+
+    service::Server server(ctx, config);
+    server.start();
+    server.installSignalHandlers();
+    std::printf("vnoised %s listening on 127.0.0.1:%d "
+                "(%d workers, queue depth %d)\n",
+                VN_VERSION, server.port(), server.dispatcher().threads(),
+                config.dispatcher.queue_depth);
+    std::fflush(stdout);
+    server.wait();
+
+    service::ServiceCounters c = server.dispatcher().counters();
+    std::printf("vnoised: drained after %llu requests "
+                "(%llu ok, %llu errors, %llu batches, %zu cache hits)\n",
+                static_cast<unsigned long long>(c.received),
+                static_cast<unsigned long long>(c.completed_ok),
+                static_cast<unsigned long long>(c.completed_error),
+                static_cast<unsigned long long>(c.batches),
+                c.campaign.cache_hits);
+    return 0;
+}
+
+/** Parse a --mapping string: 6 chars of {.,m,X} or {0,1,2}. */
+Mapping
+parseMapping(const std::string &text)
+{
+    if (text.size() != static_cast<size_t>(kNumCores))
+        fatal("vnoise_cli query map: --mapping needs ", kNumCores,
+              " characters of . (idle), m (medium), X (max)");
+    Mapping mapping{};
+    for (int c = 0; c < kNumCores; ++c) {
+        switch (text[static_cast<size_t>(c)]) {
+        case '.': case '0': mapping[c] = WorkloadClass::Idle; break;
+        case 'm': case '1': mapping[c] = WorkloadClass::Medium; break;
+        case 'X': case 'x': case '2': mapping[c] = WorkloadClass::Max; break;
+        default:
+            fatal("vnoise_cli query map: bad mapping character '",
+                  text[static_cast<size_t>(c)], "'");
+        }
+    }
+    return mapping;
+}
+
+int
+cmdQuery(int argc, char **argv)
+{
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr,
+                     "vnoise_cli query: missing verb "
+                     "(ping|stats|shutdown|sweep|map|margin|"
+                     "guardband|trace)\n");
+        return 2;
+    }
+    std::string verb = argv[2];
+    Args args(argc, argv, 3);
+    std::string bad = args.unknownKey(
+        {"port", "deadline-ms", "freq", "sync", "events", "bias-step",
+         "mapping", "window", "core", "decimation", "intervals",
+         "mean-active", "seed"});
+    if (!bad.empty()) {
+        std::fprintf(stderr, "vnoise_cli query: unknown option '--%s'\n",
+                     bad.c_str());
+        return 2;
+    }
+
+    service::Client client;
+    try {
+        client.connect(
+            static_cast<int>(args.number("port", service::kDefaultPort)));
+        if (args.has("deadline-ms"))
+            client.setDeadlineMs(args.number("deadline-ms", 0));
+
+        if (verb == "ping") {
+            std::printf("pong (protocol %d)\n", client.ping());
+            return 0;
+        }
+        if (verb == "stats") {
+            std::printf("%s\n", client.stats().dump().c_str());
+            return 0;
+        }
+        if (verb == "shutdown") {
+            client.shutdown();
+            std::printf("vnoised is draining\n");
+            return 0;
+        }
+
+        service::AnyRequest request;
+        if (verb == "sweep") {
+            request = service::SweepRequest{
+                {args.number("freq", 2.4e6), args.has("sync")}};
+        } else if (verb == "map") {
+            request = service::MapRequest{
+                parseMapping(args.text("mapping", "XXX...")),
+                args.number("freq", 2e6)};
+        } else if (verb == "margin") {
+            request = service::MarginRequest{
+                {args.number("freq", 2.4e6),
+                 static_cast<int>(args.number("events", 1000))},
+                args.number("bias-step", 0.005)};
+        } else if (verb == "guardband") {
+            UtilizationTraceParams trace;
+            trace.intervals =
+                static_cast<size_t>(args.number("intervals", 2000));
+            trace.mean_active_cores = args.number("mean-active", 3.0);
+            trace.seed = static_cast<uint64_t>(args.number("seed", 7));
+            request = service::GuardbandRequest{trace};
+        } else if (verb == "trace") {
+            request = service::TraceRequest{
+                {args.number("freq", 2.4e6),
+                 args.number("window", 20e-6),
+                 static_cast<int>(args.number("core", 0)),
+                 static_cast<unsigned>(args.number("decimation", 8))}};
+        } else {
+            std::fprintf(stderr,
+                         "vnoise_cli query: unknown verb '%s'\n",
+                         verb.c_str());
+            return 2;
+        }
+
+        service::Json result =
+            client.call(service::verbName(service::requestVerb(request)),
+                        service::encodeRequestParams(request));
+        std::printf("%s\n", result.dump().c_str());
+        return 0;
+    } catch (const service::ServiceError &e) {
+        std::fprintf(stderr, "vnoise_cli query: %s\n", e.what());
+        return 1;
+    }
+}
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
         "usage: vnoise_cli <command> [options]\n"
         "  impedance [--core N]\n"
         "  epi [--top N]\n"
@@ -312,6 +511,12 @@ usage()
         "  vmin [--idle|--unsync|--sync]\n"
         "  map [--workloads K]\n"
         "  spectrum [--freq HZ]\n"
+        "  serve [--port N] [--queue-depth N] [--max-batch N]\n"
+        "        [--batch-window-ms N]      run the vnoised daemon\n"
+        "  query <verb> [--port N] [--deadline-ms N] [verb options]\n"
+        "        verbs: ping stats shutdown sweep map margin guardband "
+        "trace\n"
+        "  --version | --help\n"
         "common: --config PATH  (key=value chip configuration; see\n"
         "        saveChipConfig / docs)\n"
         "        --jobs N       (campaign worker threads, default 1)\n"
@@ -320,31 +525,71 @@ usage()
         "        --no-cache     (disable the result cache)\n");
 }
 
+/** Flag check shared by the table-driven commands. */
+int
+runChecked(const Args &args, std::vector<std::string> flags,
+           int (*fn)(const Args &))
+{
+    if (!args.stray().empty()) {
+        std::fprintf(stderr, "vnoise_cli: unexpected argument '%s'\n",
+                     args.stray().c_str());
+        usage(stderr);
+        return 2;
+    }
+    std::string bad = args.unknownKey(withCommon(std::move(flags)));
+    if (!bad.empty()) {
+        std::fprintf(stderr, "vnoise_cli: unknown option '--%s'\n",
+                     bad.c_str());
+        usage(stderr);
+        return 2;
+    }
+    return fn(args);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        usage();
-        return 1;
+        usage(stderr);
+        return 2;
+    }
+    std::string command = argv[1];
+    if (command == "--help" || command == "-h" || command == "help") {
+        usage(stdout);
+        return 0;
+    }
+    if (command == "--version" || command == "version") {
+        std::printf("vnoise_cli %s (protocol %d)\n", VN_VERSION,
+                    vn::service::kProtocolVersion);
+        return 0;
     }
     Args args(argc, argv);
-    std::string command = argv[1];
     if (command == "impedance")
-        return cmdImpedance(args);
+        return runChecked(args, {"core"}, cmdImpedance);
     if (command == "epi")
-        return cmdEpi(args);
+        return runChecked(args, {"top"}, cmdEpi);
     if (command == "sweep")
-        return cmdSweep(args);
+        return runChecked(args, {"sync", "points"}, cmdSweep);
     if (command == "stressmark")
-        return cmdStressmark(args);
+        return runChecked(args, {"freq", "events", "no-sync", "misalign"},
+                          cmdStressmark);
     if (command == "vmin")
-        return cmdVmin(args);
+        return runChecked(args, {"idle", "unsync", "sync"}, cmdVmin);
     if (command == "map")
-        return cmdMap(args);
+        return runChecked(args, {"workloads"}, cmdMap);
     if (command == "spectrum")
-        return cmdSpectrum(args);
-    usage();
-    return 1;
+        return runChecked(args, {"freq"}, cmdSpectrum);
+    if (command == "serve")
+        return runChecked(args,
+                          {"port", "queue-depth", "max-batch",
+                           "batch-window-ms"},
+                          cmdServe);
+    if (command == "query")
+        return cmdQuery(argc, argv);
+    std::fprintf(stderr, "vnoise_cli: unknown command '%s'\n",
+                 command.c_str());
+    usage(stderr);
+    return 2;
 }

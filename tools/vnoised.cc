@@ -1,0 +1,141 @@
+/**
+ * @file
+ * vnoised: the batching simulation daemon, as a standalone binary.
+ *
+ * Equivalent to `vnoise_cli serve` with the same flags — packaged
+ * separately so deployments can ship the daemon without the whole
+ * characterization toolbox. See docs/serving.md for the protocol and
+ * tuning guidance.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "service/server.hh"
+#include "vnoise/vnoise.hh"
+#include "vnoise_version.hh"
+
+namespace
+{
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: vnoised [--port N] [--jobs N] [--queue-depth N]\n"
+        "               [--max-batch N] [--batch-window-ms N]\n"
+        "               [--config PATH] [--cache-dir P] [--no-cache]\n"
+        "               [--version] [--help]\n"
+        "Serves the voltage-noise simulator on 127.0.0.1 (default port "
+        "%d).\n",
+        vn::service::kDefaultPort);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = 1; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key == "--help" || key == "-h") {
+            usage(stdout);
+            return 0;
+        }
+        if (key == "--version") {
+            std::printf("vnoised %s (protocol %d)\n", VN_VERSION,
+                        vn::service::kProtocolVersion);
+            return 0;
+        }
+        if (key.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "vnoised: unexpected argument '%s'\n",
+                         key.c_str());
+            usage(stderr);
+            return 2;
+        }
+        key = key.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+            flags[key] = argv[i + 1];
+            ++i;
+        } else {
+            flags[key] = "1";
+        }
+    }
+    for (const auto &[key, value] : flags) {
+        static const char *known[] = {"port", "jobs", "queue-depth",
+                                      "max-batch", "batch-window-ms",
+                                      "config", "cache-dir", "no-cache"};
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || key == k;
+        if (!ok) {
+            std::fprintf(stderr, "vnoised: unknown option '--%s'\n",
+                         key.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    auto number = [&flags](const std::string &key, double fallback) {
+        auto it = flags.find(key);
+        if (it == flags.end())
+            return fallback;
+        try {
+            return std::stod(it->second);
+        } catch (const std::exception &) {
+            vn::fatal("vnoised: --", key, " expects a number, got '",
+                      it->second, "'");
+        }
+        return fallback;
+    };
+
+    vn::service::ServerConfig config;
+    config.port =
+        static_cast<int>(number("port", vn::service::kDefaultPort));
+    config.dispatcher.queue_depth =
+        static_cast<int>(number("queue-depth", 64));
+    config.dispatcher.max_batch =
+        static_cast<int>(number("max-batch", 32));
+    config.dispatcher.batch_window_ms =
+        static_cast<int>(number("batch-window-ms", 0));
+
+    vn::AnalysisContext ctx;
+    if (flags.count("config"))
+        ctx.chip_config = vn::loadChipConfig(flags["config"]);
+    ctx.campaign.jobs = static_cast<int>(number("jobs", 1));
+    if (ctx.campaign.jobs < 1)
+        vn::fatal("vnoised: --jobs must be >= 1");
+    ctx.campaign.cache_dir = flags.count("cache-dir")
+                                 ? flags["cache-dir"]
+                                 : vn::defaultCacheDir();
+    if (flags.count("no-cache"))
+        ctx.campaign.cache_dir.clear();
+
+    vn::CoreModel core;
+    vn::StressmarkKit kit = vn::StressmarkKit::cached(
+        core, vn::outputPath("vnoise_kit.cache"));
+    ctx.kit = &kit;
+
+    vn::service::Server server(ctx, config);
+    server.start();
+    server.installSignalHandlers();
+    std::printf("vnoised %s listening on 127.0.0.1:%d "
+                "(%d workers, queue depth %d)\n",
+                VN_VERSION, server.port(), server.dispatcher().threads(),
+                config.dispatcher.queue_depth);
+    std::fflush(stdout);
+    server.wait();
+
+    vn::service::ServiceCounters c = server.dispatcher().counters();
+    std::printf("vnoised: drained after %llu requests "
+                "(%llu ok, %llu errors, %llu batches, %zu cache hits)\n",
+                static_cast<unsigned long long>(c.received),
+                static_cast<unsigned long long>(c.completed_ok),
+                static_cast<unsigned long long>(c.completed_error),
+                static_cast<unsigned long long>(c.batches),
+                c.campaign.cache_hits);
+    return 0;
+}
