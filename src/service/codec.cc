@@ -199,9 +199,18 @@ decodeRequestParams(Verb verb, const Json &params)
                 throw JsonError("'mean_active_cores' must be in [0, 6]");
             r.trace.mean_active_cores = mean;
         }
-        if (params.has("seed"))
-            r.trace.seed =
-                static_cast<uint64_t>(requireInt(params, "seed"));
+        if (params.has("seed")) {
+            // Symmetric with encodeRequestParams, which emits the
+            // seed as a JSON number: accept the exactly-representable
+            // non-negative integers (<= 2^53) and reject the rest —
+            // a negative seed must error, not wrap to a huge uint64.
+            double seed = requireFinite(params, "seed");
+            if (seed != std::floor(seed) || seed < 0.0 ||
+                seed > 9007199254740992.0)
+                throw JsonError(
+                    "'seed' must be a non-negative integer <= 2^53");
+            r.trace.seed = static_cast<uint64_t>(seed);
+        }
         return r;
     }
     case Verb::Trace: {

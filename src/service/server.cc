@@ -11,6 +11,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "util/logging.hh"
@@ -162,22 +163,25 @@ Server::wait()
     // response is written before any connection is torn down.
     dispatcher_->drain();
 
+    std::vector<std::shared_ptr<Connection>> conns;
     {
         std::lock_guard<std::mutex> lock(connections_mutex_);
-        for (auto &conn : connections_) {
-            conn->open.store(false);
+        conns.swap(connections_);
+    }
+    for (auto &conn : conns) {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        conn->open.store(false);
+        if (conn->fd >= 0)
             ::shutdown(conn->fd, SHUT_RDWR);
-        }
     }
-    for (std::thread &t : connection_threads_)
-        if (t.joinable())
-            t.join();
-    {
-        std::lock_guard<std::mutex> lock(connections_mutex_);
-        for (auto &conn : connections_)
+    for (auto &conn : conns)
+        if (conn->reader.joinable())
+            conn->reader.join();
+    for (auto &conn : conns)
+        if (conn->fd >= 0) {
             ::close(conn->fd);
-        connections_.clear();
-    }
+            conn->fd = -1;
+        }
 
     if (g_signal_wake_fd.load() == wake_write_fd_)
         g_signal_wake_fd.store(-1);
@@ -192,6 +196,32 @@ Server::serverCounters() const
 {
     std::lock_guard<std::mutex> lock(counters_mutex_);
     return counters_;
+}
+
+size_t
+Server::liveConnectionsForTest() const
+{
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    return connections_.size();
+}
+
+void
+Server::reapConnections()
+{
+    std::vector<std::shared_ptr<Connection>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        auto live_end = std::partition(
+            connections_.begin(), connections_.end(),
+            [](const std::shared_ptr<Connection> &c) {
+                return !c->done.load();
+            });
+        finished.assign(live_end, connections_.end());
+        connections_.erase(live_end, connections_.end());
+    }
+    for (auto &conn : finished)
+        if (conn->reader.joinable())
+            conn->reader.join();
 }
 
 void
@@ -209,8 +239,19 @@ Server::acceptLoop()
             return;
         }
         if (fds[1].revents != 0) {
-            shutting_down_.store(true);
-            return;
+            // Drain the wake pipe: 'r' asks for a connection reap,
+            // anything else ('q' from beginShutdown, 's' from a
+            // signal) means shutdown.
+            char buf[64];
+            ssize_t got = ::read(wake_read_fd_, buf, sizeof(buf));
+            bool quit = shutting_down_.load();
+            for (ssize_t i = 0; i < got; ++i)
+                quit = quit || buf[i] != 'r';
+            reapConnections();
+            if (quit) {
+                shutting_down_.store(true);
+                return;
+            }
         }
         if ((fds[0].revents & POLLIN) == 0)
             continue;
@@ -219,15 +260,27 @@ Server::acceptLoop()
         if (fd < 0)
             continue;
         setCloexec(fd);
+        if (config_.send_timeout_s > 0.0) {
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(config_.send_timeout_s);
+            tv.tv_usec = static_cast<suseconds_t>(
+                (config_.send_timeout_s -
+                 static_cast<double>(tv.tv_sec)) *
+                1e6);
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        }
 
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         {
             std::lock_guard<std::mutex> lock(connections_mutex_);
             connections_.push_back(conn);
-            connection_threads_.emplace_back(
-                [this, conn] { handleConnection(conn); });
         }
+        // conn->reader is only touched by this thread (start here,
+        // join in reapConnections) or after it exits (wait()).
+        conn->reader = std::thread([this, conn] {
+            handleConnection(conn);
+        });
         {
             std::lock_guard<std::mutex> lock(counters_mutex_);
             ++counters_.connections;
@@ -266,12 +319,48 @@ Server::handleConnection(std::shared_ptr<Connection> conn)
             std::lock_guard<std::mutex> lock(counters_mutex_);
             ++counters_.frames;
         }
-        if (!handleFrame(conn, payload))
+        bool proceed = false;
+        try {
+            proceed = handleFrame(conn, payload);
+        } catch (const std::exception &e) {
+            // Belt and braces: an exception escaping into the thread
+            // entry would std::terminate the daemon, so no request —
+            // however hostile — may throw past here. Answer, hang up.
+            sendJson(*conn,
+                     makeErrorResponse(
+                         Json(),
+                         WireError{"internal_error", e.what()}));
+        }
+        if (!proceed)
             break;
     }
-    conn->open.store(false);
-    // Surface EOF to the peer now; the fd itself is closed in wait().
+    // Surface EOF to the peer, then discard whatever it still has in
+    // flight (bounded by a receive timeout): a hard close with unread
+    // bytes queued — e.g. after an oversized frame — would RST the
+    // connection and could destroy the final response before the peer
+    // reads it.
     ::shutdown(conn->fd, SHUT_WR);
+    timeval tv{1, 0};
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char sink[256];
+    while (::read(conn->fd, sink, sizeof(sink)) > 0) {
+    }
+
+    // Tear the connection down here rather than at server shutdown: a
+    // long-running daemon must not accumulate one fd per short-lived
+    // client. Closing under the write mutex means a completion firing
+    // on the batcher thread either already finished its write or sees
+    // open == false and skips.
+    {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        conn->open.store(false);
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    conn->done.store(true);
+    // Ask the accept loop to join this thread and drop the entry.
+    char byte = 'r';
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
 }
 
 bool
@@ -368,15 +457,20 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
 
     std::optional<Dispatcher::Clock::time_point> deadline;
     if (request.has("deadline_ms")) {
-        double ms = request.at("deadline_ms").asNumber();
-        if (!(ms >= 0) || ms > 3.6e6) {
+        // isNumber() first: asNumber() on a string/null/... throws,
+        // and an exception escaping here would terminate the daemon.
+        const Json &raw = request.at("deadline_ms");
+        double ms = raw.isNumber() ? raw.asNumber() : -1.0;
+        if (!raw.isNumber() || !(ms >= 0) || ms > 3.6e6) {
             std::lock_guard<std::mutex> lock(counters_mutex_);
             ++counters_.bad_requests;
             sendJson(*conn,
                      makeErrorResponse(
                          id,
-                         WireError{"bad_request",
-                                   "deadline_ms must be in [0, 3.6e6]"}));
+                         WireError{
+                             "bad_request",
+                             "deadline_ms must be a number in "
+                             "[0, 3.6e6]"}));
             return true;
         }
         deadline = Dispatcher::Clock::now() +
@@ -407,8 +501,13 @@ Server::sendJson(Connection &conn, const Json &response)
     std::lock_guard<std::mutex> lock(conn.write_mutex);
     if (!conn.open.load())
         return;
-    if (!writeFrame(conn.fd, response.dump()))
+    if (!writeFrame(conn.fd, response.dump())) {
+        // Dead or stuck peer (SO_SNDTIMEO expired): give up on it and
+        // wake its reader out of readFrame so the connection is
+        // reaped instead of lingering half-dead.
         conn.open.store(false);
+        ::shutdown(conn.fd, SHUT_RDWR);
+    }
 }
 
 Json

@@ -42,6 +42,15 @@ struct ServerConfig
     /** Largest accepted request frame payload. */
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
+    /**
+     * SO_SNDTIMEO on every accepted connection. Completions are
+     * written from the single batcher thread, so a client that submits
+     * requests and then stops reading would otherwise stall every
+     * other client's responses; after this long the stuck connection
+     * is dropped instead. <= 0 disables the timeout.
+     */
+    double send_timeout_s = 5.0;
+
     /** Admission / batching knobs. */
     DispatcherConfig dispatcher;
 };
@@ -105,15 +114,21 @@ class Server
     /** Test hook, forwarded to the dispatcher. */
     void pauseForTest(bool paused) { dispatcher_->pauseForTest(paused); }
 
+    /** Connections not yet reaped (live + finished-but-unjoined). */
+    size_t liveConnectionsForTest() const;
+
   private:
     struct Connection
     {
         int fd = -1;
         std::mutex write_mutex;
         std::atomic<bool> open{true};
+        std::thread reader;            //!< joined by the reaper/wait()
+        std::atomic<bool> done{false}; //!< reader exited; fd closed
     };
 
     void acceptLoop();
+    void reapConnections();
     void handleConnection(std::shared_ptr<Connection> conn);
     bool handleFrame(const std::shared_ptr<Connection> &conn,
                      const std::string &payload);
@@ -135,7 +150,6 @@ class Server
 
     mutable std::mutex connections_mutex_;
     std::vector<std::shared_ptr<Connection>> connections_;
-    std::vector<std::thread> connection_threads_;
 
     mutable std::mutex counters_mutex_;
     ServerCounters counters_;

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <thread>
@@ -130,7 +131,9 @@ TEST(Codec, RequestsRoundTripThroughJson)
                 WorkloadClass::Idle, WorkloadClass::Idle},
         2.4e6});
     requests.push_back(MarginRequest{{2.4e6, 100}, 0.0025});
-    requests.push_back(GuardbandRequest{{500, 2.5, 11}});
+    // Seed above 1e9 on purpose: the full exactly-representable range
+    // (<= 2^53) must survive the encode/decode round trip.
+    requests.push_back(GuardbandRequest{{500, 2.5, (1ull << 52) + 11}});
     requests.push_back(TraceRequest{{2.4e6, 10e-6, 3, 16}});
 
     for (const AnyRequest &request : requests) {
@@ -167,6 +170,18 @@ TEST(Codec, RejectsOutOfRangeParams)
     EXPECT_THROW(decodeRequestParams(
                      Verb::Trace,
                      params(R"({"freq_hz":2e6,"window":2e-3})")),
+                 JsonError);
+    // Seeds: negative must error loudly (not wrap to a huge uint64),
+    // fractional is not an integer, above 2^53 is not exactly
+    // representable in the wire format's doubles.
+    EXPECT_THROW(decodeRequestParams(Verb::Guardband,
+                                     params(R"({"seed":-1})")),
+                 JsonError);
+    EXPECT_THROW(decodeRequestParams(Verb::Guardband,
+                                     params(R"({"seed":1.5})")),
+                 JsonError);
+    EXPECT_THROW(decodeRequestParams(Verb::Guardband,
+                                     params(R"({"seed":1e16})")),
                  JsonError);
 }
 
@@ -250,6 +265,18 @@ TEST_F(ProtocolServerTest, MalformedFramesGetStructuredErrors)
                            R"("params":{"freq_hz":2e6},)"
                            R"("deadline_ms":-1})"),
               "bad_request");
+    // Non-numeric deadline_ms must be a structured error, not a
+    // JsonError escaping into std::terminate.
+    EXPECT_EQ(errorCodeFor(fd,
+                           R"({"id":2,"verb":"sweep",)"
+                           R"("params":{"freq_hz":2e6},)"
+                           R"("deadline_ms":"5"})"),
+              "bad_request");
+    EXPECT_EQ(errorCodeFor(fd,
+                           R"({"id":3,"verb":"sweep",)"
+                           R"("params":{"freq_hz":2e6},)"
+                           R"("deadline_ms":null})"),
+              "bad_request");
 
     // The connection survived all of the above.
     EXPECT_TRUE(writeFrame(fd, R"({"id":9,"verb":"ping"})"));
@@ -309,6 +336,27 @@ TEST_F(ProtocolServerTest, StatsCountsProtocolErrors)
     EXPECT_GE(stats.at("server").at("unknown_verbs").asNumber(), 1.0);
     EXPECT_EQ(stats.at("protocol").asNumber(),
               static_cast<double>(kProtocolVersion));
+}
+
+TEST_F(ProtocolServerTest, ClosedConnectionsAreReaped)
+{
+    // A daemon serving many short-lived clients must reclaim the fd
+    // and reader thread of each as it disconnects, not at shutdown.
+    for (int i = 0; i < 16; ++i) {
+        Client client(server_->port());
+        EXPECT_EQ(client.ping(), kProtocolVersion);
+    }
+    // Reaping is asynchronous: the accept thread joins finished
+    // readers when their wake byte arrives. Poll briefly.
+    size_t live = server_->liveConnectionsForTest();
+    for (int i = 0; i < 300 && live != 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        live = server_->liveConnectionsForTest();
+    }
+    EXPECT_EQ(live, 0u);
+
+    ServerCounters counters = server_->serverCounters();
+    EXPECT_GE(counters.connections, 16u);
 }
 
 TEST_F(ProtocolServerTest, ClientSurfacesWireErrorsAsServiceError)
