@@ -1,0 +1,211 @@
+/**
+ * @file
+ * HTTP gateway performance: throughput and tail latency of the
+ * observability surface, measured over real loopback sockets against
+ * an in-process vnoised.
+ *
+ * Three load shapes, none touching the simulator (the gateway's own
+ * cost is what is under test, so no stressmark kit is built):
+ *  - healthz: one keep-alive connection per client, smallest possible
+ *    request — HTTP parse + route + respond overhead,
+ *  - metrics: full Prometheus render per request (stats JSON flatten
+ *    plus two histogram snapshots) — the scrape cost a 15 s Prometheus
+ *    interval pays,
+ *  - query ping: POST /v1/query with a ping body — the JSON envelope
+ *    path shared with real compute queries.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common.hh"
+#include "service/http.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadResult
+{
+    double seconds = 0.0;
+    size_t requests = 0;
+    std::vector<double> latency_ms;
+
+    double throughput() const
+    {
+        return static_cast<double>(requests) / seconds;
+    }
+
+    double
+    percentile(double p) const
+    {
+        if (latency_ms.empty())
+            return 0.0;
+        std::vector<double> sorted = latency_ms;
+        std::sort(sorted.begin(), sorted.end());
+        double rank = (p / 100.0) *
+                      static_cast<double>(sorted.size() - 1);
+        size_t lo = static_cast<size_t>(std::floor(rank));
+        size_t hi = std::min(lo + 1, sorted.size() - 1);
+        return sorted[lo] +
+               (rank - static_cast<double>(lo)) *
+                   (sorted[hi] - sorted[lo]);
+    }
+};
+
+/** A persistent keep-alive connection to the gateway. */
+class HttpConn
+{
+  public:
+    explicit HttpConn(int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            vn::fatal("perf_http: socket failed");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0)
+            vn::fatal("perf_http: connect failed");
+    }
+
+    ~HttpConn()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    HttpConn(const HttpConn &) = delete;
+    HttpConn &operator=(const HttpConn &) = delete;
+
+    /** One request/response exchange; fatal() on transport failure. */
+    vn::service::HttpResponse
+    roundTrip(const std::string &raw)
+    {
+        size_t done = 0;
+        while (done < raw.size()) {
+            ssize_t put = ::send(fd_, raw.data() + done,
+                                 raw.size() - done, MSG_NOSIGNAL);
+            if (put < 0)
+                vn::fatal("perf_http: send failed");
+            done += static_cast<size_t>(put);
+        }
+        vn::service::HttpResponse response;
+        if (!vn::service::readHttpResponse(fd_, buffer_, response))
+            vn::fatal("perf_http: connection died mid-benchmark");
+        return response;
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/** `per_client` exchanges of `raw` from `clients` connections. */
+LoadResult
+drive(int port, int clients, int per_client, const std::string &raw,
+      int expect_status)
+{
+    LoadResult result;
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            HttpConn conn(port);
+            auto &mine = latencies[static_cast<size_t>(c)];
+            mine.reserve(static_cast<size_t>(per_client));
+            for (int i = 0; i < per_client; ++i) {
+                Clock::time_point t0 = Clock::now();
+                vn::service::HttpResponse r = conn.roundTrip(raw);
+                if (r.status != expect_status)
+                    vn::fatal("perf_http: unexpected status ",
+                              r.status);
+                mine.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count());
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (auto &l : latencies)
+        result.latency_ms.insert(result.latency_ms.end(), l.begin(),
+                                 l.end());
+    result.requests = result.latency_ms.size();
+    return result;
+}
+
+void
+report(const char *shape, const LoadResult &r)
+{
+    std::printf("%-10s %7zu requests in %6.2f s  %8.1f req/s  "
+                "p50 %7.3f ms  p99 %7.3f ms\n",
+                shape, r.requests, r.seconds, r.throughput(),
+                r.percentile(50.0), r.percentile(99.0));
+}
+
+} // namespace
+
+int
+main()
+{
+    vnbench::banner("perf_http",
+                    "HTTP gateway throughput and tail latency");
+
+    // No kit: every shape stays on the observability fast path.
+    vn::AnalysisContext ctx;
+    ctx.campaign.cache_dir.clear();
+
+    vn::service::ServerConfig config;
+    config.port = 0;
+    config.http_port = 0;
+    vn::service::Server server(ctx, config);
+    server.start();
+    int port = server.httpPort();
+    std::printf("in-process gateway on 127.0.0.1:%d\n\n", port);
+
+    const std::string healthz =
+        "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    report("healthz", drive(port, 4, 2000, healthz, 200));
+
+    const std::string metrics =
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    report("metrics", drive(port, 2, 500, metrics, 200));
+
+    const std::string ping_body = "{\"id\":1,\"verb\":\"ping\"}";
+    const std::string query =
+        "POST /v1/query HTTP/1.1\r\nHost: localhost\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: " +
+        std::to_string(ping_body.size()) + "\r\n\r\n" + ping_body;
+    report("query ping", drive(port, 4, 1000, query, 200));
+
+    std::printf("\ngateway: %llu requests served, %llu errors\n",
+                static_cast<unsigned long long>(
+                    server.metrics().http_requests.value()),
+                static_cast<unsigned long long>(
+                    server.metrics().http_errors.value()));
+
+    server.beginShutdown();
+    server.wait();
+    return 0;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, run the full test suite, then build the
-# campaign runtime tests under ThreadSanitizer and run them. This is
-# the gate a change must pass before merging.
+# campaign runtime and serving-stack tests under ThreadSanitizer and
+# run them. This is the gate a change must pass before merging.
+# (CI additionally runs the serving tests under ASan+UBSan; locally:
+#  cmake --preset asan && cmake --build --preset asan &&
+#  ctest --preset asan.)
 #
 # Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -21,9 +24,15 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "== tier 2: campaign runtime under ThreadSanitizer =="
+echo "== tier 2: campaign runtime + serving stack under ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+# The HTTP conformance net exercises the threaded gateway; the metrics
+# test is excluded here because it builds a stressmark kit (that path
+# is covered by the default-preset run above).
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_http \
+    --gtest_filter='HttpConformance.*'
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_json_fuzz
 
 echo "== all checks passed =="

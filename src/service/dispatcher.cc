@@ -114,6 +114,13 @@ Dispatcher::counters() const
     return counters_;
 }
 
+size_t
+Dispatcher::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
 std::vector<double>
 Dispatcher::latencySamplesMs() const
 {
@@ -187,6 +194,8 @@ Dispatcher::complete(Pending &pending,
         latency_next_ = (latency_next_ + 1) % latency_ring_.size();
         ++latency_count_;
     }
+    if (config_.metrics)
+        config_.metrics->request_latency_ms.observe(latency_ms);
     pending.done(std::move(outcome));
 }
 
@@ -212,6 +221,9 @@ Dispatcher::runBatch(std::vector<Pending> batch)
     }
     if (live.empty())
         return;
+    if (config_.metrics)
+        config_.metrics->batch_size.observe(
+            static_cast<double>(live.size()));
 
     // Group by verb, coalescing identical requests under one key.
     // std::map keeps the key order deterministic, which keeps the

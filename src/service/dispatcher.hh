@@ -39,6 +39,7 @@
 #include "analysis/context.hh"
 #include "runtime/pool.hh"
 #include "service/codec.hh"
+#include "service/metrics.hh"
 
 namespace vn::service
 {
@@ -58,6 +59,13 @@ struct DispatcherConfig
      * only what has already arrived.
      */
     int batch_window_ms = 0;
+
+    /**
+     * Optional shared registry: completion latencies and batch sizes
+     * are observed into its histograms (Prometheus `/metrics`). Must
+     * outlive the dispatcher.
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Cumulative serving counters (served by the `stats` verb). */
@@ -122,6 +130,9 @@ class Dispatcher
 
     /** Snapshot of the cumulative counters. */
     ServiceCounters counters() const;
+
+    /** Requests admitted but not yet drained into a batch. */
+    size_t queueDepth() const;
 
     /**
      * Completed-request latencies (milliseconds, most recent window,

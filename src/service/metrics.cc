@@ -1,0 +1,69 @@
+#include "service/metrics.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace vn::service
+{
+
+MetricHistogram::MetricHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds))
+{
+    if (upper_bounds_.empty())
+        fatal("MetricHistogram: needs at least one bucket bound");
+    for (size_t i = 1; i < upper_bounds_.size(); ++i)
+        if (!(upper_bounds_[i - 1] < upper_bounds_[i]))
+            fatal("MetricHistogram: bounds must be strictly ascending");
+    buckets_ = std::make_unique<std::atomic<uint64_t>[]>(
+        upper_bounds_.size() + 1);
+    for (size_t i = 0; i <= upper_bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+MetricHistogram::observe(double value)
+{
+    size_t bucket = upper_bounds_.size(); // +Inf
+    for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+        if (value <= upper_bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+    while (true) {
+        double updated = std::bit_cast<double>(observed) + value;
+        if (sum_bits_.compare_exchange_weak(
+                observed, std::bit_cast<uint64_t>(updated),
+                std::memory_order_relaxed))
+            break;
+    }
+}
+
+HistogramSnapshot
+MetricHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.upper_bounds = upper_bounds_;
+    snap.counts.resize(upper_bounds_.size() + 1);
+    uint64_t running = 0;
+    for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+        running += buckets_[i].load(std::memory_order_relaxed);
+        snap.counts[i] = running;
+    }
+    snap.count = snap.counts.back();
+    snap.sum = std::bit_cast<double>(
+        sum_bits_.load(std::memory_order_relaxed));
+    return snap;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : request_latency_ms({0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+                          1000, 2500, 5000, 10000}),
+      batch_size({1, 2, 4, 8, 16, 32, 64, 128})
+{}
+
+} // namespace vn::service

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lock-cheap metrics primitives shared by both vnoised listeners (the
+ * framed protocol and the HTTP gateway): atomic counters and
+ * fixed-bucket histograms.
+ *
+ * The hot paths (dispatcher completion, batch cut, HTTP request
+ * accounting) touch only std::atomic fetch-adds — no mutex, no
+ * allocation — so instrumenting the serving stack costs nanoseconds
+ * per event. Snapshots for the `stats` verb and the Prometheus
+ * `/metrics` endpoint read the same atomics, which is what keeps the
+ * two encodings byte-for-byte consistent with one source of truth.
+ *
+ * Buckets are fixed at construction (Prometheus histograms cannot
+ * change buckets mid-flight anyway); `observe` finds the bucket by
+ * linear scan, which beats binary search for the ~dozen buckets used
+ * here.
+ */
+
+#ifndef VN_SERVICE_METRICS_HH
+#define VN_SERVICE_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vn::service
+{
+
+/** Monotonic event count (Prometheus counter semantics). */
+class MetricCounter
+{
+  public:
+    void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Cumulative-bucket snapshot of a histogram. */
+struct HistogramSnapshot
+{
+    /** Upper bounds, ascending; an implicit +Inf bucket follows. */
+    std::vector<double> upper_bounds;
+
+    /**
+     * Cumulative counts per bound (Prometheus `le` convention:
+     * counts[i] is the number of observations <= upper_bounds[i]);
+     * one extra trailing entry for +Inf == count.
+     */
+    std::vector<uint64_t> counts;
+
+    double sum = 0.0;    //!< sum of all observed values
+    uint64_t count = 0;  //!< number of observations
+};
+
+/**
+ * Fixed-bucket histogram: observe() is wait-free (one fetch-add on
+ * the bucket, one CAS loop on the double-typed sum).
+ */
+class MetricHistogram
+{
+  public:
+    /** @param upper_bounds ascending, finite; +Inf is implicit. */
+    explicit MetricHistogram(std::vector<double> upper_bounds);
+
+    MetricHistogram(const MetricHistogram &) = delete;
+    MetricHistogram &operator=(const MetricHistogram &) = delete;
+
+    void observe(double value);
+
+    HistogramSnapshot snapshot() const;
+
+  private:
+    std::vector<double> upper_bounds_;
+    /** Per-bucket (non-cumulative) counts; last entry is +Inf. */
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> sum_bits_{0}; //!< bit-cast double
+    std::atomic<uint64_t> count_{0};
+};
+
+/**
+ * The histograms/counters shared between the dispatcher and the two
+ * listeners. Members rather than a name-keyed map: the set is small,
+ * known at compile time, and member access keeps the hot paths free
+ * of lookups.
+ */
+struct MetricsRegistry
+{
+    MetricsRegistry();
+
+    /** Admission-to-completion latency of compute requests (ms). */
+    MetricHistogram request_latency_ms;
+
+    /** Requests per cut batch. */
+    MetricHistogram batch_size;
+
+    /** HTTP requests answered, by outcome class. */
+    MetricCounter http_requests;
+    MetricCounter http_errors; //!< responses with status >= 400
+};
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_METRICS_HH

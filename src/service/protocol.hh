@@ -42,6 +42,9 @@ inline constexpr int kProtocolVersion = 1;
 /** Default vnoised TCP port (loopback only). */
 inline constexpr int kDefaultPort = 7411;
 
+/** Default port of the HTTP/1.1 observability gateway. */
+inline constexpr int kDefaultHttpPort = 7412;
+
 /** Default cap on one frame's JSON payload. */
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 

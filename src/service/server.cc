@@ -62,14 +62,16 @@ percentileOf(std::vector<double> samples, double p)
 } // namespace
 
 Server::Server(const AnalysisContext &ctx, ServerConfig config)
-    : config_(config),
-      dispatcher_(
-          std::make_unique<Dispatcher>(ctx, config.dispatcher))
+    : config_(config)
 {
     if (config_.port < 0 || config_.port > 65535)
         fatal("Server: port must be in [0, 65535]");
     if (config_.max_frame_bytes < 64)
         fatal("Server: max_frame_bytes must be >= 64");
+    // Both listeners and the dispatcher share one registry, so the
+    // framed `stats` verb and `/metrics` report the same numbers.
+    config_.dispatcher.metrics = &metrics_;
+    dispatcher_ = std::make_unique<Dispatcher>(ctx, config_.dispatcher);
 }
 
 Server::~Server()
@@ -125,6 +127,18 @@ Server::start()
     dispatcher_->start();
     started_ = true;
     accept_thread_ = std::thread([this] { acceptLoop(); });
+
+    if (config_.http_port >= 0) {
+        HttpConfig http = config_.http;
+        http.port = config_.http_port;
+        http_ = std::make_unique<HttpGateway>(
+            *dispatcher_, metrics_, http,
+            HttpGateway::Hooks{
+                [this] { return statsJson(); },
+                [this] { return shutting_down_.load(); },
+            });
+        http_->start();
+    }
 }
 
 void
@@ -182,6 +196,12 @@ Server::wait()
             ::close(conn->fd);
             conn->fd = -1;
         }
+
+    // The gateway outlives the drain so in-flight `/v1/query`
+    // responses (completed by the drain above) are still written and
+    // `/readyz` reports "draining" until the very end.
+    if (http_)
+        http_->stop();
 
     if (g_signal_wake_fd.load() == wake_write_fd_)
         g_signal_wake_fd.store(-1);

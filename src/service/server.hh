@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "service/dispatcher.hh"
+#include "service/http.hh"
+#include "service/metrics.hh"
 
 namespace vn::service
 {
@@ -38,6 +40,16 @@ struct ServerConfig
 {
     /** TCP port on 127.0.0.1; 0 picks an ephemeral port (tests). */
     int port = 0;
+
+    /**
+     * Port of the HTTP/1.1 observability gateway (`/metrics`,
+     * `/healthz`, `/readyz`, `POST /v1/query`); 0 picks an ephemeral
+     * port, a negative value (the default) disables the gateway.
+     */
+    int http_port = -1;
+
+    /** Gateway limits/timeouts (`http.port` is taken from above). */
+    HttpConfig http;
 
     /** Largest accepted request frame payload. */
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
@@ -89,6 +101,9 @@ class Server
     /** The bound port (resolves port 0 after start()). */
     int port() const { return port_; }
 
+    /** Bound HTTP gateway port after start(); -1 when disabled. */
+    int httpPort() const { return http_ ? http_->port() : -1; }
+
     /**
      * Route SIGINT/SIGTERM to beginShutdown() of this server (one
      * server per process). Call after start().
@@ -110,6 +125,9 @@ class Server
 
     /** Frame/verb-level counters. */
     ServerCounters serverCounters() const;
+
+    /** The registry behind `/metrics` (shared with the dispatcher). */
+    const MetricsRegistry &metrics() const { return metrics_; }
 
     /** Test hook, forwarded to the dispatcher. */
     void pauseForTest(bool paused) { dispatcher_->pauseForTest(paused); }
@@ -136,7 +154,9 @@ class Server
     Json statsJson() const;
 
     ServerConfig config_;
+    MetricsRegistry metrics_;
     std::unique_ptr<Dispatcher> dispatcher_;
+    std::unique_ptr<HttpGateway> http_;
 
     int listen_fd_ = -1;
     int wake_read_fd_ = -1;

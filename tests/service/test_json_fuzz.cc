@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Seeded property tests of the wire JSON codec. Three properties the
+ * protocol depends on:
+ *
+ *  1. Every finite IEEE double survives dump() -> parse() with the
+ *     exact same bit pattern (%.17g round-trip) — the service promises
+ *     bit-identical results over the wire.
+ *  2. parse() on arbitrary mutated bytes either succeeds or throws
+ *     JsonError; it never crashes, corrupts memory, or throws anything
+ *     else. (The daemon feeds attacker-controlled frames into it.)
+ *  3. The nesting-depth limit triggers exactly at the documented
+ *     boundary: kMaxDepth levels parse, kMaxDepth + 1 throw.
+ *
+ * Everything draws from vn::Rng with fixed seeds, so a failure
+ * reproduces deterministically on every platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include "service/json.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using vn::Rng;
+using vn::service::Json;
+using vn::service::JsonError;
+
+uint64_t
+bitsOf(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+TEST(JsonFuzz, RandomDoublesRoundTripBitIdentically)
+{
+    // Hand-picked hazards first: signed zero, extremes of the normal
+    // range, the smallest denormal, classic non-representable
+    // fractions, and values the service actually ships.
+    const double corners[] = {
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.1,
+        1.0 / 3.0,
+        2.4e6,
+        6e-6,
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::epsilon(),
+        -std::numeric_limits<double>::max(),
+    };
+    for (double v : corners) {
+        Json parsed = Json::parse(Json::number(v).dump());
+        EXPECT_EQ(bitsOf(parsed.asNumber()), bitsOf(v))
+            << "corner value " << v;
+    }
+
+    // Uniformly random bit patterns cover every exponent, both signs,
+    // and the denormal range; non-finite patterns are skipped (JSON
+    // has no encoding for them and dump() is never handed one).
+    Rng rng(0x5eedf00dull);
+    int tested = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double v = std::bit_cast<double>(rng.next());
+        if (!std::isfinite(v))
+            continue;
+        ++tested;
+        Json parsed = Json::parse(Json::number(v).dump());
+        EXPECT_EQ(bitsOf(parsed.asNumber()), bitsOf(v))
+            << "iteration " << i << ": " << Json::number(v).dump();
+    }
+    // ~2 in 1024 patterns are Inf/NaN; the sweep must not degenerate.
+    EXPECT_GT(tested, 19000);
+}
+
+/** A random document of bounded depth, scalars at the leaves. */
+Json
+randomDocument(Rng &rng, int depth)
+{
+    uint64_t pick = rng.below(depth >= 5 ? 4 : 6);
+    switch (pick) {
+    case 0:
+        return Json();
+    case 1:
+        return Json::boolean(rng.below(2) == 0);
+    case 2: {
+        double v = std::bit_cast<double>(rng.next());
+        return Json::number(std::isfinite(v) ? v : rng.uniform());
+    }
+    case 3: {
+        // Printable bytes plus the characters dump() must escape.
+        static const char alphabet[] =
+            "abcXYZ 0123456789\"\\\n\t/{}[]:,";
+        std::string s;
+        for (uint64_t i = rng.below(12); i > 0; --i)
+            s += alphabet[rng.below(sizeof(alphabet) - 1)];
+        return Json::str(std::move(s));
+    }
+    case 4: {
+        Json arr = Json::array();
+        for (uint64_t i = rng.below(4); i > 0; --i)
+            arr.push(randomDocument(rng, depth + 1));
+        return arr;
+    }
+    default: {
+        Json obj = Json::object();
+        for (uint64_t i = rng.below(4); i > 0; --i)
+            obj.set("k" + std::to_string(i),
+                    randomDocument(rng, depth + 1));
+        return obj;
+    }
+    }
+}
+
+TEST(JsonFuzz, RandomDocumentsRoundTripThroughDump)
+{
+    Rng rng(0xd0c5eedull);
+    for (int i = 0; i < 500; ++i) {
+        Json doc = randomDocument(rng, 0);
+        std::string once = doc.dump();
+        std::string twice = Json::parse(once).dump();
+        EXPECT_EQ(once, twice) << "iteration " << i;
+    }
+}
+
+TEST(JsonFuzz, RandomMutationsNeverCrash)
+{
+    // Seeds shaped like real traffic: a request envelope, a stats-ish
+    // reply, deep nesting near the limit, and escape-heavy strings.
+    const std::string seeds[] = {
+        "{\"id\":7,\"verb\":\"sweep\",\"params\":{\"freq_hz\":2.4e6,"
+        "\"synchronized\":true},\"deadline_ms\":2000}",
+        "{\"ok\":true,\"result\":{\"p2p\":[0.01,0.02,0.03],"
+        "\"v_min\":[-0.5,1e308,5e-324],\"failed\":false}}",
+        "[[[[[[[[[[{\"a\":[null,true,\"x\"]}]]]]]]]]]]",
+        "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0041d\",\"t\":\"\"}",
+    };
+
+    Rng rng(0xf0220b17e5ull);
+    int parsed_ok = 0, rejected = 0;
+    for (int i = 0; i < 8000; ++i) {
+        std::string bytes = seeds[rng.below(std::size(seeds))];
+        for (uint64_t m = 1 + rng.below(8); m > 0 && !bytes.empty();
+             --m) {
+            size_t at = rng.below(bytes.size());
+            switch (rng.below(4)) {
+            case 0: // flip to an arbitrary byte (NULs included)
+                bytes[at] = static_cast<char>(rng.below(256));
+                break;
+            case 1: // delete
+                bytes.erase(at, 1);
+                break;
+            case 2: // duplicate-insert
+                bytes.insert(at, 1, bytes[at]);
+                break;
+            default: // truncate
+                bytes.resize(at);
+                break;
+            }
+        }
+        try {
+            Json value = Json::parse(bytes);
+            (void)value.dump(); // the parsed value must be usable
+            ++parsed_ok;
+        } catch (const JsonError &) {
+            ++rejected; // the one and only acceptable failure mode
+        }
+    }
+    // The mutator must actually exercise both outcomes.
+    EXPECT_GT(rejected, 0);
+    EXPECT_GT(parsed_ok + rejected, 7999);
+}
+
+/** `depth` nested arrays, the innermost empty: depth == container
+ *  nesting level of the document (a leaf would add one more). */
+std::string
+nestedArrays(int depth)
+{
+    return std::string(static_cast<size_t>(depth), '[') +
+           std::string(static_cast<size_t>(depth), ']');
+}
+
+std::string
+nestedObjects(int depth)
+{
+    std::string text;
+    for (int i = 1; i < depth; ++i)
+        text += "{\"k\":";
+    text += "{}";
+    text += std::string(static_cast<size_t>(depth) - 1, '}');
+    return text;
+}
+
+TEST(JsonFuzz, DepthLimitEnforcedExactlyAtBoundary)
+{
+    // kMaxDepth levels are legal...
+    Json deep_arrays = Json::parse(nestedArrays(Json::kMaxDepth));
+    EXPECT_TRUE(deep_arrays.isArray());
+    Json deep_objects = Json::parse(nestedObjects(Json::kMaxDepth));
+    EXPECT_TRUE(deep_objects.isObject());
+    // ...and what parse() accepted, dump() reproduces.
+    EXPECT_EQ(Json::parse(deep_arrays.dump()).dump(),
+              deep_arrays.dump());
+
+    // ...one more is not, whatever the container type.
+    EXPECT_THROW(Json::parse(nestedArrays(Json::kMaxDepth + 1)),
+                 JsonError);
+    EXPECT_THROW(Json::parse(nestedObjects(Json::kMaxDepth + 1)),
+                 JsonError);
+    try {
+        Json::parse(nestedArrays(Json::kMaxDepth + 1));
+        FAIL() << "depth " << Json::kMaxDepth + 1 << " must throw";
+    } catch (const JsonError &e) {
+        EXPECT_STREQ(e.what(), "nesting too deep");
+    }
+
+    // Far past the limit must still be a clean throw, not a stack
+    // overflow — this is the hostile-payload case the limit exists for.
+    EXPECT_THROW(Json::parse(nestedArrays(100000)), JsonError);
+}
+
+} // namespace

@@ -49,7 +49,11 @@ class Args
                 continue;
             }
             key = key.substr(2);
-            if (i + 1 < argc && argv[i + 1][0] != '-') {
+            // A "-4"-style negative number is a value, not a flag
+            // (e.g. `serve --http-port -1` disables the gateway).
+            if (i + 1 < argc &&
+                (argv[i + 1][0] != '-' ||
+                 (argv[i + 1][1] >= '0' && argv[i + 1][1] <= '9'))) {
                 values_[key] = argv[i + 1];
                 ++i;
             } else {
@@ -356,6 +360,8 @@ cmdServe(const Args &args)
     service::ServerConfig config;
     config.port =
         static_cast<int>(args.number("port", service::kDefaultPort));
+    config.http_port = static_cast<int>(
+        args.number("http-port", service::kDefaultHttpPort));
     config.dispatcher.queue_depth =
         static_cast<int>(args.number("queue-depth", 64));
     config.dispatcher.max_batch =
@@ -375,6 +381,10 @@ cmdServe(const Args &args)
                 "(%d workers, queue depth %d)\n",
                 VN_VERSION, server.port(), server.dispatcher().threads(),
                 config.dispatcher.queue_depth);
+    if (server.httpPort() >= 0)
+        std::printf("vnoised: HTTP gateway on 127.0.0.1:%d "
+                    "(/metrics, /healthz, /readyz, /v1/query)\n",
+                    server.httpPort());
     std::fflush(stdout);
     server.wait();
 
@@ -511,8 +521,12 @@ usage(std::FILE *out)
         "  vmin [--idle|--unsync|--sync]\n"
         "  map [--workloads K]\n"
         "  spectrum [--freq HZ]\n"
-        "  serve [--port N] [--queue-depth N] [--max-batch N]\n"
+        "  serve [--port N] [--http-port N] [--queue-depth N]\n"
+        "        [--max-batch N]\n"
         "        [--batch-window-ms N]      run the vnoised daemon\n"
+        "        (--http-port: Prometheus /metrics gateway, default "
+        "7412;\n"
+        "         0 = ephemeral, negative = disabled)\n"
         "  query <verb> [--port N] [--deadline-ms N] [verb options]\n"
         "        verbs: ping stats shutdown sweep map margin guardband "
         "trace\n"
@@ -583,8 +597,8 @@ main(int argc, char **argv)
         return runChecked(args, {"freq"}, cmdSpectrum);
     if (command == "serve")
         return runChecked(args,
-                          {"port", "queue-depth", "max-batch",
-                           "batch-window-ms"},
+                          {"port", "http-port", "queue-depth",
+                           "max-batch", "batch-window-ms"},
                           cmdServe);
     if (command == "query")
         return cmdQuery(argc, argv);

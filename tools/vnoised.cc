@@ -25,13 +25,18 @@ usage(std::FILE *out)
 {
     std::fprintf(
         out,
-        "usage: vnoised [--port N] [--jobs N] [--queue-depth N]\n"
-        "               [--max-batch N] [--batch-window-ms N]\n"
-        "               [--config PATH] [--cache-dir P] [--no-cache]\n"
+        "usage: vnoised [--port N] [--http-port N] [--jobs N]\n"
+        "               [--queue-depth N] [--max-batch N]\n"
+        "               [--batch-window-ms N] [--config PATH]\n"
+        "               [--cache-dir P] [--no-cache]\n"
         "               [--version] [--help]\n"
         "Serves the voltage-noise simulator on 127.0.0.1 (default port "
-        "%d).\n",
-        vn::service::kDefaultPort);
+        "%d).\n"
+        "--http-port adds the HTTP/1.1 observability gateway "
+        "(default %d;\n"
+        "/metrics, /healthz, /readyz, POST /v1/query; 0 = ephemeral,\n"
+        "negative = disabled).\n",
+        vn::service::kDefaultPort, vn::service::kDefaultHttpPort);
 }
 
 } // namespace
@@ -58,7 +63,11 @@ main(int argc, char **argv)
             return 2;
         }
         key = key.substr(2);
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
+        // A "-4"-style negative number is a value, not a flag
+        // (e.g. `--http-port -1` disables the gateway).
+        if (i + 1 < argc &&
+            (argv[i + 1][0] != '-' ||
+             (argv[i + 1][1] >= '0' && argv[i + 1][1] <= '9'))) {
             flags[key] = argv[i + 1];
             ++i;
         } else {
@@ -66,9 +75,10 @@ main(int argc, char **argv)
         }
     }
     for (const auto &[key, value] : flags) {
-        static const char *known[] = {"port", "jobs", "queue-depth",
-                                      "max-batch", "batch-window-ms",
-                                      "config", "cache-dir", "no-cache"};
+        static const char *known[] = {"port", "http-port", "jobs",
+                                      "queue-depth", "max-batch",
+                                      "batch-window-ms", "config",
+                                      "cache-dir", "no-cache"};
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;
@@ -95,6 +105,8 @@ main(int argc, char **argv)
     vn::service::ServerConfig config;
     config.port =
         static_cast<int>(number("port", vn::service::kDefaultPort));
+    config.http_port = static_cast<int>(
+        number("http-port", vn::service::kDefaultHttpPort));
     config.dispatcher.queue_depth =
         static_cast<int>(number("queue-depth", 64));
     config.dispatcher.max_batch =
@@ -126,6 +138,10 @@ main(int argc, char **argv)
                 "(%d workers, queue depth %d)\n",
                 VN_VERSION, server.port(), server.dispatcher().threads(),
                 config.dispatcher.queue_depth);
+    if (server.httpPort() >= 0)
+        std::printf("vnoised: HTTP gateway on 127.0.0.1:%d "
+                    "(/metrics, /healthz, /readyz, /v1/query)\n",
+                    server.httpPort());
     std::fflush(stdout);
     server.wait();
 
