@@ -4,6 +4,13 @@
  * vnoised under concurrent clients, measured against an in-process
  * server (loopback TCP, the real wire path).
  *
+ * Clients go through ResilientClient — one shared pooled client per
+ * load shape, its pool sized to the client count — so the bench
+ * exercises (and prices) the production call path: pool checkout,
+ * retry policy bookkeeping, breaker consultation. The client is wired
+ * to the server's MetricsRegistry, so the resilience series the run
+ * produces are the same numbers `/metrics` would export.
+ *
  * Three load shapes:
  *  - ping: protocol overhead only (framing + JSON + scheduling),
  *  - hot sweep: compute requests answered from the campaign result
@@ -20,7 +27,7 @@
 #include <vector>
 
 #include "common.hh"
-#include "service/client.hh"
+#include "service/resilient.hh"
 #include "service/server.hh"
 
 namespace
@@ -56,11 +63,19 @@ struct LoadResult
     }
 };
 
-/** Run `per_client` calls of `fn` from `clients` concurrent clients. */
+/** Run `per_client` calls of `fn` from `clients` concurrent threads
+ *  sharing one ResilientClient (pool bound == thread count). */
 template <typename Fn>
 LoadResult
-drive(int port, int clients, int per_client, Fn fn)
+drive(vn::service::Server &server, int clients, int per_client, Fn fn)
 {
+    vn::service::ResilientClientConfig rconfig;
+    rconfig.port = server.port();
+    rconfig.pool_size = clients;
+    rconfig.retry.call_deadline_ms = 120000.0; // cold sweeps are slow
+    rconfig.metrics = &server.metricsMutable();
+    vn::service::ResilientClient client(rconfig);
+
     LoadResult result;
     std::vector<std::vector<double>> latencies(
         static_cast<size_t>(clients));
@@ -68,7 +83,6 @@ drive(int port, int clients, int per_client, Fn fn)
     std::vector<std::thread> threads;
     for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
-            vn::service::Client client(port);
             auto &mine = latencies[static_cast<size_t>(c)];
             mine.reserve(static_cast<size_t>(per_client));
             for (int i = 0; i < per_client; ++i) {
@@ -122,15 +136,17 @@ main(int argc, char **argv)
 
     // Protocol overhead only.
     LoadResult ping = drive(
-        server.port(), 4, 500,
-        [](vn::service::Client &client, int, int) { client.ping(); });
+        server, 4, 500,
+        [](vn::service::ResilientClient &client, int, int) {
+            client.ping();
+        });
     report("ping", ping);
 
     // Distinct sweep points: every request runs the co-simulation.
     const int kColdClients = 4, kColdPerClient = 8;
     LoadResult cold = drive(
-        server.port(), kColdClients, kColdPerClient,
-        [](vn::service::Client &client, int c, int i) {
+        server, kColdClients, kColdPerClient,
+        [](vn::service::ResilientClient &client, int c, int i) {
             double freq = 1e6 + 1e5 * (c * kColdPerClient + i);
             client.sweep(vn::service::SweepRequest{{freq, true}});
         });
@@ -138,8 +154,8 @@ main(int argc, char **argv)
 
     // The same points again: answered from the campaign result cache.
     LoadResult hot = drive(
-        server.port(), kColdClients, kColdPerClient,
-        [](vn::service::Client &client, int c, int i) {
+        server, kColdClients, kColdPerClient,
+        [](vn::service::ResilientClient &client, int c, int i) {
             double freq = 1e6 + 1e5 * (c * kColdPerClient + i);
             client.sweep(vn::service::SweepRequest{{freq, true}});
         });
@@ -154,6 +170,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(counters.coalesced),
                 counters.campaign.cache_hits,
                 counters.campaign.executed);
+
+    const vn::service::MetricsRegistry &metrics = server.metrics();
+    std::printf("resilience: %llu retries, %llu breaker opens "
+                "(registry mirror; per-shape pools of %d conns)\n",
+                static_cast<unsigned long long>(
+                    metrics.retries.value()),
+                static_cast<unsigned long long>(
+                    metrics.breaker_opens.value()),
+                kColdClients);
 
     server.beginShutdown();
     server.wait();

@@ -6,6 +6,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -32,7 +33,10 @@ Client::operator=(Client &&other) noexcept
 void
 Client::connect(int port)
 {
-    close();
+    // Dial the new connection FIRST and only then replace the old one:
+    // a failed connect() must leave the object exactly as it was (still
+    // usable, never half-constructed), so a caller can retry connect()
+    // or keep using the previous connection.
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         throw ServiceError("io_error",
@@ -43,14 +47,30 @@ Client::connect(int port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(static_cast<uint16_t>(port));
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    while (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) != 0) {
+        if (errno == EINTR) {
+            // POSIX: an interrupted connect() completes asynchronously.
+            // Wait for writability, then read the real outcome from
+            // SO_ERROR instead of treating the signal as a failure.
+            pollfd pfd{fd, POLLOUT, 0};
+            while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+            }
+            int err = 0;
+            socklen_t len = sizeof(err);
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+                err = errno;
+            if (err == 0)
+                break;
+            errno = err;
+        }
         int saved = errno;
         ::close(fd);
         throw ServiceError("io_error",
                            "connect 127.0.0.1:" + std::to_string(port) +
                                ": " + std::strerror(saved));
     }
+    close();
     fd_ = fd;
 }
 
@@ -117,7 +137,11 @@ Client::call(const std::string &verb, Json params)
                                : "unknown",
                            error.has("message")
                                ? error.at("message").asString()
-                               : "");
+                               : "",
+                           error.has("retry_after_ms") &&
+                                   error.at("retry_after_ms").isNumber()
+                               ? error.at("retry_after_ms").asNumber()
+                               : 0.0);
     }
     if (!response.has("result"))
         throw ServiceError("bad_response",

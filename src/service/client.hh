@@ -31,16 +31,22 @@ namespace vn::service
 class ServiceError : public std::runtime_error
 {
   public:
-    ServiceError(std::string code, const std::string &message)
+    ServiceError(std::string code, const std::string &message,
+                 double retry_after_ms = 0.0)
         : std::runtime_error(code + ": " + message),
-          code_(std::move(code))
+          code_(std::move(code)), retry_after_ms_(retry_after_ms)
     {}
 
     /** Machine-readable code ("overloaded", "io_error", ...). */
     const std::string &code() const { return code_; }
 
+    /** Server retry hint (milliseconds); <= 0 when the response
+     *  carried none. Honored by ResilientClient's backoff. */
+    double retryAfterMs() const { return retry_after_ms_; }
+
   private:
     std::string code_;
+    double retry_after_ms_ = 0.0;
 };
 
 /** Synchronous vnoised connection; see the file comment. */
@@ -62,6 +68,9 @@ class Client
     void connect(int port);
     void close();
     bool connected() const { return fd_ >= 0; }
+
+    /** Underlying socket (-1 when closed); for pool health probes. */
+    int nativeHandle() const { return fd_; }
 
     /**
      * Per-request deadline (milliseconds, relative to server-side

@@ -64,6 +64,25 @@ Dispatcher::submit(AnyRequest request,
                    Completion done)
 {
     std::string key = requestKey(request);
+
+    // Faultnet: a scheduled injection rejects the request before it
+    // ever reaches the queue, exactly as a real overload would.
+    if (config_.fault) {
+        std::optional<WireError> injected = config_.fault->onSubmit(key);
+        if (injected) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.received;
+                if (injected->code == "shutting_down")
+                    ++counters_.rejected_shutdown;
+                else
+                    ++counters_.rejected_overloaded;
+            }
+            done(std::move(*injected));
+            return;
+        }
+    }
+
     {
         std::unique_lock<std::mutex> lock(mutex_);
         ++counters_.received;
@@ -78,10 +97,16 @@ Dispatcher::submit(AnyRequest request,
             static_cast<size_t>(config_.queue_depth)) {
             ++counters_.rejected_overloaded;
             lock.unlock();
+            // Hint at least one batch window: retrying sooner would
+            // find the same queue still full.
+            double retry_after_ms =
+                std::max(1.0, static_cast<double>(
+                                  config_.batch_window_ms));
             done(WireError{"overloaded",
                            "admission queue is full (depth " +
                                std::to_string(config_.queue_depth) +
-                               "); retry with backoff"});
+                               "); retry with backoff",
+                           retry_after_ms});
             return;
         }
         ++counters_.admitted;

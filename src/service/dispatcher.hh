@@ -44,6 +44,28 @@
 namespace vn::service
 {
 
+/**
+ * Admission-time fault injection point (faultnet). Compiled in but off
+ * by default (`DispatcherConfig::fault == nullptr`); when set, every
+ * submit() consults it before admission and a returned error is the
+ * response — this is how tests force deterministic `overloaded` bursts
+ * on the Nth request without filling a real queue.
+ */
+class FaultHook
+{
+  public:
+    virtual ~FaultHook() = default;
+
+    /**
+     * Called once per submitted compute request, in admission order.
+     * Return an error to reject the request instead of admitting it;
+     * std::nullopt lets it through. Must be thread-safe and quick —
+     * it runs on the submitting connection thread under no lock.
+     */
+    virtual std::optional<WireError>
+    onSubmit(const std::string &key) = 0;
+};
+
 /** Dispatcher knobs (see docs/serving.md for tuning guidance). */
 struct DispatcherConfig
 {
@@ -66,6 +88,9 @@ struct DispatcherConfig
      * outlive the dispatcher.
      */
     MetricsRegistry *metrics = nullptr;
+
+    /** Fault-injection hook; nullptr (the default) injects nothing. */
+    FaultHook *fault = nullptr;
 };
 
 /** Cumulative serving counters (served by the `stats` verb). */

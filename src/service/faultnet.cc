@@ -1,0 +1,607 @@
+#include "service/faultnet.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/json.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace vn::service
+{
+
+namespace
+{
+
+void
+setCloexec(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/** The 4-byte big-endian frame header for a payload of `n` bytes. */
+std::string
+frameHeader(size_t n)
+{
+    std::string header(4, '\0');
+    header[0] = static_cast<char>((n >> 24) & 0xff);
+    header[1] = static_cast<char>((n >> 16) & 0xff);
+    header[2] = static_cast<char>((n >> 8) & 0xff);
+    header[3] = static_cast<char>(n & 0xff);
+    return header;
+}
+
+/** write(2) every byte, surviving EINTR and partial writes. */
+bool
+sendAll(int fd, const char *data, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        ssize_t n = ::write(fd, data + sent, len - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+int
+dialLoopback(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    setCloexec(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    while (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) != 0) {
+        if (errno == EINTR)
+            continue;
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** %.17g: every double the schedule carries round-trips bit-exactly
+ *  through dump()/parse(). */
+std::string
+formatMs(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+bool
+sameAction(const FaultAction &a, const FaultAction &b)
+{
+    return a.kind == b.kind && a.bytes == b.bytes &&
+           a.delay_ms == b.delay_ms &&
+           a.retry_after_ms == b.retry_after_ms;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FaultSchedule
+
+FaultSchedule &
+FaultSchedule::refuseConnection(uint64_t conn_index)
+{
+    refused_connections_.insert(conn_index);
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::cutMidFrame(uint64_t request_index, size_t bytes)
+{
+    FaultAction action;
+    action.kind = FaultAction::Kind::CutMidFrame;
+    action.bytes = bytes;
+    by_request_[request_index] = action;
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::truncate(uint64_t request_index, size_t bytes)
+{
+    FaultAction action;
+    action.kind = FaultAction::Kind::TruncateFrame;
+    action.bytes = bytes;
+    by_request_[request_index] = action;
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::delayMs(uint64_t request_index, double ms)
+{
+    FaultAction action;
+    action.kind = FaultAction::Kind::DelayMs;
+    action.delay_ms = ms;
+    by_request_[request_index] = action;
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::overloaded(uint64_t first_request_index, int count,
+                          double retry_after_ms)
+{
+    for (int i = 0; i < count; ++i) {
+        FaultAction action;
+        action.kind = FaultAction::Kind::Overloaded;
+        action.retry_after_ms = retry_after_ms;
+        by_request_[first_request_index +
+                    static_cast<uint64_t>(i)] = action;
+    }
+    return *this;
+}
+
+bool
+FaultSchedule::connectionRefused(uint64_t conn_index) const
+{
+    return refused_connections_.count(conn_index) > 0;
+}
+
+FaultAction
+FaultSchedule::actionFor(uint64_t request_index) const
+{
+    auto it = by_request_.find(request_index);
+    return it == by_request_.end() ? FaultAction{} : it->second;
+}
+
+bool
+FaultSchedule::empty() const
+{
+    return by_request_.empty() && refused_connections_.empty();
+}
+
+FaultSchedule
+FaultSchedule::parse(const std::string &text)
+{
+    FaultSchedule schedule;
+    std::istringstream lines(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        std::istringstream tokens(line);
+        std::string word;
+        if (!(tokens >> word) || word[0] == '#')
+            continue; // blank line or comment
+
+        auto bad = [&](const std::string &why) {
+            throw std::runtime_error(
+                "FaultSchedule: line " + std::to_string(lineno) +
+                ": " + why + ": " + line);
+        };
+        uint64_t index = 0;
+        if (!(tokens >> index))
+            bad("missing request/connection index");
+
+        if (word == "refuse-conn") {
+            schedule.refuseConnection(index);
+        } else if (word == "cut" || word == "truncate") {
+            uint64_t bytes = 0;
+            if (!(tokens >> bytes))
+                bad("missing byte count");
+            if (word == "cut")
+                schedule.cutMidFrame(index, bytes);
+            else
+                schedule.truncate(index, bytes);
+        } else if (word == "delay") {
+            double ms = 0.0;
+            if (!(tokens >> ms))
+                bad("missing delay in ms");
+            schedule.delayMs(index, ms);
+        } else if (word == "overloaded") {
+            int count = 1;
+            double retry_after_ms = 0.0;
+            tokens >> count;
+            tokens >> retry_after_ms;
+            if (count < 1)
+                bad("count must be >= 1");
+            schedule.overloaded(index, count, retry_after_ms);
+        } else {
+            bad("unknown directive '" + word + "'");
+        }
+        std::string trailing;
+        if (tokens >> trailing && trailing[0] != '#')
+            bad("trailing token '" + trailing + "'");
+    }
+    return schedule;
+}
+
+std::string
+FaultSchedule::dump() const
+{
+    std::string out;
+    for (uint64_t conn : refused_connections_)
+        out += "refuse-conn " + std::to_string(conn) + "\n";
+    for (const auto &[index, action] : by_request_) {
+        switch (action.kind) {
+        case FaultAction::Kind::CutMidFrame:
+            out += "cut " + std::to_string(index) + " " +
+                   std::to_string(action.bytes) + "\n";
+            break;
+        case FaultAction::Kind::TruncateFrame:
+            out += "truncate " + std::to_string(index) + " " +
+                   std::to_string(action.bytes) + "\n";
+            break;
+        case FaultAction::Kind::DelayMs:
+            out += "delay " + std::to_string(index) + " " +
+                   formatMs(action.delay_ms) + "\n";
+            break;
+        case FaultAction::Kind::Overloaded:
+            out += "overloaded " + std::to_string(index) + " 1 " +
+                   formatMs(action.retry_after_ms) + "\n";
+            break;
+        case FaultAction::Kind::None:
+            break;
+        }
+    }
+    return out;
+}
+
+FaultSchedule
+FaultSchedule::random(uint64_t seed, uint64_t requests, int faults)
+{
+    FaultSchedule schedule;
+    if (requests == 0 || faults <= 0)
+        return schedule;
+    Rng rng(seed);
+    for (int i = 0; i < faults; ++i) {
+        if (schedule.by_request_.size() >= requests)
+            break; // every index already scheduled
+        uint64_t index = rng.below(requests);
+        // Deterministic collision resolution: linear probe.
+        while (schedule.by_request_.count(index) > 0)
+            index = (index + 1) % requests;
+        switch (rng.below(4)) {
+        case 0:
+            schedule.overloaded(index, 1, rng.uniform(1.0, 10.0));
+            break;
+        case 1:
+            // Small counts land inside the 4-byte header; larger ones
+            // land mid-payload — both torn-stream shapes get coverage.
+            schedule.cutMidFrame(index, 1 + rng.below(24));
+            break;
+        case 2:
+            schedule.truncate(index, rng.below(16));
+            break;
+        default:
+            schedule.delayMs(index, rng.uniform(1.0, 15.0));
+            break;
+        }
+    }
+    return schedule;
+}
+
+bool
+FaultSchedule::operator==(const FaultSchedule &other) const
+{
+    if (refused_connections_ != other.refused_connections_)
+        return false;
+    if (by_request_.size() != other.by_request_.size())
+        return false;
+    auto a = by_request_.begin();
+    auto b = other.by_request_.begin();
+    for (; a != by_request_.end(); ++a, ++b)
+        if (a->first != b->first || !sameAction(a->second, b->second))
+            return false;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// FaultProxy
+
+FaultProxy::FaultProxy(int upstream_port, FaultSchedule schedule)
+    : upstream_port_(upstream_port), schedule_(std::move(schedule))
+{}
+
+FaultProxy::~FaultProxy()
+{
+    stop();
+}
+
+void
+FaultProxy::start()
+{
+    if (started_)
+        fatal("FaultProxy: start() called twice");
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        fatal("FaultProxy: pipe: ", std::strerror(errno));
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    setCloexec(wake_read_fd_);
+    setCloexec(wake_write_fd_);
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("FaultProxy: socket: ", std::strerror(errno));
+    setCloexec(listen_fd_);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0; // ephemeral: the proxy is a test fixture
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("FaultProxy: bind: ", std::strerror(errno));
+    if (::listen(listen_fd_, 64) != 0)
+        fatal("FaultProxy: listen: ", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        fatal("FaultProxy: getsockname: ", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    started_ = true;
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+FaultProxy::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+
+    char byte = 'q';
+    [[maybe_unused]] ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    std::vector<std::shared_ptr<ProxyConnection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns.swap(connections_);
+    }
+    for (auto &conn : conns) {
+        conn->open.store(false);
+        if (conn->client_fd >= 0)
+            ::shutdown(conn->client_fd, SHUT_RDWR);
+        if (conn->upstream_fd >= 0)
+            ::shutdown(conn->upstream_fd, SHUT_RDWR);
+    }
+    for (auto &conn : conns) {
+        if (conn->relay.joinable())
+            conn->relay.join();
+        if (conn->client_fd >= 0)
+            ::close(conn->client_fd);
+        if (conn->upstream_fd >= 0)
+            ::close(conn->upstream_fd);
+        conn->client_fd = conn->upstream_fd = -1;
+    }
+
+    ::close(listen_fd_);
+    ::close(wake_read_fd_);
+    ::close(wake_write_fd_);
+    listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+FaultProxyCounters
+FaultProxy::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+FaultProxy::acceptLoop()
+{
+    while (true) {
+        pollfd fds[2] = {
+            {listen_fd_, POLLIN, 0},
+            {wake_read_fd_, POLLIN, 0},
+        };
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (fds[1].revents != 0)
+            return; // stop() woke us
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setCloexec(fd);
+
+        uint64_t conn_index = next_connection_.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.connections;
+        }
+        if (schedule_.connectionRefused(conn_index)) {
+            // The TCP handshake already completed in the backlog, so
+            // "refused" manifests as an immediate hangup — the client
+            // sees io_error on its first exchange, same as a daemon
+            // that died between connect and call.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.refused;
+            }
+            ::close(fd);
+            continue;
+        }
+
+        auto conn = std::make_shared<ProxyConnection>();
+        conn->client_fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            connections_.push_back(conn);
+        }
+        conn->relay = std::thread([this, conn] {
+            relayConnection(conn);
+        });
+    }
+}
+
+void
+FaultProxy::relayConnection(const std::shared_ptr<ProxyConnection> &conn)
+{
+    std::string payload;
+    while (conn->open.load()) {
+        FrameStatus status = readFrame(conn->client_fd, payload,
+                                       kDefaultMaxFrameBytes);
+        if (status != FrameStatus::Ok)
+            break;
+        uint64_t index = next_request_.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.requests;
+        }
+        FaultAction action = schedule_.actionFor(index);
+
+        if (action.kind == FaultAction::Kind::Overloaded) {
+            // Answer in the proxy, never bothering the upstream —
+            // exactly what a full admission queue looks like from
+            // outside.
+            Json id;
+            try {
+                Json request = Json::parse(payload);
+                if (request.isObject() && request.has("id"))
+                    id = request.at("id");
+            } catch (const JsonError &) {
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.injected_overloaded;
+            }
+            WireError error{"overloaded",
+                            "faultnet: injected overload",
+                            action.retry_after_ms};
+            if (!writeFrame(conn->client_fd,
+                            makeErrorResponse(id, error).dump()))
+                break;
+            continue;
+        }
+
+        if (conn->upstream_fd < 0) {
+            conn->upstream_fd = dialLoopback(upstream_port_);
+            if (conn->upstream_fd < 0)
+                break;
+        }
+        if (!writeFrame(conn->upstream_fd, payload))
+            break;
+        std::string response;
+        if (readFrame(conn->upstream_fd, response,
+                      kDefaultMaxFrameBytes) != FrameStatus::Ok)
+            break;
+        if (!applyResponseAction(conn, action, response))
+            break;
+    }
+    conn->open.store(false);
+    // Surface EOF to both sides; the fds are closed by stop() after
+    // this thread is joined (closing here would race a stop() that is
+    // concurrently shutdown()ing the same descriptors).
+    if (conn->client_fd >= 0)
+        ::shutdown(conn->client_fd, SHUT_RDWR);
+    if (conn->upstream_fd >= 0)
+        ::shutdown(conn->upstream_fd, SHUT_RDWR);
+}
+
+bool
+FaultProxy::applyResponseAction(
+    const std::shared_ptr<ProxyConnection> &conn,
+    const FaultAction &action, const std::string &payload)
+{
+    switch (action.kind) {
+    case FaultAction::Kind::CutMidFrame: {
+        // Forward a prefix of the raw wire bytes, then hang up: the
+        // client reads a torn frame (possibly a torn HEADER when
+        // bytes < 4) and must treat the connection as poisoned.
+        std::string wire = frameHeader(payload.size()) + payload;
+        size_t n = std::min(action.bytes, wire.size());
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.injected_cuts;
+        }
+        sendAll(conn->client_fd, wire.data(), n);
+        return false;
+    }
+    case FaultAction::Kind::TruncateFrame: {
+        // The header promises the full payload but fewer bytes follow:
+        // a well-formed length prefix over a lying stream.
+        std::string wire =
+            frameHeader(payload.size()) +
+            payload.substr(0, std::min(action.bytes, payload.size()));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.injected_truncations;
+        }
+        sendAll(conn->client_fd, wire.data(), wire.size());
+        return false;
+    }
+    case FaultAction::Kind::DelayMs: {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.injected_delays;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                action.delay_ms));
+        break;
+    }
+    case FaultAction::Kind::Overloaded: // handled before forwarding
+    case FaultAction::Kind::None:
+        break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.forwarded;
+    }
+    return writeFrame(conn->client_fd, payload);
+}
+
+// ---------------------------------------------------------------------
+// ScriptedFaultHook
+
+ScriptedFaultHook::ScriptedFaultHook(FaultSchedule schedule)
+    : schedule_(std::move(schedule))
+{}
+
+std::optional<WireError>
+ScriptedFaultHook::onSubmit(const std::string &)
+{
+    uint64_t index = next_.fetch_add(1);
+    FaultAction action = schedule_.actionFor(index);
+    if (action.kind != FaultAction::Kind::Overloaded)
+        return std::nullopt;
+    injected_.fetch_add(1);
+    return WireError{"overloaded",
+                     "faultnet: injected overload (request " +
+                         std::to_string(index) + ")",
+                     action.retry_after_ms};
+}
+
+} // namespace vn::service

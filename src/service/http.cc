@@ -400,7 +400,12 @@ renderStatsSection(std::string &out, const Json &node,
 {
     if (node.isNumber()) {
         std::string name = "vnoised_" + path + (counters ? "_total" : "");
-        out += "# TYPE " + name + (counters ? " counter\n" : " gauge\n");
+        // A gauge-section leaf already named `*_total` (the resilience
+        // section mixes counters and gauges) is a counter too.
+        bool counter =
+            counters || (name.size() > 6 &&
+                         name.compare(name.size() - 6, 6, "_total") == 0);
+        out += "# TYPE " + name + (counter ? " counter\n" : " gauge\n");
         out += name + " " + number17g(node.asNumber()) + "\n";
         return;
     }

@@ -40,6 +40,18 @@ class MetricCounter
     std::atomic<uint64_t> value_{0};
 };
 
+/** Point-in-time level (Prometheus gauge semantics); may go down. */
+class MetricGauge
+{
+  public:
+    void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
 /** Cumulative-bucket snapshot of a histogram. */
 struct HistogramSnapshot
 {
@@ -101,6 +113,18 @@ struct MetricsRegistry
     /** HTTP requests answered, by outcome class. */
     MetricCounter http_requests;
     MetricCounter http_errors; //!< responses with status >= 400
+
+    /**
+     * Resilience layer (ResilientClient) series. Populated only when a
+     * ResilientClient in this process is configured with this registry
+     * (in-process benches and tests; vnoised itself has no upstream).
+     * breaker_state: 0 = closed, 1 = open, 2 = half-open.
+     */
+    MetricCounter retries;       //!< re-attempts after a retryable error
+    MetricCounter breaker_opens; //!< closed/half-open -> open transitions
+    MetricGauge breaker_state;
+    MetricGauge pool_in_use;
+    MetricGauge pool_idle;
 };
 
 } // namespace vn::service

@@ -135,6 +135,8 @@ makeErrorResponse(const Json &id, const WireError &error)
     Json detail = Json::object();
     detail.set("code", Json::str(error.code));
     detail.set("message", Json::str(error.message));
+    if (error.retry_after_ms > 0.0)
+        detail.set("retry_after_ms", Json::number(error.retry_after_ms));
 
     Json response = Json::object();
     response.set("id", id);

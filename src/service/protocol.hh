@@ -72,6 +72,14 @@ struct WireError
 {
     std::string code;    //!< machine-readable ("overloaded", ...)
     std::string message; //!< human-readable detail
+
+    /**
+     * Server hint: do not retry sooner than this (milliseconds).
+     * <= 0 means no hint; only emitted on the wire when positive.
+     * Attached to `overloaded` rejects so a well-behaved client backs
+     * off at least one batch window instead of hammering the queue.
+     */
+    double retry_after_ms = 0.0;
 };
 
 /** Outcome of reading one frame from a stream. */

@@ -1,0 +1,587 @@
+#include "service/resilient.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include <poll.h>
+
+#include "util/logging.hh"
+
+namespace vn::service
+{
+
+namespace
+{
+
+double
+millisecondsBetween(ResilientClient::Clock::time_point from,
+                    ResilientClient::Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+ResilientClient::Clock::duration
+millisecondsDuration(double ms)
+{
+    return std::chrono::duration_cast<ResilientClient::Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+/**
+ * An idle pooled socket must be silent: readable means the server
+ * closed it (EOF) or left stray bytes (protocol desync) — either way
+ * it cannot carry another request/response exchange.
+ */
+bool
+idleSocketHealthy(int fd)
+{
+    if (fd < 0)
+        return false;
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 0);
+    if (ready < 0)
+        return false;
+    return ready == 0;
+}
+
+} // namespace
+
+bool
+retryableCode(const std::string &code)
+{
+    // Transient by protocol contract: a torn transport, explicit
+    // backpressure, or a draining instance. Everything else (codec
+    // errors, bad arguments, expired deadlines, internal faults) will
+    // fail the same way again — fail fast instead of burning budget.
+    return code == "io_error" || code == "overloaded" ||
+           code == "shutting_down";
+}
+
+// ---------------------------------------------------------------------
+// Backoff
+
+Backoff::Backoff(const RetryPolicy &policy)
+    : base_(std::max(0.0, policy.backoff_base_ms)),
+      cap_(std::max(base_, policy.backoff_cap_ms)),
+      prev_(std::max(0.0, policy.backoff_base_ms)),
+      rng_(policy.backoff_seed)
+{}
+
+double
+Backoff::nextDelayMs(double retry_after_ms)
+{
+    // Decorrelated jitter: spread retries apart in time (synchronized
+    // retries from many clients re-create the very overload burst they
+    // are backing off from — the thundering-herd analog of the paper's
+    // aligned dI/dt events).
+    double delay = std::min(cap_, rng_.uniform(base_, prev_ * 3.0));
+    prev_ = std::max(delay, base_);
+    // The server's hint is a floor, not a suggestion: it knows its own
+    // batch window.
+    return std::max(delay, retry_after_ms);
+}
+
+// ---------------------------------------------------------------------
+// CircuitBreaker
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config)
+{
+    if (config_.failure_threshold < 1)
+        fatal("CircuitBreaker: failure_threshold must be >= 1");
+    now_ = [] { return Clock::now(); };
+}
+
+void
+CircuitBreaker::setClockForTest(std::function<Clock::time_point()> now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ = std::move(now);
+}
+
+bool
+CircuitBreaker::allow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case BreakerState::Closed:
+        return true;
+    case BreakerState::Open:
+        if (millisecondsBetween(opened_at_, now_()) <
+            config_.open_ms)
+            return false;
+        // Cooldown over: admit exactly one probe.
+        state_ = BreakerState::HalfOpen;
+        probe_in_flight_ = true;
+        return true;
+    case BreakerState::HalfOpen:
+        if (probe_in_flight_)
+            return false; // one probe at a time
+        probe_in_flight_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    state_ = BreakerState::Closed;
+}
+
+void
+CircuitBreaker::onFailure()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    probe_in_flight_ = false;
+    if (state_ == BreakerState::HalfOpen) {
+        // Failed probe: straight back to open, restart the cooldown.
+        state_ = BreakerState::Open;
+        opened_at_ = now_();
+        ++opens_;
+        return;
+    }
+    if (state_ == BreakerState::Open)
+        return;
+    if (++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = BreakerState::Open;
+        opened_at_ = now_();
+        ++opens_;
+    }
+}
+
+BreakerState
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+uint64_t
+CircuitBreaker::opens() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return opens_;
+}
+
+// ---------------------------------------------------------------------
+// ResilientClient
+
+ResilientClient::ResilientClient(ResilientClientConfig config)
+    : config_(config), breaker_(config.breaker)
+{
+    if (config_.pool_size < 1)
+        fatal("ResilientClient: pool_size must be >= 1");
+    if (config_.retry.max_attempts < 1)
+        fatal("ResilientClient: max_attempts must be >= 1");
+    now_ = [] { return Clock::now(); };
+    sleep_ms_ = [](double ms) {
+        std::this_thread::sleep_for(millisecondsDuration(ms));
+    };
+    publishBreaker();
+    std::lock_guard<std::mutex> lock(mutex_);
+    publishPoolGaugesLocked();
+}
+
+ResilientClient::~ResilientClient() = default;
+
+void
+ResilientClient::setClockForTest(
+    std::function<Clock::time_point()> now)
+{
+    breaker_.setClockForTest(now);
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ = std::move(now);
+}
+
+void
+ResilientClient::setSleepForTest(std::function<void(double)> sleep_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sleep_ms_ = std::move(sleep_ms);
+}
+
+void
+ResilientClient::setAttemptObserverForTest(
+    std::function<void(int, double)> observer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempt_observer_ = std::move(observer);
+}
+
+ResilientClient::Clock::time_point
+ResilientClient::now() const
+{
+    std::function<Clock::time_point()> f;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        f = now_;
+    }
+    return f();
+}
+
+Json
+ResilientClient::call(const std::string &verb, Json params)
+{
+    std::function<void(double)> sleep_fn;
+    std::function<void(int, double)> observer;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.calls;
+        sleep_fn = sleep_ms_;
+        observer = attempt_observer_;
+    }
+
+    const RetryPolicy &policy = config_.retry;
+    Clock::time_point start = now();
+    std::optional<Clock::time_point> deadline;
+    if (policy.call_deadline_ms > 0.0)
+        deadline = start + millisecondsDuration(policy.call_deadline_ms);
+
+    Backoff backoff(policy);
+    std::optional<ServiceError> last;
+
+    for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+        if (!breaker_.allow()) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.breaker_rejects;
+                ++counters_.failures;
+            }
+            publishBreaker();
+            std::string detail =
+                "circuit breaker is open for 127.0.0.1:" +
+                std::to_string(config_.port);
+            if (last)
+                detail += std::string("; last error: ") + last->what();
+            throw ServiceError("circuit_open", detail);
+        }
+
+        // Burn-down: the budget that remains caps this attempt's
+        // server-side deadline, so attempts never promise the server
+        // more time than the call has left.
+        double attempt_deadline_ms = policy.attempt_deadline_ms;
+        if (deadline) {
+            double remaining = millisecondsBetween(now(), *deadline);
+            if (remaining <= 0.0)
+                break; // budget exhausted before this attempt
+            attempt_deadline_ms =
+                attempt_deadline_ms > 0.0
+                    ? std::min(attempt_deadline_ms, remaining)
+                    : remaining;
+        }
+        if (observer)
+            observer(attempt, attempt_deadline_ms);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.attempts;
+            // A retry is counted when the re-attempt actually starts,
+            // so a backoff sleep that exhausts the budget is not one.
+            if (attempt > 1)
+                ++counters_.retries;
+        }
+        if (attempt > 1 && config_.metrics)
+            config_.metrics->retries.add();
+
+        std::unique_ptr<PooledConnection> conn;
+        try {
+            conn = checkout(deadline);
+            conn->client.setDeadlineMs(
+                attempt_deadline_ms > 0.0
+                    ? std::optional<double>(attempt_deadline_ms)
+                    : std::nullopt);
+            Json result = conn->client.call(verb, params);
+            breaker_.onSuccess();
+            publishBreaker();
+            checkin(std::move(conn));
+            return result;
+        } catch (const ServiceError &e) {
+            bool transport_failure = e.code() == "io_error" ||
+                                     e.code() == "bad_response";
+            if (conn) {
+                // A connection that failed at the transport/framing
+                // level is desynchronized; never pool it again.
+                if (transport_failure || !conn->client.connected())
+                    discard(std::move(conn));
+                else
+                    checkin(std::move(conn));
+            }
+            // The breaker guards the TRANSPORT: a structured error
+            // response (even `overloaded`) proves the endpoint is
+            // alive, so only failures to converse count against it.
+            if (transport_failure)
+                breaker_.onFailure();
+            else
+                breaker_.onSuccess();
+            publishBreaker();
+
+            if (!retryableCode(e.code())) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.failures;
+                throw;
+            }
+            last = e;
+            if (attempt >= policy.max_attempts)
+                break;
+
+            double delay = backoff.nextDelayMs(e.retryAfterMs());
+            if (deadline) {
+                double remaining =
+                    millisecondsBetween(now(), *deadline);
+                if (remaining <= 0.0)
+                    break;
+                // Sleeping past the budget would be pure waste: cap
+                // the delay and let the next attempt use what's left.
+                delay = std::min(delay, remaining);
+            }
+            sleep_fn(delay);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.failures;
+    }
+    if (last) {
+        // what() is "code: message"; strip the prefix so the rethrown
+        // error does not stutter the code.
+        std::string text = last->what();
+        std::string prefix = last->code() + ": ";
+        if (text.rfind(prefix, 0) == 0)
+            text = text.substr(prefix.size());
+        throw ServiceError(last->code(),
+                           text + " (retry budget exhausted)",
+                           last->retryAfterMs());
+    }
+    throw ServiceError("deadline_exceeded",
+                       "call budget of " +
+                           std::to_string(policy.call_deadline_ms) +
+                           " ms exhausted before any attempt "
+                           "completed");
+}
+
+std::unique_ptr<ResilientClient::PooledConnection>
+ResilientClient::checkout(std::optional<Clock::time_point> deadline)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        reapIdleLocked(now_());
+
+        while (!idle_.empty()) {
+            std::unique_ptr<PooledConnection> conn =
+                std::move(idle_.front());
+            idle_.pop_front();
+            if (idleSocketHealthy(conn->client.nativeHandle())) {
+                ++in_use_;
+                ++counters_.reused;
+                publishPoolGaugesLocked();
+                return conn;
+            }
+            ++counters_.discarded; // stale: redial below/next loop
+        }
+
+        if (in_use_ < config_.pool_size) {
+            // Reserve the slot before dialing so concurrent callers
+            // cannot overshoot the bound while connect() blocks.
+            ++in_use_;
+            publishPoolGaugesLocked();
+            lock.unlock();
+            auto conn = std::make_unique<PooledConnection>();
+            try {
+                conn->client.connect(config_.port);
+            } catch (...) {
+                lock.lock();
+                --in_use_;
+                publishPoolGaugesLocked();
+                pool_cv_.notify_one();
+                throw;
+            }
+            lock.lock();
+            ++counters_.dials;
+            publishPoolGaugesLocked();
+            return conn;
+        }
+
+        // Pool at its bound: wait for a checkin, bounded by the call
+        // budget. (Waits use the real clock; fake-clock tests size the
+        // pool so they never get here.)
+        if (deadline) {
+            if (pool_cv_.wait_until(lock, *deadline) ==
+                    std::cv_status::timeout &&
+                idle_.empty() && in_use_ >= config_.pool_size)
+                throw ServiceError(
+                    "deadline_exceeded",
+                    "no pooled connection became available within "
+                    "the call budget (pool bound " +
+                        std::to_string(config_.pool_size) + ")");
+        } else {
+            pool_cv_.wait(lock);
+        }
+    }
+}
+
+void
+ResilientClient::checkin(std::unique_ptr<PooledConnection> conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conn->idle_since = now_();
+        idle_.push_back(std::move(conn));
+        --in_use_;
+        publishPoolGaugesLocked();
+    }
+    pool_cv_.notify_one();
+}
+
+void
+ResilientClient::discard(std::unique_ptr<PooledConnection> conn)
+{
+    conn.reset(); // close outside the lock
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_use_;
+        ++counters_.discarded;
+        publishPoolGaugesLocked();
+    }
+    pool_cv_.notify_one();
+}
+
+size_t
+ResilientClient::reapIdle()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reapIdleLocked(now_());
+}
+
+size_t
+ResilientClient::reapIdleLocked(Clock::time_point t)
+{
+    if (config_.idle_ttl_ms <= 0.0)
+        return 0;
+    size_t reaped = 0;
+    for (auto it = idle_.begin(); it != idle_.end();) {
+        if (millisecondsBetween((*it)->idle_since, t) >=
+            config_.idle_ttl_ms) {
+            it = idle_.erase(it);
+            ++reaped;
+        } else {
+            ++it;
+        }
+    }
+    if (reaped > 0) {
+        counters_.reaped += reaped;
+        publishPoolGaugesLocked();
+    }
+    return reaped;
+}
+
+void
+ResilientClient::publishPoolGaugesLocked()
+{
+    counters_.pool_in_use = static_cast<size_t>(in_use_);
+    counters_.pool_idle = idle_.size();
+    counters_.pool_peak_in_use = std::max(
+        counters_.pool_peak_in_use, counters_.pool_in_use);
+    if (config_.metrics) {
+        config_.metrics->pool_in_use.set(in_use_);
+        config_.metrics->pool_idle.set(
+            static_cast<int64_t>(idle_.size()));
+    }
+}
+
+void
+ResilientClient::publishBreaker()
+{
+    uint64_t opens = breaker_.opens();
+    BreakerState state = breaker_.state();
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.breaker_opens = opens;
+    if (config_.metrics) {
+        config_.metrics->breaker_state.set(static_cast<int64_t>(state));
+        if (opens > mirrored_opens_)
+            config_.metrics->breaker_opens.add(opens - mirrored_opens_);
+        mirrored_opens_ = opens;
+    }
+}
+
+ResilienceCounters
+ResilientClient::counters() const
+{
+    ResilienceCounters snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot = counters_;
+    }
+    snapshot.breaker_opens = breaker_.opens();
+    return snapshot;
+}
+
+AnyResult
+ResilientClient::callTyped(const AnyRequest &request)
+{
+    Verb verb = requestVerb(request);
+    Json result = call(verbName(verb), encodeRequestParams(request));
+    try {
+        return decodeResult(verb, result);
+    } catch (const JsonError &e) {
+        throw ServiceError("bad_response", e.what());
+    }
+}
+
+FreqSweepPoint
+ResilientClient::sweep(const SweepRequest &request)
+{
+    return std::get<FreqSweepPoint>(callTyped(request));
+}
+
+MappingResult
+ResilientClient::map(const MapRequest &request)
+{
+    return std::get<MappingResult>(callTyped(request));
+}
+
+MarginPoint
+ResilientClient::margin(const MarginRequest &request)
+{
+    return std::get<MarginPoint>(callTyped(request));
+}
+
+GuardbandResult
+ResilientClient::guardband(const GuardbandRequest &request)
+{
+    return std::get<GuardbandResult>(callTyped(request));
+}
+
+DroopTrace
+ResilientClient::trace(const TraceRequest &request)
+{
+    return std::get<DroopTrace>(callTyped(request));
+}
+
+int
+ResilientClient::ping()
+{
+    Json result = call("ping", Json::object());
+    return static_cast<int>(result.numberOr("protocol", 0));
+}
+
+Json
+ResilientClient::stats()
+{
+    return call("stats", Json::object());
+}
+
+} // namespace vn::service

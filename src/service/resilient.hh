@@ -1,0 +1,303 @@
+/**
+ * @file
+ * ResilientClient: the production-grade client layer for vnoised.
+ *
+ * A plain Client owns one connection and treats every hiccup as fatal;
+ * this wrapper makes calls survive the transient failures the serving
+ * stack is *designed* to emit — `overloaded` backpressure rejects,
+ * `shutting_down` drains, and torn connections — the same way the
+ * paper's guardbands absorb transient voltage droops: within an
+ * explicit, bounded margin.
+ *
+ * Three cooperating pieces, each independently testable:
+ *
+ *  - A bounded connection pool: connections are dialed lazily, health
+ *    checked on checkout (a readable-or-closed idle socket is stale
+ *    and redialed), reaped after an idle TTL, and never exceed
+ *    `pool_size` even under arbitrarily many concurrent callers
+ *    (excess callers wait, bounded by their deadline budget).
+ *
+ *  - A retry policy: attempts carry exponential backoff with
+ *    decorrelated jitter drawn from a SEEDED PRNG (two clients built
+ *    with the same seed sleep the exact same sequence — reproducible
+ *    stress runs, per FIRESTARTER's parameterizable-stimulus lesson),
+ *    honor the server's `retry_after_ms` hint, and burn down one
+ *    overall wall-clock budget: the per-attempt `deadline_ms` sent to
+ *    the server shrinks as attempts consume the budget, so a call
+ *    NEVER outlives `call_deadline_ms`. Only transient codes
+ *    (`io_error`, `overloaded`, `shutting_down`) are retried; codec
+ *    and argument errors fail fast.
+ *
+ *  - A circuit breaker per endpoint: after `failure_threshold`
+ *    consecutive transport-level failures the circuit opens and calls
+ *    fail immediately with `circuit_open` (no socket touched); after
+ *    `open_ms` of cooldown one half-open probe is admitted — success
+ *    closes the circuit, failure re-opens it. The clock is injectable
+ *    so the state machine is testable without real waiting.
+ *
+ * Thread-safe: one ResilientClient may be shared by many threads; the
+ * pool bound is the concurrency bound toward the server.
+ */
+
+#ifndef VN_SERVICE_RESILIENT_HH
+#define VN_SERVICE_RESILIENT_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/client.hh"
+#include "service/metrics.hh"
+#include "util/rng.hh"
+
+namespace vn::service
+{
+
+/** True for error codes a retry may cure (transient by contract). */
+bool retryableCode(const std::string &code);
+
+/** Retry/backoff/deadline knobs of one call. */
+struct RetryPolicy
+{
+    /** Total tries per call, including the first; >= 1. */
+    int max_attempts = 4;
+
+    /** First backoff delay (milliseconds). */
+    double backoff_base_ms = 10.0;
+
+    /** Backoff delays never exceed this. */
+    double backoff_cap_ms = 2000.0;
+
+    /**
+     * Seed of the jitter PRNG. The backoff sequence is a pure function
+     * of (seed, base, cap, retry hints), so a fixed seed replays
+     * bit-identically.
+     */
+    uint64_t backoff_seed = 1;
+
+    /**
+     * Overall wall-clock budget of one call (milliseconds), covering
+     * every attempt and backoff sleep; <= 0 disables the budget.
+     */
+    double call_deadline_ms = 10000.0;
+
+    /**
+     * Server-side `deadline_ms` attached to each attempt; the actual
+     * value sent is min(this, remaining budget). <= 0 sends the
+     * remaining budget alone (or nothing when that is unbounded too).
+     */
+    double attempt_deadline_ms = 0.0;
+};
+
+/**
+ * Exponential backoff with decorrelated jitter (AWS architecture
+ * blog): delay_n = min(cap, uniform(base, 3 * delay_{n-1})), floored
+ * at the server's retry_after_ms hint when one was given.
+ */
+class Backoff
+{
+  public:
+    explicit Backoff(const RetryPolicy &policy);
+
+    /** Delay before the next retry (milliseconds). */
+    double nextDelayMs(double retry_after_ms = 0.0);
+
+  private:
+    double base_;
+    double cap_;
+    double prev_;
+    Rng rng_;
+};
+
+/** Circuit breaker knobs. */
+struct BreakerConfig
+{
+    /** Consecutive failures that open the circuit; >= 1. */
+    int failure_threshold = 5;
+
+    /** Cooldown before an open circuit admits a half-open probe. */
+    double open_ms = 1000.0;
+};
+
+/** Breaker states (numeric values are the breaker_state gauge). */
+enum class BreakerState
+{
+    Closed = 0,
+    Open = 1,
+    HalfOpen = 2,
+};
+
+/** Wire/log name of a breaker state ("closed", ...). */
+const char *breakerStateName(BreakerState state);
+
+/** The closed -> open -> half-open state machine; thread-safe. */
+class CircuitBreaker
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit CircuitBreaker(BreakerConfig config);
+
+    /**
+     * May a call proceed now? Open circuits reject until `open_ms` has
+     * passed, then admit exactly one probe (the state reads HalfOpen
+     * until that probe reports back).
+     */
+    bool allow();
+
+    /** Report the probe/call outcome that followed an allow(). */
+    void onSuccess();
+    void onFailure();
+
+    BreakerState state() const;
+
+    /** Cumulative transitions into Open. */
+    uint64_t opens() const;
+
+    /** Replace the wall clock (tests drive time by hand). */
+    void setClockForTest(std::function<Clock::time_point()> now);
+
+  private:
+    BreakerConfig config_;
+    mutable std::mutex mutex_;
+    BreakerState state_ = BreakerState::Closed;
+    int consecutive_failures_ = 0;
+    bool probe_in_flight_ = false;
+    Clock::time_point opened_at_{};
+    uint64_t opens_ = 0;
+    std::function<Clock::time_point()> now_;
+};
+
+/** Cumulative counters of one ResilientClient (all monotonic except
+ *  the pool levels, which are point-in-time). */
+struct ResilienceCounters
+{
+    uint64_t calls = 0;        //!< call() invocations
+    uint64_t attempts = 0;     //!< wire attempts (>= calls)
+    uint64_t retries = 0;      //!< attempts after the first
+    uint64_t failures = 0;     //!< calls that ultimately threw
+    uint64_t breaker_rejects = 0; //!< calls refused while open
+    uint64_t breaker_opens = 0;
+    uint64_t dials = 0;        //!< connections established
+    uint64_t reused = 0;       //!< checkouts served from idle
+    uint64_t discarded = 0;    //!< stale/broken connections dropped
+    uint64_t reaped = 0;       //!< idle connections past the TTL
+    size_t pool_in_use = 0;
+    size_t pool_idle = 0;
+    size_t pool_peak_in_use = 0;
+};
+
+/** ResilientClient knobs. */
+struct ResilientClientConfig
+{
+    /** vnoised endpoint on 127.0.0.1. */
+    int port = kDefaultPort;
+
+    /** Hard bound on pooled connections (in use + idle); >= 1. */
+    int pool_size = 4;
+
+    /** Idle connections older than this are reaped (<= 0: never). */
+    double idle_ttl_ms = 30000.0;
+
+    RetryPolicy retry;
+    BreakerConfig breaker;
+
+    /**
+     * Optional registry: retries/breaker/pool series are mirrored into
+     * it so an in-process server's `/metrics` and `stats` expose them.
+     * Must outlive the client.
+     */
+    MetricsRegistry *metrics = nullptr;
+};
+
+/** The pooled, retrying, circuit-broken client; see the file comment. */
+class ResilientClient
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit ResilientClient(ResilientClientConfig config);
+    ~ResilientClient();
+
+    ResilientClient(const ResilientClient &) = delete;
+    ResilientClient &operator=(const ResilientClient &) = delete;
+
+    /**
+     * Issue one request with the configured policy. Throws
+     * ServiceError: the last wire error after the retry budget is
+     * exhausted, `circuit_open` when the breaker refuses the call, or
+     * `deadline_exceeded` when the call budget ran out.
+     */
+    Json call(const std::string &verb, Json params);
+
+    /** Typed calls, same contracts as Client's. */
+    FreqSweepPoint sweep(const SweepRequest &request);
+    MappingResult map(const MapRequest &request);
+    MarginPoint margin(const MarginRequest &request);
+    GuardbandResult guardband(const GuardbandRequest &request);
+    DroopTrace trace(const TraceRequest &request);
+    int ping();
+    Json stats();
+
+    /** Snapshot of the cumulative counters. */
+    ResilienceCounters counters() const;
+
+    BreakerState breakerState() const { return breaker_.state(); }
+
+    /** Close every idle connection past the TTL (also runs inline on
+     *  checkout); returns how many were reaped. */
+    size_t reapIdle();
+
+    /** Test hooks: fake time and fake sleep (called with the backoff
+     *  delay in milliseconds instead of actually sleeping). */
+    void setClockForTest(std::function<Clock::time_point()> now);
+    void setSleepForTest(std::function<void(double)> sleep_ms);
+
+    /** Test/trace hook: observes (attempt#, per-attempt deadline_ms
+     *  sent on the wire; <= 0 when none) before each attempt. */
+    void setAttemptObserverForTest(
+        std::function<void(int, double)> observer);
+
+  private:
+    struct PooledConnection
+    {
+        Client client;
+        Clock::time_point idle_since{};
+    };
+
+    AnyResult callTyped(const AnyRequest &request);
+
+    /** Checkout outcome: a live connection or a thrown ServiceError. */
+    std::unique_ptr<PooledConnection>
+    checkout(std::optional<Clock::time_point> deadline);
+    void checkin(std::unique_ptr<PooledConnection> conn);
+    void discard(std::unique_ptr<PooledConnection> conn);
+    size_t reapIdleLocked(Clock::time_point now);
+    void publishPoolGaugesLocked();
+    void publishBreaker();
+
+    Clock::time_point now() const;
+
+    ResilientClientConfig config_;
+    CircuitBreaker breaker_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable pool_cv_;
+    std::deque<std::unique_ptr<PooledConnection>> idle_;
+    int in_use_ = 0;
+    ResilienceCounters counters_;
+    uint64_t mirrored_opens_ = 0; //!< breaker opens already in metrics
+
+    std::function<Clock::time_point()> now_;
+    std::function<void(double)> sleep_ms_;
+    std::function<void(int, double)> attempt_observer_;
+};
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_RESILIENT_HH

@@ -571,6 +571,23 @@ Server::statsJson() const
     server.set("unknown_verbs", u(s.unknown_verbs));
     server.set("bad_requests", u(s.bad_requests));
 
+    // Client-resilience series (ResilientClient wired to this
+    // registry); all zero unless an in-process client is configured
+    // with metricsMutable(). `_total` leaves render as Prometheus
+    // counters, the rest as gauges.
+    Json resilience = Json::object();
+    resilience.set("retries_total", u(metrics_.retries.value()));
+    resilience.set("breaker_opens_total",
+                   u(metrics_.breaker_opens.value()));
+    resilience.set("breaker_state",
+                   n(static_cast<double>(
+                       metrics_.breaker_state.value())));
+    resilience.set("pool_in_use",
+                   n(static_cast<double>(
+                       metrics_.pool_in_use.value())));
+    resilience.set("pool_idle",
+                   n(static_cast<double>(metrics_.pool_idle.value())));
+
     Json latency_ms = Json::object();
     latency_ms.set("window", u(latency.size()));
     latency_ms.set("p50", n(percentileOf(latency, 50.0)));
@@ -590,6 +607,7 @@ Server::statsJson() const
     stats.set("batching", std::move(batching));
     stats.set("campaign", std::move(campaign));
     stats.set("server", std::move(server));
+    stats.set("resilience", std::move(resilience));
     stats.set("latency_ms", std::move(latency_ms));
     return stats;
 }

@@ -129,6 +129,13 @@ class Server
     /** The registry behind `/metrics` (shared with the dispatcher). */
     const MetricsRegistry &metrics() const { return metrics_; }
 
+    /**
+     * Mutable registry handle, for wiring an in-process
+     * ResilientClient's retry/breaker/pool series into this server's
+     * `stats` and `/metrics` (benches, tests, embedded deployments).
+     */
+    MetricsRegistry &metricsMutable() { return metrics_; }
+
     /** Test hook, forwarded to the dispatcher. */
     void pauseForTest(bool paused) { dispatcher_->pauseForTest(paused); }
 

@@ -25,8 +25,10 @@
 #include <unistd.h>
 
 #include "service/client.hh"
+#include "service/faultnet.hh"
 #include "service/http.hh"
 #include "service/protocol.hh"
+#include "service/resilient.hh"
 #include "service/server.hh"
 
 namespace
@@ -577,13 +579,17 @@ parseExposition(const std::string &text)
     return values;
 }
 
-/** Assert every numeric leaf of a stats section matches /metrics. */
+/** Assert every numeric leaf of a stats section matches /metrics.
+ *  Counter sections get `_total` appended per leaf; gauge-flavored
+ *  sections (resilience) use their leaf names as-is. */
 void
 expectSectionMatches(const Json &node, const std::string &path,
-                     const std::map<std::string, double> &metrics)
+                     const std::map<std::string, double> &metrics,
+                     bool append_total = true)
 {
     if (node.isNumber()) {
-        std::string name = "vnoised_" + path + "_total";
+        std::string name =
+            "vnoised_" + path + (append_total ? "_total" : "");
         auto it = metrics.find(name);
         ASSERT_NE(it, metrics.end()) << name << " missing from /metrics";
         EXPECT_EQ(it->second, node.asNumber()) << name;
@@ -591,7 +597,8 @@ expectSectionMatches(const Json &node, const std::string &path,
     }
     ASSERT_TRUE(node.isObject());
     for (const auto &[key, value] : node.members())
-        expectSectionMatches(value, path + "_" + key, metrics);
+        expectSectionMatches(value, path + "_" + key, metrics,
+                             append_total);
 }
 
 TEST(HttpMetrics, MetricsMatchFramedStatsExactly)
@@ -603,7 +610,13 @@ TEST(HttpMetrics, MetricsMatchFramedStatsExactly)
     ctx.consecutive_events = 200;
     ctx.campaign.cache_dir.clear();
 
-    Server server(ctx, httpEnabledConfig());
+    // Submit index 3 (the resilient sweep below; the three HTTP
+    // sweeps take 0..2) is rejected `overloaded` once, forcing
+    // exactly one retry into the resilience counters.
+    ScriptedFaultHook hook(FaultSchedule().overloaded(3, 1, 2.0));
+    ServerConfig config = httpEnabledConfig();
+    config.dispatcher.fault = &hook;
+    Server server(ctx, config);
     server.start();
     int http_port = server.httpPort();
 
@@ -627,6 +640,23 @@ TEST(HttpMetrics, MetricsMatchFramedStatsExactly)
     EXPECT_THROW(client.call("frobnicate", Json::object()),
                  ServiceError);
 
+    // A resilient sweep wired to the server's registry: attempt one
+    // is rejected by the fault hook, attempt two computes. The retry
+    // and pool gauges land in the registry and must round-trip
+    // through both encodings below.
+    ResilientClientConfig rconfig;
+    rconfig.port = server.port();
+    rconfig.retry.backoff_base_ms = 1.0;
+    rconfig.retry.backoff_cap_ms = 10.0;
+    rconfig.retry.call_deadline_ms = 120000.0;
+    rconfig.metrics = &server.metricsMutable();
+    ResilientClient resilient(rconfig);
+    FreqSweepPoint retried =
+        resilient.sweep(SweepRequest{{3.3e6, true}});
+    EXPECT_EQ(retried.freq_hz, 3.3e6);
+    EXPECT_EQ(resilient.counters().retries, 1u);
+    EXPECT_EQ(hook.injected(), 1u);
+
     // Source of truth, encoding one: the framed stats document.
     Json stats = client.stats();
     // Encoding two: the Prometheus exposition. No requests run
@@ -640,11 +670,32 @@ TEST(HttpMetrics, MetricsMatchFramedStatsExactly)
     for (const char *section :
          {"requests", "batching", "campaign", "server"})
         expectSectionMatches(stats.at(section), section, metrics);
+    // The resilience section mixes counters and gauges, so its leaves
+    // already carry `_total` where they are counters.
+    expectSectionMatches(stats.at("resilience"), "resilience", metrics,
+                         /*append_total=*/false);
 
     // Spot-check the known outcomes on both sides.
-    EXPECT_EQ(metrics.at("vnoised_requests_completed_ok_total"), 3.0);
+    EXPECT_EQ(metrics.at("vnoised_requests_completed_ok_total"), 4.0);
+    EXPECT_EQ(metrics.at("vnoised_requests_rejected_overloaded_total"),
+              1.0);
     EXPECT_EQ(metrics.at("vnoised_server_unknown_verbs_total"), 1.0);
-    EXPECT_EQ(stats.at("requests").at("completed_ok").asNumber(), 3.0);
+    EXPECT_EQ(stats.at("requests").at("completed_ok").asNumber(), 4.0);
+
+    // The resilient sweep's one retry (and its idle pooled
+    // connection) are visible in both encodings.
+    EXPECT_EQ(metrics.at("vnoised_resilience_retries_total"), 1.0);
+    EXPECT_EQ(metrics.at("vnoised_resilience_breaker_opens_total"),
+              0.0);
+    EXPECT_EQ(metrics.at("vnoised_resilience_breaker_state"), 0.0);
+    EXPECT_EQ(metrics.at("vnoised_resilience_pool_in_use"), 0.0);
+    EXPECT_EQ(metrics.at("vnoised_resilience_pool_idle"), 1.0);
+    EXPECT_NE(scrape.body.find(
+                  "# TYPE vnoised_resilience_retries_total counter"),
+              std::string::npos);
+    EXPECT_NE(scrape.body.find(
+                  "# TYPE vnoised_resilience_breaker_state gauge"),
+              std::string::npos);
 
     // Histogram coherence: one latency observation per completion,
     // one batch-size observation per executed batch.

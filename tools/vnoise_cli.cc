@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "service/client.hh"
+#include "service/resilient.hh"
 #include "service/server.hh"
 #include "vnoise/vnoise.hh"
 #include "vnoise_version.hh"
@@ -433,7 +434,8 @@ cmdQuery(int argc, char **argv)
     std::string verb = argv[2];
     Args args(argc, argv, 3);
     std::string bad = args.unknownKey(
-        {"port", "deadline-ms", "freq", "sync", "events", "bias-step",
+        {"port", "deadline-ms", "retries", "backoff-ms",
+         "call-deadline-ms", "freq", "sync", "events", "bias-step",
          "mapping", "window", "core", "decimation", "intervals",
          "mean-active", "seed"});
     if (!bad.empty()) {
@@ -442,13 +444,31 @@ cmdQuery(int argc, char **argv)
         return 2;
     }
 
-    service::Client client;
-    try {
-        client.connect(
-            static_cast<int>(args.number("port", service::kDefaultPort)));
-        if (args.has("deadline-ms"))
-            client.setDeadlineMs(args.number("deadline-ms", 0));
+    int port =
+        static_cast<int>(args.number("port", service::kDefaultPort));
+    int retries = static_cast<int>(args.number("retries", 3));
+    if (retries < 0) {
+        std::fprintf(stderr,
+                     "vnoise_cli query: --retries must be >= 0\n");
+        return 2;
+    }
 
+    // All queries ride the resilient layer: transient failures
+    // (overloaded bursts, daemon restarts) are retried with backoff
+    // within one wall-clock budget instead of surfacing immediately.
+    service::ResilientClientConfig rconfig;
+    rconfig.port = port;
+    rconfig.pool_size = 1; // one sequential caller
+    rconfig.retry.max_attempts = retries + 1;
+    rconfig.retry.backoff_base_ms = args.number("backoff-ms", 10.0);
+    rconfig.retry.call_deadline_ms =
+        args.number("call-deadline-ms", 10000.0);
+    if (args.has("deadline-ms"))
+        rconfig.retry.attempt_deadline_ms =
+            args.number("deadline-ms", 0);
+    service::ResilientClient client(rconfig);
+
+    try {
         if (verb == "ping") {
             std::printf("pong (protocol %d)\n", client.ping());
             return 0;
@@ -458,7 +478,11 @@ cmdQuery(int argc, char **argv)
             return 0;
         }
         if (verb == "shutdown") {
-            client.shutdown();
+            // Deliberately NOT retried: a lost response is
+            // indistinguishable from a completed drain, and a retry
+            // could kill a daemon that restarted in between.
+            service::Client direct(port);
+            direct.shutdown();
             std::printf("vnoised is draining\n");
             return 0;
         }
@@ -503,6 +527,13 @@ cmdQuery(int argc, char **argv)
         return 0;
     } catch (const service::ServiceError &e) {
         std::fprintf(stderr, "vnoise_cli query: %s\n", e.what());
+        // Distinct exit codes so scripts can tell "the daemon is not
+        // there" (3) and "the breaker gave up" (4) from an ordinary
+        // service error (1).
+        if (e.code() == "circuit_open")
+            return 4;
+        if (e.code() == "io_error")
+            return 3;
         return 1;
     }
 }
@@ -527,9 +558,13 @@ usage(std::FILE *out)
         "        (--http-port: Prometheus /metrics gateway, default "
         "7412;\n"
         "         0 = ephemeral, negative = disabled)\n"
-        "  query <verb> [--port N] [--deadline-ms N] [verb options]\n"
+        "  query <verb> [--port N] [--deadline-ms N] [--retries N]\n"
+        "        [--backoff-ms N] [--call-deadline-ms N] [verb options]\n"
         "        verbs: ping stats shutdown sweep map margin guardband "
         "trace\n"
+        "        (retries with backoff on transient errors; exit codes:\n"
+        "         0 ok, 1 service error, 2 usage, 3 unreachable,\n"
+        "         4 circuit open)\n"
         "  --version | --help\n"
         "common: --config PATH  (key=value chip configuration; see\n"
         "        saveChipConfig / docs)\n"
