@@ -214,10 +214,23 @@ FaultSchedule::parse(const std::string &text)
                 bad("missing delay in ms");
             schedule.delayMs(index, ms);
         } else if (word == "overloaded") {
+            // COUNT and RETRY_AFTER_MS are optional: read into
+            // temporaries and only overwrite the defaults when the
+            // extraction succeeded (a failed operator>> writes 0,
+            // which would reject the documented `overloaded N` form).
             int count = 1;
             double retry_after_ms = 0.0;
-            tokens >> count;
-            tokens >> retry_after_ms;
+            int parsed_count = 0;
+            if (tokens >> parsed_count) {
+                count = parsed_count;
+                double parsed_retry = 0.0;
+                if (tokens >> parsed_retry)
+                    retry_after_ms = parsed_retry;
+                else
+                    tokens.clear(); // absent: re-arm the trailing check
+            } else {
+                tokens.clear();
+            }
             if (count < 1)
                 bad("count must be >= 1");
             schedule.overloaded(index, count, retry_after_ms);
@@ -384,19 +397,24 @@ FaultProxy::stop()
     }
     for (auto &conn : conns) {
         conn->open.store(false);
-        if (conn->client_fd >= 0)
-            ::shutdown(conn->client_fd, SHUT_RDWR);
-        if (conn->upstream_fd >= 0)
-            ::shutdown(conn->upstream_fd, SHUT_RDWR);
+        int cfd = conn->client_fd.load();
+        if (cfd >= 0)
+            ::shutdown(cfd, SHUT_RDWR);
+        // A relay that dials after this load sees open == false and
+        // shuts the fresh upstream down itself (see relayConnection).
+        int ufd = conn->upstream_fd.load();
+        if (ufd >= 0)
+            ::shutdown(ufd, SHUT_RDWR);
     }
     for (auto &conn : conns) {
         if (conn->relay.joinable())
             conn->relay.join();
-        if (conn->client_fd >= 0)
-            ::close(conn->client_fd);
-        if (conn->upstream_fd >= 0)
-            ::close(conn->upstream_fd);
-        conn->client_fd = conn->upstream_fd = -1;
+        int cfd = conn->client_fd.exchange(-1);
+        if (cfd >= 0)
+            ::close(cfd);
+        int ufd = conn->upstream_fd.exchange(-1);
+        if (ufd >= 0)
+            ::close(ufd);
     }
 
     ::close(listen_fd_);
@@ -506,10 +524,18 @@ FaultProxy::relayConnection(const std::shared_ptr<ProxyConnection> &conn)
             continue;
         }
 
-        if (conn->upstream_fd < 0) {
-            conn->upstream_fd = dialLoopback(upstream_port_);
-            if (conn->upstream_fd < 0)
+        if (conn->upstream_fd.load() < 0) {
+            int upstream = dialLoopback(upstream_port_);
+            if (upstream < 0)
                 break;
+            conn->upstream_fd.store(upstream);
+            if (!conn->open.load()) {
+                // stop() swept the fds before this one was published,
+                // so shutting the fresh socket down is on us (close
+                // still happens in stop(), after the join).
+                ::shutdown(upstream, SHUT_RDWR);
+                break;
+            }
         }
         if (!writeFrame(conn->upstream_fd, payload))
             break;
@@ -524,10 +550,12 @@ FaultProxy::relayConnection(const std::shared_ptr<ProxyConnection> &conn)
     // Surface EOF to both sides; the fds are closed by stop() after
     // this thread is joined (closing here would race a stop() that is
     // concurrently shutdown()ing the same descriptors).
-    if (conn->client_fd >= 0)
-        ::shutdown(conn->client_fd, SHUT_RDWR);
-    if (conn->upstream_fd >= 0)
-        ::shutdown(conn->upstream_fd, SHUT_RDWR);
+    int cfd = conn->client_fd.load();
+    if (cfd >= 0)
+        ::shutdown(cfd, SHUT_RDWR);
+    int ufd = conn->upstream_fd.load();
+    if (ufd >= 0)
+        ::shutdown(ufd, SHUT_RDWR);
 }
 
 bool

@@ -169,8 +169,10 @@ class FaultProxy
   private:
     struct ProxyConnection
     {
-        int client_fd = -1;
-        int upstream_fd = -1;
+        // Atomic because the relay thread publishes upstream_fd while
+        // stop() concurrently reads both fds to shut them down.
+        std::atomic<int> client_fd{-1};
+        std::atomic<int> upstream_fd{-1};
         std::thread relay;
         std::atomic<bool> open{true};
     };

@@ -163,6 +163,21 @@ CircuitBreaker::onFailure()
     }
 }
 
+void
+CircuitBreaker::onAbandoned()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!probe_in_flight_)
+        return;
+    probe_in_flight_ = false;
+    // The probe never ran, so nothing was learned: return to Open
+    // keeping the original opened_at_ (the cooldown has already
+    // elapsed once, so the next allow() may admit a fresh probe
+    // immediately).
+    if (state_ == BreakerState::HalfOpen)
+        state_ = BreakerState::Open;
+}
+
 BreakerState
 CircuitBreaker::state() const
 {
@@ -253,8 +268,28 @@ ResilientClient::call(const std::string &verb, Json params)
 
     Backoff backoff(policy);
     std::optional<ServiceError> last;
+    bool budget_exhausted = false;
 
     for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+        // Burn-down: the budget that remains caps this attempt's
+        // server-side deadline, so attempts never promise the server
+        // more time than the call has left. Checked BEFORE the breaker
+        // is consulted: an exhausted budget must never abandon an
+        // admitted half-open probe (that would leak the probe slot and
+        // wedge the breaker open forever).
+        double attempt_deadline_ms = policy.attempt_deadline_ms;
+        if (deadline) {
+            double remaining = millisecondsBetween(now(), *deadline);
+            if (remaining <= 0.0) {
+                budget_exhausted = true;
+                break;
+            }
+            attempt_deadline_ms =
+                attempt_deadline_ms > 0.0
+                    ? std::min(attempt_deadline_ms, remaining)
+                    : remaining;
+        }
+
         if (!breaker_.allow()) {
             {
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -268,20 +303,6 @@ ResilientClient::call(const std::string &verb, Json params)
             if (last)
                 detail += std::string("; last error: ") + last->what();
             throw ServiceError("circuit_open", detail);
-        }
-
-        // Burn-down: the budget that remains caps this attempt's
-        // server-side deadline, so attempts never promise the server
-        // more time than the call has left.
-        double attempt_deadline_ms = policy.attempt_deadline_ms;
-        if (deadline) {
-            double remaining = millisecondsBetween(now(), *deadline);
-            if (remaining <= 0.0)
-                break; // budget exhausted before this attempt
-            attempt_deadline_ms =
-                attempt_deadline_ms > 0.0
-                    ? std::min(attempt_deadline_ms, remaining)
-                    : remaining;
         }
         if (observer)
             observer(attempt, attempt_deadline_ms);
@@ -322,8 +343,16 @@ ResilientClient::call(const std::string &verb, Json params)
             // The breaker guards the TRANSPORT: a structured error
             // response (even `overloaded`) proves the endpoint is
             // alive, so only failures to converse count against it.
+            // A null conn means checkout() itself threw — a dial
+            // failure (io_error, handled above as transport) or a
+            // pool-wait timeout (deadline_exceeded). The latter never
+            // talked to the server, so it proves nothing either way:
+            // abandon the attempt without judging the endpoint (this
+            // also releases an admitted half-open probe).
             if (transport_failure)
                 breaker_.onFailure();
+            else if (!conn)
+                breaker_.onAbandoned();
             else
                 breaker_.onSuccess();
             publishBreaker();
@@ -341,8 +370,10 @@ ResilientClient::call(const std::string &verb, Json params)
             if (deadline) {
                 double remaining =
                     millisecondsBetween(now(), *deadline);
-                if (remaining <= 0.0)
+                if (remaining <= 0.0) {
+                    budget_exhausted = true;
                     break;
+                }
                 // Sleeping past the budget would be pure waste: cap
                 // the delay and let the next attempt use what's left.
                 delay = std::min(delay, remaining);
@@ -362,6 +393,17 @@ ResilientClient::call(const std::string &verb, Json params)
         std::string prefix = last->code() + ": ";
         if (text.rfind(prefix, 0) == 0)
             text = text.substr(prefix.size());
+        // Two distinct exits: the wall-clock budget ran out (the cause
+        // is the deadline, whatever error happened to be last) vs all
+        // max_attempts tries were burned (the cause is the error
+        // itself).
+        if (budget_exhausted)
+            throw ServiceError(
+                "deadline_exceeded",
+                "call budget of " +
+                    std::to_string(policy.call_deadline_ms) +
+                    " ms exhausted; last error: " + last->code() +
+                    ": " + text);
         throw ServiceError(last->code(),
                            text + " (retry budget exhausted)",
                            last->retryAfterMs());

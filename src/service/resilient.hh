@@ -154,6 +154,16 @@ class CircuitBreaker
     void onSuccess();
     void onFailure();
 
+    /**
+     * Report that an admitted attempt was abandoned before any
+     * conversation with the endpoint (e.g. the call budget expired or
+     * the pool wait timed out). Neutral: no failure is counted and no
+     * state is reset, but a half-open probe slot is released (back to
+     * Open) so the breaker can admit a fresh probe instead of waiting
+     * forever on one that never ran.
+     */
+    void onAbandoned();
+
     BreakerState state() const;
 
     /** Cumulative transitions into Open. */

@@ -209,10 +209,25 @@ TEST(Resilient, BreakerStateMachineUnderInjectableClock)
     EXPECT_EQ(breaker.opens(), 2u);
     EXPECT_FALSE(breaker.allow());
 
-    // Successful probe closes the circuit fully.
+    // An abandoned probe (the attempt never ran: budget exhausted,
+    // pool wait timed out) releases the slot back to Open — neither a
+    // success nor a failure — and the next allow() admits a fresh
+    // probe instead of waiting forever on one that never reported.
     fake_now += std::chrono::milliseconds(1001);
     EXPECT_TRUE(breaker.allow());
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    breaker.onAbandoned();
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.opens(), 2u) << "an abandoned probe is not a"
+                                      " transition into Open";
+    EXPECT_TRUE(breaker.allow()) << "released slot admits a new probe";
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+
+    // onAbandoned while Closed is a no-op (no reset, no failure).
+    // Successful probe closes the circuit fully.
     breaker.onSuccess();
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    breaker.onAbandoned();
     EXPECT_EQ(breaker.state(), BreakerState::Closed);
     EXPECT_TRUE(breaker.allow());
     EXPECT_EQ(breaker.opens(), 2u);
@@ -267,7 +282,11 @@ TEST(Resilient, DeadlineBudgetIsNeverExceeded)
         }());
         FAIL() << "the hook rejects every attempt";
     } catch (const ServiceError &e) {
-        EXPECT_EQ(e.code(), "overloaded");
+        // The wall-clock budget — not the attempt count — ended the
+        // call, and the code says so; the last wire error is detail.
+        EXPECT_EQ(e.code(), "deadline_exceeded");
+        EXPECT_NE(std::string(e.what()).find("overloaded"),
+                  std::string::npos);
     }
 
     // The budget bounds everything: total sleep, every per-attempt
@@ -320,6 +339,63 @@ TEST(Resilient, BreakerOpensAfterConsecutiveTransportFailures)
     // While open, calls fail fast — no new attempts.
     EXPECT_THROW(client.ping(), ServiceError);
     EXPECT_EQ(client.counters().attempts, 2u);
+}
+
+TEST(Resilient, BudgetExhaustionNeverLeaksAHalfOpenProbe)
+{
+    // Regression: the backoff sleep is capped to exactly the remaining
+    // budget, so the next iteration finds the budget exhausted right
+    // away. That exit must happen BEFORE the breaker admits a
+    // half-open probe — a probe admitted and then abandoned would wedge
+    // the breaker into rejecting every future call as circuit_open.
+    ResilientClientConfig rconfig;
+    rconfig.port = deadPort();
+    rconfig.retry.max_attempts = 3;
+    rconfig.retry.backoff_base_ms = 200.0;
+    rconfig.retry.backoff_cap_ms = 200.0; // delay is exactly 200
+    rconfig.retry.call_deadline_ms = 100.0;
+    rconfig.breaker.failure_threshold = 1;
+    rconfig.breaker.open_ms = 50.0;
+    ResilientClient client(rconfig);
+
+    auto fake_now = ResilientClient::Clock::now();
+    client.setClockForTest([&] { return fake_now; });
+    client.setSleepForTest([&](double ms) {
+        fake_now += std::chrono::duration_cast<
+            ResilientClient::Clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    });
+
+    // Call 1: the dial fails (opening the circuit), the 200 ms backoff
+    // is clamped to the 100 ms budget, and the second iteration exits
+    // on the wall clock — reported as deadline_exceeded (the budget
+    // was the cause), with the wire error as detail.
+    try {
+        client.ping();
+        FAIL() << "nothing listens on the port";
+    } catch (const ServiceError &e) {
+        EXPECT_EQ(e.code(), "deadline_exceeded");
+        EXPECT_NE(std::string(e.what()).find("io_error"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(client.breakerState(), BreakerState::Open);
+    uint64_t attempts_after_first = client.counters().attempts;
+    EXPECT_EQ(attempts_after_first, 1u);
+
+    // The cooldown elapses. The next call must get a real half-open
+    // probe (which fails on the wire again) — not an eternal
+    // circuit_open from a probe slot leaked by the budget exit above.
+    fake_now += std::chrono::milliseconds(60);
+    try {
+        client.ping();
+        FAIL() << "nothing listens on the port";
+    } catch (const ServiceError &e) {
+        EXPECT_NE(e.code(), "circuit_open")
+            << "breaker wedged by a leaked half-open probe";
+        EXPECT_EQ(e.code(), "deadline_exceeded");
+    }
+    EXPECT_GT(client.counters().attempts, attempts_after_first)
+        << "the probe attempt must actually touch the socket";
 }
 
 TEST(Resilient, PoolNeverExceedsBoundUnder16ConcurrentCallers)
@@ -481,6 +557,21 @@ TEST(Faultnet, ScheduleParseDumpRoundTrip)
     EXPECT_EQ(schedule.actionFor(11).retry_after_ms, 7.25);
     EXPECT_EQ(schedule.actionFor(3).kind, FaultAction::Kind::None);
 
+    // COUNT and RETRY_AFTER_MS are optional: the documented short
+    // forms keep their defaults (1 and 0) instead of being zeroed by
+    // a failed extraction.
+    FaultSchedule shorthand = FaultSchedule::parse(
+        "overloaded 5\noverloaded 8 2\noverloaded 12 1 3.5\n");
+    EXPECT_EQ(shorthand.actionFor(5).kind,
+              FaultAction::Kind::Overloaded);
+    EXPECT_EQ(shorthand.actionFor(5).retry_after_ms, 0.0);
+    EXPECT_EQ(shorthand.actionFor(6).kind, FaultAction::Kind::None);
+    EXPECT_EQ(shorthand.actionFor(8).kind,
+              FaultAction::Kind::Overloaded);
+    EXPECT_EQ(shorthand.actionFor(9).kind,
+              FaultAction::Kind::Overloaded);
+    EXPECT_EQ(shorthand.actionFor(12).retry_after_ms, 3.5);
+
     // Comments and blank lines are tolerated; junk is not.
     FaultSchedule commented = FaultSchedule::parse(
         "# a comment\n\ncut 1 4\n");
@@ -490,6 +581,10 @@ TEST(Faultnet, ScheduleParseDumpRoundTrip)
                  std::runtime_error);
     EXPECT_THROW(FaultSchedule::parse("cut 1\n"), std::runtime_error);
     EXPECT_THROW(FaultSchedule::parse("cut 1 2 3\n"),
+                 std::runtime_error);
+    EXPECT_THROW(FaultSchedule::parse("overloaded 1 junk\n"),
+                 std::runtime_error);
+    EXPECT_THROW(FaultSchedule::parse("overloaded 1 0\n"),
                  std::runtime_error);
 }
 
