@@ -5,6 +5,9 @@
  * Every bench accepts the campaign runtime knobs:
  *   --jobs N         worker threads for campaign loops (default 1, or
  *                    VNOISE_JOBS)
+ *   --lanes K        solver lanes per batch job (default 8, or
+ *                    VNOISE_LANES; 1 = scalar reference path, results
+ *                    are bit-identical either way)
  *   --cache-dir P    campaign result-cache directory (default
  *                    VNOISE_CACHE_DIR or "<out>/cache")
  *   --no-cache       disable the result cache
@@ -78,12 +81,17 @@ campaignOptions(int argc, char **argv)
     const char *env_jobs = std::getenv("VNOISE_JOBS");
     if (env_jobs != nullptr && env_jobs[0] != '\0')
         options.jobs = std::atoi(env_jobs);
+    const char *env_lanes = std::getenv("VNOISE_LANES");
+    if (env_lanes != nullptr && env_lanes[0] != '\0')
+        options.lanes = std::atoi(env_lanes);
     options.cache_dir = vn::defaultCacheDir();
     options.stats_sink = &campaignStats();
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             options.jobs = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+            options.lanes = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
                    i + 1 < argc) {
             options.cache_dir = argv[++i];
@@ -91,14 +99,16 @@ campaignOptions(int argc, char **argv)
             options.cache_dir.clear();
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--jobs N] [--cache-dir PATH] "
-                         "[--no-cache]\n",
+                         "usage: %s [--jobs N] [--lanes K] "
+                         "[--cache-dir PATH] [--no-cache]\n",
                          argv[0]);
             std::exit(1);
         }
     }
     if (options.jobs < 1)
         vn::fatal("--jobs must be >= 1");
+    if (options.lanes < 1)
+        vn::fatal("--lanes must be >= 1");
     return options;
 }
 

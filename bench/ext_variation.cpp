@@ -83,16 +83,19 @@ main(int argc, char **argv)
                 }
                 out.v_spread = v_hi - v_lo;
 
-                // Reduced mapping set for the correlation clusters.
-                std::vector<MappingResult> results;
+                // Reduced mapping set for the correlation clusters,
+                // advanced as lanes of one batched solve (bit-identical
+                // to running them one by one).
+                std::vector<Mapping> set;
                 for (int mask = 1; mask < 64; mask += 2) {
                     Mapping m{};
                     for (int c = 0; c < kNumCores; ++c) {
                         m[c] = (mask >> c) & 1 ? WorkloadClass::Max
                                                : WorkloadClass::Idle;
                     }
-                    results.push_back(study.run(m));
+                    set.push_back(m);
                 }
+                auto results = study.runBatch(set);
                 auto clusters =
                     detectClusters(noiseCorrelationMatrix(results));
                 out.layout_clusters = clusters[0] == clusters[2] &&

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the transient-solver hot loop.
+
+Compares a fresh ``perf_solver --table=BENCH_solver.json`` run against
+the committed baseline in ``bench/baselines/solver.json`` and fails
+(exit 1) if any configuration's ns/step regressed by more than the
+tolerance.
+
+Raw nanoseconds are not comparable across machines, so every ns/step
+figure is first normalized by the run's own ``calibration_ns`` — the
+wall time of a fixed, dependency-chained FMA kernel measured in the
+same process. The gated quantity is therefore "solver steps per
+calibration unit", which cancels CPU frequency and scheduler noise to
+first order and leaves actual codegen/algorithm regressions visible.
+
+Usage:
+    scripts/bench_gate.py CURRENT.json [BASELINE.json] [--tolerance PCT]
+    scripts/bench_gate.py --self-test
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "vnoise-bench-solver-v1"
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / \
+    "bench" / "baselines" / "solver.json"
+DEFAULT_TOLERANCE = 15.0
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: expected schema {SCHEMA!r}, "
+                         f"got {doc.get('schema')!r}")
+    cal = float(doc["calibration_ns"])
+    if cal <= 0:
+        raise SystemExit(f"{path}: calibration_ns must be positive")
+    configs = {"scalar": float(doc["scalar_ns_per_step"]) / cal}
+    for entry in doc.get("batched", []):
+        configs[f"batched K={int(entry['lanes'])}"] = \
+            float(entry["ns_per_step_lane"]) / cal
+    return configs
+
+
+def gate(current_path, baseline_path, tolerance_pct):
+    """Return the number of regressed configs (0 == gate passes)."""
+    current = load(current_path)
+    baseline = load(baseline_path)
+    regressions = 0
+    print(f"bench gate: {current_path} vs {baseline_path} "
+          f"(tolerance {tolerance_pct:.0f}%)")
+    print(f"{'config':<24}{'baseline':>12}{'current':>12}{'delta':>9}")
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"{name:<24}{base:>12.4e}{'MISSING':>12}{'':>9}  FAIL")
+            regressions += 1
+            continue
+        cur = current[name]
+        delta_pct = (cur / base - 1.0) * 100.0
+        verdict = "ok"
+        if delta_pct > tolerance_pct:
+            verdict = "FAIL (regression)"
+            regressions += 1
+        print(f"{name:<24}{base:>12.4e}{cur:>12.4e}"
+              f"{delta_pct:>+8.1f}%  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<24}{'(new)':>12}{current[name]:>12.4e}{'':>9}  ok")
+    if regressions:
+        print(f"bench gate: {regressions} config(s) regressed more than "
+              f"{tolerance_pct:.0f}% — failing")
+    else:
+        print("bench gate: ok")
+    return regressions
+
+
+def make_doc(scalar_ns, k8_ns, calibration_ns):
+    return {
+        "schema": SCHEMA,
+        "steps": 1000,
+        "calibration_ns": calibration_ns,
+        "scalar_ns_per_step": scalar_ns,
+        "batched": [
+            {"lanes": 8, "ns_per_step_lane": k8_ns,
+             "speedup_vs_scalar": scalar_ns / k8_ns},
+        ],
+        "speedup_k8": scalar_ns / k8_ns,
+    }
+
+
+def self_test(tmpdir):
+    """Fabricate baseline/current pairs and assert the gate's verdicts."""
+    tmpdir.mkdir(parents=True, exist_ok=True)
+    base = tmpdir / "base.json"
+    base.write_text(json.dumps(make_doc(2000.0, 500.0, 1e8)))
+
+    # Pass case: identical figures on a machine half as fast (both the
+    # benchmark and the calibration kernel take 2x the wall time, so
+    # the normalized ratios are unchanged).
+    ok = tmpdir / "ok.json"
+    ok.write_text(json.dumps(make_doc(4000.0, 1000.0, 2e8)))
+    if gate(ok, base, DEFAULT_TOLERANCE) != 0:
+        raise SystemExit("self-test: pass case unexpectedly failed")
+
+    # Regression case: scalar 40% slower at the same calibration.
+    bad = tmpdir / "bad.json"
+    bad.write_text(json.dumps(make_doc(2800.0, 500.0, 1e8)))
+    if gate(bad, base, DEFAULT_TOLERANCE) == 0:
+        raise SystemExit("self-test: regression case unexpectedly passed")
+
+    # Missing-config case: baseline gates K=8, current dropped it.
+    dropped = tmpdir / "dropped.json"
+    doc = make_doc(2000.0, 500.0, 1e8)
+    doc["batched"] = []
+    dropped.write_text(json.dumps(doc))
+    if gate(dropped, base, DEFAULT_TOLERANCE) == 0:
+        raise SystemExit("self-test: missing-config case unexpectedly "
+                         "passed")
+    print("bench gate self-test: ok")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", nargs="?",
+                        help="fresh perf_solver --table JSON")
+    parser.add_argument("baseline", nargs="?",
+                        default=str(DEFAULT_BASELINE),
+                        help="committed baseline JSON "
+                             "(default: bench/baselines/solver.json)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="PCT",
+                        help="allowed normalized slowdown in percent "
+                             "(default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate logic on fabricated data")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            self_test(Path(tmp))
+        return 0
+    if not args.current:
+        parser.error("CURRENT.json is required unless --self-test")
+    return 1 if gate(args.current, args.baseline, args.tolerance) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, run the full test suite, then build the
 # campaign runtime and serving-stack tests under ThreadSanitizer and
-# run them. This is the gate a change must pass before merging.
+# run them, replay the lane-batched solver bit-identity suite, and
+# finish with the faultnet determinism replays. This is the gate a
+# change must pass before merging.
 # (CI additionally runs the serving tests under ASan+UBSan; locally:
 #  cmake --preset asan && cmake --build --preset asan &&
 #  ctest --preset asan.)
@@ -28,6 +30,11 @@ echo "== tier 2: campaign runtime + serving stack under ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+# The factorization cache is the one shared mutable structure in the
+# solver layer: campaign threads intern factorizations concurrently
+# and then read them lock-free while stepping.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_batched \
+    --gtest_filter='FactorizationCacheTest.ConcurrentGetInternsOnePointer'
 # The HTTP conformance net exercises the threaded gateway; the metrics
 # test is excluded here because it builds a stressmark kit (that path
 # is covered by the default-preset run above).
@@ -40,7 +47,13 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_json_fuzz
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_resilient \
     --gtest_filter='Resilient.*:Faultnet.*:FaultnetDeterminism.*'
 
-echo "== tier 3: faultnet determinism under two seeds =="
+echo "== tier 3: lane-batched solver bit-identity =="
+# The batched transient solver must be byte-identical to the scalar
+# path for every netlist the chip model builds; a codegen or kernel
+# change that breaks this must fail loudly, not as a numeric drift.
+./build/tests/test_batched
+
+echo "== tier 4: faultnet determinism under two seeds =="
 # The fault-injection harness must replay bit-identically for any
 # seed, not just the default one baked into the test.
 for seed in 17 42; do

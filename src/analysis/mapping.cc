@@ -56,8 +56,8 @@ MappingStudy::MappingStudy(const AnalysisContext &ctx, double freq_hz)
     freq_hz_ = freq_hz;
 }
 
-MappingResult
-MappingStudy::run(const Mapping &mapping) const
+std::array<CoreActivity, kNumCores>
+MappingStudy::workloadsFor(const Mapping &mapping) const
 {
     std::array<CoreActivity, kNumCores> workloads = {
         chip_.idleActivity(), chip_.idleActivity(), chip_.idleActivity(),
@@ -68,9 +68,13 @@ MappingStudy::run(const Mapping &mapping) const
         else if (mapping[c] == WorkloadClass::Medium)
             workloads[c] = medium_sm_.activity();
     }
+    return workloads;
+}
 
-    auto r = chip_.run(workloads, window_);
-
+MappingResult
+MappingStudy::resultFrom(const Mapping &mapping,
+                         const ChipRunResult &r) const
+{
     MappingResult result;
     result.mapping = mapping;
     result.delta_i_fraction = deltaIFraction(mapping);
@@ -84,6 +88,29 @@ MappingStudy::run(const Mapping &mapping) const
     }
     result.max_p2p = r.maxP2p();
     return result;
+}
+
+MappingResult
+MappingStudy::run(const Mapping &mapping) const
+{
+    return resultFrom(mapping, chip_.run(workloadsFor(mapping), window_));
+}
+
+std::vector<MappingResult>
+MappingStudy::runBatch(std::span<const Mapping> mappings) const
+{
+    std::vector<std::array<CoreActivity, kNumCores>> workloads;
+    workloads.reserve(mappings.size());
+    for (const Mapping &mapping : mappings)
+        workloads.push_back(workloadsFor(mapping));
+
+    auto runs = chip_.runBatch(workloads, window_);
+
+    std::vector<MappingResult> out;
+    out.reserve(mappings.size());
+    for (size_t i = 0; i < mappings.size(); ++i)
+        out.push_back(resultFrom(mappings[i], runs[i]));
+    return out;
 }
 
 std::vector<MappingResult>
@@ -102,12 +129,36 @@ MappingStudy::runMany(std::span<const Mapping> mappings) const
         ctx_.campaign, ctx_.seed, analysisScope(effective, extra));
     campaign.setCodec(encodeMappingResult, decodeMappingResult);
 
-    for (const Mapping &mapping : mappings) {
-        std::string key = "mapping ";
-        for (int c = 0; c < kNumCores; ++c)
-            key += static_cast<char>('0' + static_cast<int>(mapping[c]));
-        campaign.submit(key,
-                        [this, mapping](uint64_t) { return run(mapping); });
+    // Chunk the mappings into solver lanes. Per-mapping keys (and so
+    // cache entries) are exactly what scalar submission would use; a
+    // partially cached chunk re-runs only its missing lanes.
+    const size_t lanes = static_cast<size_t>(ctx_.campaign.lanes);
+    for (size_t start = 0; start < mappings.size(); start += lanes) {
+        const size_t n = std::min(lanes, mappings.size() - start);
+        std::vector<Mapping> chunk(mappings.begin() +
+                                       static_cast<long>(start),
+                                   mappings.begin() +
+                                       static_cast<long>(start + n));
+        std::vector<std::string> keys;
+        keys.reserve(n);
+        for (const Mapping &mapping : chunk) {
+            std::string key = "mapping ";
+            for (int c = 0; c < kNumCores; ++c)
+                key +=
+                    static_cast<char>('0' + static_cast<int>(mapping[c]));
+            keys.push_back(std::move(key));
+        }
+        campaign.submitBatch(
+            std::move(keys),
+            [this, chunk = std::move(chunk)](
+                std::span<const uint64_t>,
+                std::span<const size_t> lane_idx) {
+                std::vector<Mapping> todo;
+                todo.reserve(lane_idx.size());
+                for (size_t lane : lane_idx)
+                    todo.push_back(chunk[lane]);
+                return runBatch(todo);
+            });
     }
     return campaign.collectOrFatal();
 }

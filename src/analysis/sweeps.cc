@@ -102,7 +102,11 @@ sweepOnePoint(const AnalysisContext &ctx, const ChipModel &chip,
     } else {
         // Free-running copies drift through every relative
         // alignment over a long measurement; approximate the
-        // sticky-mode union with several random-phase draws.
+        // sticky-mode union with several random-phase draws, run as
+        // lanes of one batched solve. Phases are drawn in exactly the
+        // scalar order (draws outer, cores inner) up front — a run
+        // consumes no RNG, so the stream matches the old
+        // draw-run-draw-run loop and results are bit-identical.
         Rng rng(seed);
         std::array<int, kNumCores> lo{};
         std::array<int, kNumCores> hi{};
@@ -110,15 +114,20 @@ sweepOnePoint(const AnalysisContext &ctx, const ChipModel &chip,
         vmin.fill(1e9);
         bool first = true;
         double period = 1.0 / f;
+        std::vector<std::array<CoreActivity, kNumCores>> draws;
+        draws.reserve(static_cast<size_t>(ctx.unsync_draws));
         for (int d = 0; d < ctx.unsync_draws; ++d) {
-            std::array<CoreActivity, kNumCores> w = {
+            draws.push_back(std::array<CoreActivity, kNumCores>{
                 sm.activity(period * rng.uniform()),
                 sm.activity(period * rng.uniform()),
                 sm.activity(period * rng.uniform()),
                 sm.activity(period * rng.uniform()),
                 sm.activity(period * rng.uniform()),
-                sm.activity(period * rng.uniform())};
-            auto r = chip.run(w, window);
+                sm.activity(period * rng.uniform())});
+        }
+        auto runs = chip.runBatch(draws, window);
+        for (int d = 0; d < ctx.unsync_draws; ++d) {
+            const auto &r = runs[static_cast<size_t>(d)];
             for (int c = 0; c < kNumCores; ++c) {
                 if (first) {
                     lo[c] = r.core[c].min_latch;
@@ -218,9 +227,12 @@ sweepMisalignment(const AnalysisContext &ctx, double freq_hz,
                                        static_cast<double>(m) / 5.0));
             }
 
-            std::array<RunningStats, kNumCores> stats;
+            // All rotations are lanes of one batched solve
+            // (makeActivity is RNG-free, so ordering is immaterial).
+            std::vector<std::array<CoreActivity, kNumCores>> rots;
+            rots.reserve(static_cast<size_t>(rotations));
             for (int rot = 0; rot < rotations; ++rot) {
-                std::array<CoreActivity, kNumCores> w = {
+                rots.push_back(std::array<CoreActivity, kNumCores>{
                     makeActivity(ctx, freq_hz,
                                  offsets[(0 + rot) % kNumCores]),
                     makeActivity(ctx, freq_hz,
@@ -232,11 +244,14 @@ sweepMisalignment(const AnalysisContext &ctx, double freq_hz,
                     makeActivity(ctx, freq_hz,
                                  offsets[(4 + rot) % kNumCores]),
                     makeActivity(ctx, freq_hz,
-                                 offsets[(5 + rot) % kNumCores])};
-                auto r = chip.run(w, windowFor(ctx, freq_hz));
-                for (int c = 0; c < kNumCores; ++c)
-                    stats[c].add(r.core[c].p2p);
+                                 offsets[(5 + rot) % kNumCores])});
             }
+            auto runs = chip.runBatch(rots, windowFor(ctx, freq_hz));
+
+            std::array<RunningStats, kNumCores> stats;
+            for (int rot = 0; rot < rotations; ++rot)
+                for (int c = 0; c < kNumCores; ++c)
+                    stats[c].add(runs[static_cast<size_t>(rot)].core[c].p2p);
             double max_avg = 0.0;
             for (int c = 0; c < kNumCores; ++c) {
                 point.avg_p2p[c] = stats[c].mean();

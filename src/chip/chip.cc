@@ -58,6 +58,11 @@ ChipModel::ChipModel(ChipConfig config)
     supply_ = pdn_config.vnom * (1.0 - config_.bias);
     pdn_config.vnom = supply_;
     pdn_ = buildZec12Pdn(pdn_config);
+
+    // One LU factorization per (netlist content, dt), interned in the
+    // process-wide cache and shared read-only by every run of this
+    // model — scalar or batched, serial or across worker threads.
+    fact_ = FactorizationCache::global().get(pdn_.netlist, config_.dt);
 }
 
 CoreActivity
@@ -91,7 +96,7 @@ ChipModel::run(const std::array<CoreActivity, kNumCores> &workloads,
         kNumSharedUnits, Skitter(config_.skitter));
     std::array<RunningStats, kNumSharedUnits> shared_vstats;
 
-    TransientSolver sim(pdn_.netlist, config_.dt);
+    TransientSolver sim(fact_);
 
     std::vector<double> currents(pdn_.portCount(), 0.0);
     auto fill_currents = [&](bool advance) {
@@ -181,6 +186,166 @@ ChipModel::run(const std::array<CoreActivity, kNumCores> &workloads,
     }
     result.avg_power_watts = meter.averageWatts();
     return result;
+}
+
+std::vector<ChipRunResult>
+ChipModel::runBatch(
+    std::span<const std::array<CoreActivity, kNumCores>> workloads,
+    double duration, const RunOptions &options) const
+{
+    if (duration <= 0.0)
+        fatal("ChipModel::runBatch(): duration must be > 0");
+    const size_t lanes = workloads.size();
+    if (lanes == 0)
+        return {};
+
+    std::vector<std::array<CoreActivity, kNumCores>> activity(
+        workloads.begin(), workloads.end());
+
+    // Per-lane measurement state, mirroring run() exactly. Lanes never
+    // mix arithmetically: each samples its own voltages into its own
+    // skitters/stats/meter, so lane results are bit-identical to a
+    // scalar run of the same workloads.
+    struct LaneState
+    {
+        std::vector<Skitter> skitters;
+        std::vector<Skitter> shared_skitters;
+        std::array<RunningStats, kNumCores> vstats;
+        std::array<RunningStats, kNumSharedUnits> shared_vstats;
+        PowerMeter meter;
+        bool active = true;
+    };
+    std::vector<LaneState> lane_state(lanes);
+    for (auto &ls : lane_state) {
+        ls.skitters.reserve(kNumCores);
+        for (int c = 0; c < kNumCores; ++c) {
+            SkitterParams sp = config_.skitter;
+            sp.gain *= config_.variation.core[c].skitter_gain_scale;
+            ls.skitters.emplace_back(sp);
+        }
+        ls.shared_skitters.assign(kNumSharedUnits,
+                                  Skitter(config_.skitter));
+    }
+
+    const std::array<NodeId, kNumSharedUnits> shared_nodes = {
+        pdn_.l3_node, pdn_.mcu_node, pdn_.gx_node};
+
+    BatchedTransientSolver sim(fact_, lanes);
+
+    const size_t num_ports = pdn_.portCount();
+    std::vector<double> currents(num_ports * lanes, 0.0);
+    auto fill_currents = [&](bool advance) {
+        for (size_t k = 0; k < lanes; ++k) {
+            double *lane_currents = &currents[k * num_ports];
+            for (int c = 0; c < kNumCores; ++c) {
+                double power = advance
+                                   ? activity[k][c].advance(config_.dt)
+                                   : activity[k][c].currentPower();
+                lane_currents[pdn_.core_port[c]] =
+                    power * config_.power_unit_amps *
+                    config_.variation.core[c].power_scale;
+            }
+            lane_currents[pdn_.l3_port] = config_.nest_amps;
+            lane_currents[pdn_.mcu_port] = config_.mcu_amps;
+            lane_currents[pdn_.gx_port] = config_.gx_amps;
+        }
+    };
+
+    fill_currents(false);
+    sim.initDcOperatingPoint(currents);
+
+    std::vector<ChipRunResult> results(lanes);
+    for (auto &r : results) {
+        r.duration = duration;
+        if (options.capture_traces) {
+            r.traces.assign(
+                kNumCores,
+                Waveform(config_.dt *
+                         static_cast<double>(options.trace_decimation)));
+        }
+    }
+
+    unsigned trace_phase = 0;
+    size_t active_lanes = lanes;
+
+    const auto steps =
+        static_cast<uint64_t>(std::ceil(duration / config_.dt));
+    for (uint64_t step = 0; step < steps; ++step) {
+        fill_currents(true);
+        sim.step(currents);
+        double t = sim.time();
+
+        for (size_t k = 0; k < lanes; ++k) {
+            LaneState &ls = lane_state[k];
+            if (!ls.active)
+                continue;
+            ChipRunResult &result = results[k];
+
+            for (int c = 0; c < kNumCores; ++c) {
+                double v = sim.nodeVoltage(k, pdn_.core_node[c]);
+                if (t >= options.warmup) {
+                    ls.skitters[c].sample(v);
+                    ls.vstats[c].add(v);
+                }
+                if (!result.failed && critpath_.violates(v)) {
+                    result.failed = true;
+                    result.failure_time = t;
+                    result.failing_core = c;
+                }
+                if (options.capture_traces && trace_phase == 0)
+                    result.traces[c].push(v);
+            }
+
+            if (t >= options.warmup) {
+                for (int u = 0; u < kNumSharedUnits; ++u) {
+                    double v = sim.nodeVoltage(k, shared_nodes[u]);
+                    ls.shared_skitters[u].sample(v);
+                    ls.shared_vstats[u].add(v);
+                }
+            }
+
+            ls.meter.sample(supply_, std::fabs(sim.sourceCurrent(k, 0)));
+
+            // A scalar run would break out of its step loop here; the
+            // batch freezes this lane's sampling instead (its result
+            // fields are already final) and keeps stepping the rest.
+            if (result.failed && options.stop_on_failure) {
+                ls.active = false;
+                --active_lanes;
+            }
+        }
+
+        if (options.capture_traces &&
+            ++trace_phase == options.trace_decimation) {
+            trace_phase = 0;
+        }
+
+        if (active_lanes == 0)
+            break;
+    }
+
+    for (size_t k = 0; k < lanes; ++k) {
+        LaneState &ls = lane_state[k];
+        ChipRunResult &result = results[k];
+        for (int c = 0; c < kNumCores; ++c) {
+            result.core[c].p2p = ls.skitters[c].percentP2p();
+            result.core[c].min_latch = ls.skitters[c].minPosition();
+            result.core[c].max_latch = ls.skitters[c].maxPosition();
+            result.core[c].v_min = ls.vstats[c].min();
+            result.core[c].v_max = ls.vstats[c].max();
+            result.core[c].v_mean = ls.vstats[c].mean();
+        }
+        for (int u = 0; u < kNumSharedUnits; ++u) {
+            result.shared[u].p2p = ls.shared_skitters[u].percentP2p();
+            result.shared[u].min_latch = ls.shared_skitters[u].minPosition();
+            result.shared[u].max_latch = ls.shared_skitters[u].maxPosition();
+            result.shared[u].v_min = ls.shared_vstats[u].min();
+            result.shared[u].v_max = ls.shared_vstats[u].max();
+            result.shared[u].v_mean = ls.shared_vstats[u].mean();
+        }
+        result.avg_power_watts = ls.meter.averageWatts();
+    }
+    return results;
 }
 
 } // namespace vn

@@ -14,11 +14,14 @@
 #define VN_CHIP_CHIP_HH
 
 #include <array>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "chip/activity.hh"
 #include "chip/variation.hh"
+#include "circuit/batched.hh"
 #include "circuit/transient.hh"
 #include "circuit/waveform.hh"
 #include "measure/critpath.hh"
@@ -139,7 +142,28 @@ class ChipModel
                       double duration,
                       const RunOptions &options = RunOptions{}) const;
 
+    /**
+     * Co-simulate many independent workload sets (lanes) in one pass
+     * over the shared factorization. Result i is bit-identical to
+     * `run(workloads[i], duration, options)` — lanes never mix
+     * arithmetically, so the campaign cache and figure pipelines can
+     * treat batched and scalar runs interchangeably. With
+     * stop_on_failure, a failed lane stops sampling at the same step a
+     * scalar run would have stopped at while the remaining lanes keep
+     * going.
+     */
+    std::vector<ChipRunResult>
+    runBatch(std::span<const std::array<CoreActivity, kNumCores>> workloads,
+             double duration, const RunOptions &options = RunOptions{}) const;
+
     const ChipConfig &config() const { return config_; }
+
+    /** The (netlist, dt) factorization every run of this model shares. */
+    const std::shared_ptr<const Factorization> &
+    factorization() const
+    {
+        return fact_;
+    }
 
     const ChipPdn &pdn() const { return pdn_; }
 
@@ -157,6 +181,7 @@ class ChipModel
     ChipPdn pdn_;
     CriticalPathMonitor critpath_;
     double supply_;
+    std::shared_ptr<const Factorization> fact_;
 };
 
 } // namespace vn

@@ -18,105 +18,40 @@ nodeIndex(NodeId node)
 } // namespace
 
 TransientSolver::TransientSolver(const Netlist &netlist, double dt)
-    : netlist_(netlist), dt_(dt)
+    : TransientSolver(FactorizationCache::global().get(netlist, dt))
 {
-    if (dt <= 0.0)
-        fatal("TransientSolver: dt must be > 0, got ", dt);
+}
 
-    num_nodes_ = netlist_.nodeCount() - 1;
-    num_vsrc_ = netlist_.voltageSources().size();
-    num_ind_ = netlist_.inductors().size();
-    dim_ = num_nodes_ + num_vsrc_ + num_ind_;
-    if (dim_ == 0)
-        fatal("TransientSolver: empty netlist");
-
-    cap_geq_.reserve(netlist_.capacitors().size());
-    for (const auto &c : netlist_.capacitors())
-        cap_geq_.push_back(2.0 * c.farads / dt_);
-    ind_req_.reserve(num_ind_);
-    for (const auto &l : netlist_.inductors())
-        ind_req_.push_back(2.0 * l.henries / dt_);
-
-    cap_voltage_.assign(netlist_.capacitors().size(), 0.0);
-    cap_current_.assign(netlist_.capacitors().size(), 0.0);
-    ind_current_.assign(num_ind_, 0.0);
-    ind_voltage_.assign(num_ind_, 0.0);
-    solution_.assign(dim_, 0.0);
-    rhs_.assign(dim_, 0.0);
-
-    buildSystem();
+TransientSolver::TransientSolver(std::shared_ptr<const Factorization> fact)
+    : fact_(std::move(fact))
+{
+    if (!fact_)
+        fatal("TransientSolver: null factorization");
+    initState();
 }
 
 void
-TransientSolver::buildSystem()
+TransientSolver::initState()
 {
-    Matrix<double> a(dim_, dim_);
-
-    auto stamp_conductance = [&](NodeId na, NodeId nb, double g) {
-        int ia = nodeIndex(na);
-        int ib = nodeIndex(nb);
-        if (ia >= 0)
-            a(ia, ia) += g;
-        if (ib >= 0)
-            a(ib, ib) += g;
-        if (ia >= 0 && ib >= 0) {
-            a(ia, ib) -= g;
-            a(ib, ia) -= g;
-        }
-    };
-
-    for (const auto &r : netlist_.resistors())
-        stamp_conductance(r.a, r.b, 1.0 / r.ohms);
-
-    for (size_t i = 0; i < netlist_.capacitors().size(); ++i) {
-        const auto &c = netlist_.capacitors()[i];
-        stamp_conductance(c.a, c.b, cap_geq_[i]);
-    }
-
-    for (size_t s = 0; s < num_vsrc_; ++s) {
-        const auto &v = netlist_.voltageSources()[s];
-        size_t row = num_nodes_ + s;
-        int ip = nodeIndex(v.pos);
-        int in = nodeIndex(v.neg);
-        if (ip >= 0) {
-            a(row, ip) += 1.0;
-            a(ip, row) += 1.0;
-        }
-        if (in >= 0) {
-            a(row, in) -= 1.0;
-            a(in, row) -= 1.0;
-        }
-    }
-
-    for (size_t m = 0; m < num_ind_; ++m) {
-        const auto &l = netlist_.inductors()[m];
-        size_t row = num_nodes_ + num_vsrc_ + m;
-        int ia = nodeIndex(l.a);
-        int ib = nodeIndex(l.b);
-        // Branch voltage relation: v_a - v_b - Req * i = -Veq.
-        if (ia >= 0) {
-            a(row, ia) += 1.0;
-            a(ia, row) += 1.0; // branch current leaves node a
-        }
-        if (ib >= 0) {
-            a(row, ib) -= 1.0;
-            a(ib, row) -= 1.0;
-        }
-        a(row, row) -= ind_req_[m];
-    }
-
-    lu_.factorize(a);
+    const Netlist &netlist = fact_->netlist();
+    cap_voltage_.assign(netlist.capacitors().size(), 0.0);
+    cap_current_.assign(netlist.capacitors().size(), 0.0);
+    ind_current_.assign(fact_->numInductors(), 0.0);
+    ind_voltage_.assign(fact_->numInductors(), 0.0);
+    solution_.assign(fact_->dim(), 0.0);
+    rhs_.assign(fact_->dim(), 0.0);
 }
 
 void
 TransientSolver::fillPortCurrents(std::span<const double> port_currents,
                                   std::vector<double> &rhs) const
 {
-    if (port_currents.size() != netlist_.ports().size())
-        fatal("TransientSolver: expected ", netlist_.ports().size(),
+    const Netlist &netlist = fact_->netlist();
+    if (port_currents.size() != netlist.ports().size())
+        fatal("TransientSolver: expected ", netlist.ports().size(),
               " port currents, got ", port_currents.size());
     for (size_t p = 0; p < port_currents.size(); ++p) {
-        const auto &port = netlist_.ports()[p];
+        const auto &port = netlist.ports()[p];
         double current = port_currents[p];
         int ifrom = nodeIndex(port.from);
         int ito = nodeIndex(port.to);
@@ -130,64 +65,18 @@ TransientSolver::fillPortCurrents(std::span<const double> port_currents,
 void
 TransientSolver::initDcOperatingPoint(std::span<const double> port_currents)
 {
-    // DC system: capacitors open, inductors behave as 0 V sources (keep
-    // branch-current unknowns so currents through inductive paths are
-    // recovered directly).
-    Matrix<double> a(dim_, dim_);
+    const Netlist &netlist = fact_->netlist();
+    const size_t num_nodes = fact_->numNodes();
+    const size_t num_vsrc = fact_->numVoltageSources();
+    const size_t num_ind = fact_->numInductors();
 
-    auto stamp_conductance = [&](NodeId na, NodeId nb, double g) {
-        int ia = nodeIndex(na);
-        int ib = nodeIndex(nb);
-        if (ia >= 0)
-            a(ia, ia) += g;
-        if (ib >= 0)
-            a(ib, ib) += g;
-        if (ia >= 0 && ib >= 0) {
-            a(ia, ib) -= g;
-            a(ib, ia) -= g;
-        }
-    };
-
-    for (const auto &r : netlist_.resistors())
-        stamp_conductance(r.a, r.b, 1.0 / r.ohms);
-
-    std::vector<double> rhs(dim_, 0.0);
-
-    for (size_t s = 0; s < num_vsrc_; ++s) {
-        const auto &v = netlist_.voltageSources()[s];
-        size_t row = num_nodes_ + s;
-        int ip = nodeIndex(v.pos);
-        int in = nodeIndex(v.neg);
-        if (ip >= 0) {
-            a(row, ip) += 1.0;
-            a(ip, row) += 1.0;
-        }
-        if (in >= 0) {
-            a(row, in) -= 1.0;
-            a(in, row) -= 1.0;
-        }
-        rhs[row] = v.volts;
-    }
-
-    for (size_t m = 0; m < num_ind_; ++m) {
-        const auto &l = netlist_.inductors()[m];
-        size_t row = num_nodes_ + num_vsrc_ + m;
-        int ia = nodeIndex(l.a);
-        int ib = nodeIndex(l.b);
-        if (ia >= 0) {
-            a(row, ia) += 1.0;
-            a(ia, row) += 1.0;
-        }
-        if (ib >= 0) {
-            a(row, ib) -= 1.0;
-            a(ib, row) -= 1.0;
-        }
-    }
+    std::vector<double> rhs(fact_->dim(), 0.0);
+    for (size_t s = 0; s < num_vsrc; ++s)
+        rhs[num_nodes + s] = netlist.voltageSources()[s].volts;
 
     fillPortCurrents(port_currents, rhs);
 
-    LuSolver<double> dc(a);
-    solution_ = dc.solve(rhs);
+    solution_ = fact_->dcLu().solve(rhs);
     time_ = 0.0;
 
     auto node_voltage = [&](NodeId n) {
@@ -195,13 +84,13 @@ TransientSolver::initDcOperatingPoint(std::span<const double> port_currents)
         return idx >= 0 ? solution_[idx] : 0.0;
     };
 
-    for (size_t i = 0; i < netlist_.capacitors().size(); ++i) {
-        const auto &c = netlist_.capacitors()[i];
+    for (size_t i = 0; i < netlist.capacitors().size(); ++i) {
+        const auto &c = netlist.capacitors()[i];
         cap_voltage_[i] = node_voltage(c.a) - node_voltage(c.b);
         cap_current_[i] = 0.0;
     }
-    for (size_t m = 0; m < num_ind_; ++m) {
-        ind_current_[m] = solution_[num_nodes_ + num_vsrc_ + m];
+    for (size_t m = 0; m < num_ind; ++m) {
+        ind_current_[m] = solution_[num_nodes + num_vsrc + m];
         ind_voltage_[m] = 0.0;
     }
 }
@@ -209,13 +98,20 @@ TransientSolver::initDcOperatingPoint(std::span<const double> port_currents)
 void
 TransientSolver::step(std::span<const double> port_currents)
 {
+    const Netlist &netlist = fact_->netlist();
+    const size_t num_nodes = fact_->numNodes();
+    const size_t num_vsrc = fact_->numVoltageSources();
+    const size_t num_ind = fact_->numInductors();
+    const std::span<const double> cap_geq = fact_->capGeq();
+    const std::span<const double> ind_req = fact_->indReq();
+
     std::fill(rhs_.begin(), rhs_.end(), 0.0);
 
     // Capacitor companions: conductance Geq already in the matrix; the
     // history term injects Ieq = Geq*v_n + i_n from b into a.
-    const auto &caps = netlist_.capacitors();
+    const auto &caps = netlist.capacitors();
     for (size_t i = 0; i < caps.size(); ++i) {
-        double ieq = cap_geq_[i] * cap_voltage_[i] + cap_current_[i];
+        double ieq = cap_geq[i] * cap_voltage_[i] + cap_current_[i];
         int ia = nodeIndex(caps[i].a);
         int ib = nodeIndex(caps[i].b);
         if (ia >= 0)
@@ -224,19 +120,19 @@ TransientSolver::step(std::span<const double> port_currents)
             rhs_[ib] -= ieq;
     }
 
-    for (size_t s = 0; s < num_vsrc_; ++s)
-        rhs_[num_nodes_ + s] = netlist_.voltageSources()[s].volts;
+    for (size_t s = 0; s < num_vsrc; ++s)
+        rhs_[num_nodes + s] = netlist.voltageSources()[s].volts;
 
     // Inductor companions: v_a - v_b - Req*i_{n+1} = -(Req*i_n + v_n).
-    for (size_t m = 0; m < num_ind_; ++m) {
-        rhs_[num_nodes_ + num_vsrc_ + m] =
-            -(ind_req_[m] * ind_current_[m] + ind_voltage_[m]);
+    for (size_t m = 0; m < num_ind; ++m) {
+        rhs_[num_nodes + num_vsrc + m] =
+            -(ind_req[m] * ind_current_[m] + ind_voltage_[m]);
     }
 
     fillPortCurrents(port_currents, rhs_);
 
-    lu_.solveInto(rhs_, solution_);
-    time_ += dt_;
+    fact_->transientLu().solveInto(rhs_, solution_);
+    time_ += fact_->dt();
 
     auto node_voltage = [&](NodeId n) {
         int idx = nodeIndex(n);
@@ -245,13 +141,13 @@ TransientSolver::step(std::span<const double> port_currents)
 
     for (size_t i = 0; i < caps.size(); ++i) {
         double v_new = node_voltage(caps[i].a) - node_voltage(caps[i].b);
-        double ieq = cap_geq_[i] * cap_voltage_[i] + cap_current_[i];
-        cap_current_[i] = cap_geq_[i] * v_new - ieq;
+        double ieq = cap_geq[i] * cap_voltage_[i] + cap_current_[i];
+        cap_current_[i] = cap_geq[i] * v_new - ieq;
         cap_voltage_[i] = v_new;
     }
-    for (size_t m = 0; m < num_ind_; ++m) {
-        const auto &l = netlist_.inductors()[m];
-        ind_current_[m] = solution_[num_nodes_ + num_vsrc_ + m];
+    for (size_t m = 0; m < num_ind; ++m) {
+        const auto &l = netlist.inductors()[m];
+        ind_current_[m] = solution_[num_nodes + num_vsrc + m];
         ind_voltage_[m] = node_voltage(l.a) - node_voltage(l.b);
     }
 }
@@ -262,7 +158,7 @@ TransientSolver::nodeVoltage(NodeId node) const
     if (node == Netlist::ground)
         return 0.0;
     int idx = nodeIndex(node);
-    if (idx < 0 || static_cast<size_t>(idx) >= num_nodes_)
+    if (idx < 0 || static_cast<size_t>(idx) >= fact_->numNodes())
         fatal("TransientSolver::nodeVoltage(): bad node ", node);
     return solution_[idx];
 }
@@ -270,7 +166,7 @@ TransientSolver::nodeVoltage(NodeId node) const
 double
 TransientSolver::inductorCurrent(size_t i) const
 {
-    if (i >= num_ind_)
+    if (i >= fact_->numInductors())
         fatal("TransientSolver::inductorCurrent(): bad index ", i);
     return ind_current_[i];
 }
@@ -278,9 +174,9 @@ TransientSolver::inductorCurrent(size_t i) const
 double
 TransientSolver::sourceCurrent(size_t i) const
 {
-    if (i >= num_vsrc_)
+    if (i >= fact_->numVoltageSources())
         fatal("TransientSolver::sourceCurrent(): bad index ", i);
-    return solution_[num_nodes_ + i];
+    return solution_[fact_->numNodes() + i];
 }
 
 } // namespace vn

@@ -3,11 +3,15 @@
  * Time-domain simulation of a Netlist via modified nodal analysis with
  * trapezoidal companion models.
  *
- * The system matrix depends only on the netlist and the time step, so it
- * is LU-factorized once; each step rebuilds the right-hand side from the
- * reactive-element state and the externally supplied port currents and
- * performs a single forward/back substitution. This makes million-step
- * noise co-simulations cheap.
+ * The system matrix depends only on the netlist and the time step, so
+ * it is LU-factorized once — in a shared `Factorization` interned by
+ * the process-wide `FactorizationCache`, so a campaign of thousands of
+ * jobs over one chip config factorizes once, not once per job. Each
+ * step rebuilds the right-hand side from the reactive-element state
+ * and the externally supplied port currents and performs a single
+ * forward/back substitution. This makes million-step noise
+ * co-simulations cheap; `BatchedTransientSolver` (batched.hh) amortizes
+ * the substitution itself over K stimuli.
  *
  * Unknown ordering: node voltages (ground excluded), then voltage-source
  * branch currents, then inductor branch currents.
@@ -16,9 +20,11 @@
 #ifndef VN_CIRCUIT_TRANSIENT_HH
 #define VN_CIRCUIT_TRANSIENT_HH
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "circuit/factorization.hh"
 #include "circuit/netlist.hh"
 #include "util/matrix.hh"
 
@@ -32,12 +38,21 @@ class TransientSolver
 {
   public:
     /**
-     * Build the solver for a netlist at the given step size.
+     * Build the solver for a netlist at the given step size. The
+     * factorization is fetched from (or added to) the process-wide
+     * FactorizationCache, so constructing many solvers for the same
+     * (netlist, dt) is cheap and they share one read-only LU.
      *
-     * @param netlist network to simulate (must outlive the solver)
+     * @param netlist network to simulate
      * @param dt      integration step in seconds (> 0)
      */
     TransientSolver(const Netlist &netlist, double dt);
+
+    /**
+     * Build the solver on an explicitly shared factorization (e.g. one
+     * the campaign engine fetched once and handed to every job).
+     */
+    explicit TransientSolver(std::shared_ptr<const Factorization> fact);
 
     /**
      * Initialize all states from the DC operating point with the given
@@ -58,7 +73,14 @@ class TransientSolver
     double time() const { return time_; }
 
     /** Integration step. */
-    double dt() const { return dt_; }
+    double dt() const { return fact_->dt(); }
+
+    /** The shared factorization this solver runs on. */
+    const std::shared_ptr<const Factorization> &
+    factorization() const
+    {
+        return fact_;
+    }
 
     /** Voltage of a node at the current time. */
     double nodeVoltage(NodeId node) const;
@@ -70,20 +92,12 @@ class TransientSolver
     double sourceCurrent(size_t i) const;
 
   private:
-    void buildSystem();
+    void initState();
     void fillPortCurrents(std::span<const double> port_currents,
                           std::vector<double> &rhs) const;
 
-    const Netlist &netlist_;
-    double dt_;
+    std::shared_ptr<const Factorization> fact_;
     double time_ = 0.0;
-
-    size_t num_nodes_;   //!< non-ground node count
-    size_t num_vsrc_;
-    size_t num_ind_;
-    size_t dim_;
-
-    LuSolver<double> lu_;
 
     // Solution vector of the latest step: node voltages, vsource branch
     // currents, inductor branch currents.
@@ -97,10 +111,6 @@ class TransientSolver
 
     // Scratch buffers.
     std::vector<double> rhs_;
-
-    // Precomputed companion conductances.
-    std::vector<double> cap_geq_; //!< 2C/dt per capacitor
-    std::vector<double> ind_req_; //!< 2L/dt per inductor
 };
 
 } // namespace vn

@@ -14,6 +14,7 @@ CampaignStats::add(const CampaignStats &other)
     executed += other.executed;
     retries += other.retries;
     failures += other.failures;
+    lane_batches += other.lane_batches;
     steals += other.steals;
     threads = std::max(threads, other.threads);
 }
@@ -26,6 +27,9 @@ CampaignStats::summary() const
         << " run on " << threads
         << (threads == 1 ? " thread" : " threads") << " (" << steals
         << (steals == 1 ? " steal" : " steals") << ")";
+    if (lane_batches > 0)
+        oss << ", " << lane_batches
+            << (lane_batches == 1 ? " lane batch" : " lane batches");
     if (retries > 0)
         oss << ", " << retries << (retries == 1 ? " retry" : " retries");
     if (failures > 0)

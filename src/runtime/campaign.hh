@@ -19,6 +19,12 @@
  *     `max_attempts` total tries, then recorded as a structured
  *     failure without sinking the rest of the campaign.
  *
+ * Jobs can also be queued as *lane batches* (submitBatch): one worker
+ * advances K same-topology runs through a shared LU factorization at
+ * once (circuit/batched.hh). Every lane keeps its own key, derived
+ * seed and cache entry, so batching changes throughput only — results
+ * and cache identity are bit-identical to scalar submission.
+ *
  * Counters (cache hits/misses, steals, retries, failures) accumulate
  * into a CampaignStats that harnesses print alongside their tables.
  */
@@ -30,6 +36,8 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,6 +62,15 @@ struct CampaignOptions
 
     /** Total tries per job (first attempt + retries). */
     int max_attempts = 2;
+
+    /**
+     * Stimulus lanes per batch job for harnesses that use
+     * submitBatch() — how many same-topology runs a worker advances
+     * through one shared LU factorization at a time. 1 disables
+     * batching (the scalar reference path). Results are bit-identical
+     * for every value; this is purely a throughput knob.
+     */
+    int lanes = 8;
 
     /**
      * Borrowed long-lived pool to run on instead of constructing a
@@ -89,6 +106,7 @@ struct CampaignStats
     size_t executed = 0; //!< jobs actually run (cache misses)
     size_t retries = 0;
     size_t failures = 0;
+    size_t lane_batches = 0; //!< multi-lane batch jobs executed
     uint64_t steals = 0;
     int threads = 1; //!< largest pool that contributed
 
@@ -113,6 +131,15 @@ class Campaign
   public:
     /** Compute one result; `seed` is the job's derived RNG seed. */
     using JobFn = std::function<Result(uint64_t seed)>;
+    /**
+     * Compute several results in one call. `seeds[i]` is the derived
+     * RNG seed of batch lane `lanes[i]` (an index into the keys passed
+     * to submitBatch); the function must return seeds.size() results
+     * in the same order. Only cache-miss lanes are passed in, so a
+     * partially cached batch recomputes exactly the missing lanes.
+     */
+    using BatchFn = std::function<std::vector<Result>(
+        std::span<const uint64_t> seeds, std::span<const size_t> lanes)>;
     /** Serialize a result into numeric key/value pairs. */
     using EncodeFn = std::function<void(const Result &, KeyValueFile &)>;
     /** Rebuild a result from its serialized form. */
@@ -132,6 +159,8 @@ class Campaign
             fatal("Campaign: jobs must be >= 1");
         if (options_.max_attempts < 1)
             fatal("Campaign: max_attempts must be >= 1");
+        if (options_.lanes < 1)
+            fatal("Campaign: lanes must be >= 1");
     }
 
     /** Install the result codec; required for caching. */
@@ -146,7 +175,37 @@ class Campaign
     void
     submit(std::string key, JobFn fn)
     {
-        pending_.push_back({std::move(key), std::move(fn)});
+        // A scalar job is a one-lane batch; both paths share the
+        // cache/retry/failure machinery in runJob().
+        std::vector<std::string> keys;
+        keys.push_back(std::move(key));
+        submitBatch(std::move(keys),
+                    [fn = std::move(fn)](std::span<const uint64_t> seeds,
+                                         std::span<const size_t>) {
+                        std::vector<Result> out;
+                        out.reserve(seeds.size());
+                        for (uint64_t s : seeds)
+                            out.push_back(fn(s));
+                        return out;
+                    });
+    }
+
+    /**
+     * Queue one batch job covering keys.size() lanes. Each lane keeps
+     * its own key, derived seed, cache entry and failure slot —
+     * batching changes scheduling granularity, never results or cache
+     * identity. A throwing batch is retried whole (cache-miss lanes
+     * only) and, once attempts are exhausted, fails every lane it was
+     * computing.
+     */
+    void
+    submitBatch(std::vector<std::string> keys, BatchFn fn)
+    {
+        if (keys.empty())
+            fatal("Campaign::submitBatch(): empty key list");
+        size_t base = next_index_;
+        next_index_ += keys.size();
+        pending_.push_back({std::move(keys), std::move(fn), base});
     }
 
     /**
@@ -159,10 +218,12 @@ class Campaign
     {
         std::vector<Job> jobs = std::move(pending_);
         pending_.clear();
+        const size_t total = next_index_;
+        next_index_ = 0;
 
-        std::vector<std::optional<Result>> results(jobs.size());
+        std::vector<std::optional<Result>> results(total);
         stats_ = CampaignStats{};
-        stats_.jobs = jobs.size();
+        stats_.jobs = total;
         failures_.clear();
 
         std::optional<ResultCache> cache;
@@ -179,7 +240,7 @@ class Campaign
             uint64_t steals_before = pool->steals();
             for (size_t i = 0; i < jobs.size(); ++i) {
                 pool->submit([this, &jobs, &results, &cache, i] {
-                    runJob(jobs[i], i, results[i], cache);
+                    runJob(jobs[i], results, cache);
                 });
             }
             pool->wait();
@@ -226,40 +287,72 @@ class Campaign
   private:
     struct Job
     {
-        std::string key;
-        JobFn fn;
+        std::vector<std::string> keys;
+        BatchFn fn;
+        size_t base = 0; //!< submission index of keys[0]
     };
 
     void
-    runJob(const Job &job, size_t index, std::optional<Result> &slot,
+    runJob(const Job &job, std::vector<std::optional<Result>> &results,
            std::optional<ResultCache> &cache)
     {
-        uint64_t cache_key = 0;
-        if (cache) {
-            cache_key = ResultCache::keyFor(scope_, job.key);
-            if (auto entry = cache->load(cache_key)) {
-                slot = decode_(*entry);
-                std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.cache_hits;
-                return;
-            }
-        }
+        const size_t n = job.keys.size();
 
-        uint64_t seed = deriveSeed(seed_, job.key);
+        // Per-lane cache probe; only the misses get computed.
+        std::vector<uint64_t> cache_keys(n, 0);
+        std::vector<size_t> missing;
+        missing.reserve(n);
+        size_t hits = 0;
+        for (size_t lane = 0; lane < n; ++lane) {
+            if (cache) {
+                cache_keys[lane] =
+                    ResultCache::keyFor(scope_, job.keys[lane]);
+                if (auto entry = cache->load(cache_keys[lane])) {
+                    results[job.base + lane] = decode_(*entry);
+                    ++hits;
+                    continue;
+                }
+            }
+            missing.push_back(lane);
+        }
+        if (hits > 0) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stats_.cache_hits += hits;
+        }
+        if (missing.empty())
+            return;
+
+        // Seeds derive from (campaign seed, lane key) exactly as for
+        // scalar jobs, so a batched campaign is bit-identical to a
+        // serial one job at a time.
+        std::vector<uint64_t> seeds;
+        seeds.reserve(missing.size());
+        for (size_t lane : missing)
+            seeds.push_back(deriveSeed(seed_, job.keys[lane]));
+
         std::string error;
         for (int attempt = 1; attempt <= options_.max_attempts;
              ++attempt) {
             try {
-                Result r = job.fn(seed);
-                if (cache) {
-                    KeyValueFile entry;
-                    encode_(r, entry);
-                    cache->store(cache_key, entry);
+                std::vector<Result> out = job.fn(seeds, missing);
+                if (out.size() != missing.size())
+                    throw std::runtime_error(
+                        "batch returned " + std::to_string(out.size()) +
+                        " results for " + std::to_string(missing.size()) +
+                        " lanes");
+                for (size_t m = 0; m < missing.size(); ++m) {
+                    if (cache) {
+                        KeyValueFile entry;
+                        encode_(out[m], entry);
+                        cache->store(cache_keys[missing[m]], entry);
+                    }
+                    results[job.base + missing[m]] = std::move(out[m]);
                 }
-                slot = std::move(r);
                 std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.executed;
+                stats_.executed += missing.size();
                 stats_.retries += static_cast<size_t>(attempt - 1);
+                if (missing.size() > 1)
+                    ++stats_.lane_batches;
                 return;
             } catch (const std::exception &e) {
                 error = e.what();
@@ -269,12 +362,14 @@ class Campaign
         }
 
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.executed;
+        stats_.executed += missing.size();
         stats_.retries +=
             static_cast<size_t>(options_.max_attempts - 1);
-        ++stats_.failures;
-        failures_.push_back(
-            {index, job.key, error, options_.max_attempts});
+        stats_.failures += missing.size();
+        for (size_t lane : missing) {
+            failures_.push_back({job.base + lane, job.keys[lane], error,
+                                 options_.max_attempts});
+        }
     }
 
     CampaignOptions options_;
@@ -284,6 +379,7 @@ class Campaign
     DecodeFn decode_;
 
     std::vector<Job> pending_;
+    size_t next_index_ = 0; //!< submission index of the next lane
     std::mutex mutex_; //!< guards stats_ and failures_ during collect
     CampaignStats stats_;
     std::vector<JobFailure> failures_;

@@ -181,18 +181,27 @@ SequenceSearch::run(const std::vector<EpiEntry> &profile) const
     };
 
     // Stage: IPC filter. Keep the `ipc_filter_keep` fastest sequences.
+    // This is the widest stage (tens of thousands of survivors), so it
+    // fans out over the pool like the power stage below; results land
+    // at their survivor index, keeping the ranking input — and thus
+    // the chosen sequences — identical for any thread count.
     struct Scored
     {
         uint64_t code;
         double score;
     };
-    std::vector<Scored> scored;
-    scored.reserve(survivors.size());
-    for (uint64_t code : survivors) {
-        Program p = decode(code);
-        RunResult r = core_.run(p, params_.ipc_eval_instrs,
-                                params_.ipc_eval_instrs * 40);
-        scored.push_back({code, r.ipc()});
+    std::vector<Scored> scored(survivors.size());
+    {
+        runtime::Pool pool(params_.jobs);
+        for (size_t i = 0; i < survivors.size(); ++i) {
+            pool.submit([this, &survivors, &scored, &decode, i] {
+                Program p = decode(survivors[i]);
+                RunResult r = core_.run(p, params_.ipc_eval_instrs,
+                                        params_.ipc_eval_instrs * 40);
+                scored[i] = {survivors[i], r.ipc()};
+            });
+        }
+        pool.wait();
     }
     size_t keep = std::min(params_.ipc_filter_keep, scored.size());
     std::nth_element(scored.begin(),

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lane-batched LU substitution kernel (double field).
+ *
+ * The batched transient solver advances K same-topology stimuli as SoA
+ * lanes and back-substitutes all K right-hand sides through one shared
+ * factorization per step. This kernel is why that pays off: lanes are
+ * processed in chunks whose trip count is a compile-time constant, so
+ * the per-row running sums live in vector registers for the whole
+ * substitution loop — the widened equivalent of the scalar solveInto()
+ * `sum` variable — instead of bouncing through a store-to-load forward
+ * on every j iteration.
+ *
+ * Bit-identity contract: per lane this performs *exactly* the scalar
+ * solveInto() operation sequence — same j order, no zero skips, one
+ * multiply and one subtract per (i, j), one divide per row. Chunking
+ * groups lanes; it never reorders or reassociates a lane's arithmetic.
+ * On x86-64 an AVX2 clone is dispatched at runtime; AVX2 vmulpd /
+ * vsubpd / vdivpd are elementwise IEEE-identical to their scalar
+ * counterparts, and FMA contraction is impossible because the fma ISA
+ * bit is never enabled for either clone.
+ */
+
+#include <cstddef>
+
+namespace vn::detail
+{
+
+namespace
+{
+
+/**
+ * Substitute one chunk of KN lanes starting at lane offset k0. KN is a
+ * compile-time constant so `acc` is fully scalarized into registers.
+ */
+template <size_t KN>
+[[gnu::always_inline]] inline void
+solveChunk(const double *lu, const size_t *perm, size_t n,
+           const double *b, size_t lanes, size_t k0, double *x)
+{
+    double acc[KN];
+    // Apply permutation and forward-substitute L (unit diagonal).
+    for (size_t i = 0; i < n; ++i) {
+        const double *bp = b + perm[i] * lanes + k0;
+        for (size_t k = 0; k < KN; ++k)
+            acc[k] = bp[k];
+        const double *row = lu + i * n;
+        for (size_t j = 0; j < i; ++j) {
+            const double factor = row[j];
+            const double *xj = x + j * lanes + k0;
+            for (size_t k = 0; k < KN; ++k)
+                acc[k] -= factor * xj[k];
+        }
+        double *xi = x + i * lanes + k0;
+        for (size_t k = 0; k < KN; ++k)
+            xi[k] = acc[k];
+    }
+    // Back-substitute U.
+    for (size_t ii = n; ii-- > 0;) {
+        double *xi = x + ii * lanes + k0;
+        for (size_t k = 0; k < KN; ++k)
+            acc[k] = xi[k];
+        const double *row = lu + ii * n;
+        for (size_t j = ii + 1; j < n; ++j) {
+            const double factor = row[j];
+            const double *xj = x + j * lanes + k0;
+            for (size_t k = 0; k < KN; ++k)
+                acc[k] -= factor * xj[k];
+        }
+        const double diag = row[ii];
+        for (size_t k = 0; k < KN; ++k)
+            xi[k] = acc[k] / diag;
+    }
+}
+
+/** Full-width chunks of 8 lanes, then one constant-width remainder. */
+[[gnu::always_inline]] inline void
+solveAll(const double *lu, const size_t *perm, size_t n, const double *b,
+         size_t lanes, double *x)
+{
+    size_t k0 = 0;
+    for (; k0 + 8 <= lanes; k0 += 8)
+        solveChunk<8>(lu, perm, n, b, lanes, k0, x);
+    switch (lanes - k0) {
+    case 1: solveChunk<1>(lu, perm, n, b, lanes, k0, x); break;
+    case 2: solveChunk<2>(lu, perm, n, b, lanes, k0, x); break;
+    case 3: solveChunk<3>(lu, perm, n, b, lanes, k0, x); break;
+    case 4: solveChunk<4>(lu, perm, n, b, lanes, k0, x); break;
+    case 5: solveChunk<5>(lu, perm, n, b, lanes, k0, x); break;
+    case 6: solveChunk<6>(lu, perm, n, b, lanes, k0, x); break;
+    case 7: solveChunk<7>(lu, perm, n, b, lanes, k0, x); break;
+    default: break;
+    }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VN_LANES_AVX2 1
+
+/**
+ * AVX2 clone (note: avx2 only — never fma, which would contract the
+ * multiply-subtract pairs and break bit-identity with the scalar
+ * path). The always_inline helpers are compiled into this body under
+ * the avx2 target, so the constant-trip lane loops vectorize 4-wide.
+ */
+__attribute__((target("avx2"))) void
+solveAllAvx2(const double *lu, const size_t *perm, size_t n,
+             const double *b, size_t lanes, double *x)
+{
+    solveAll(lu, perm, n, b, lanes, x);
+}
+#endif
+
+} // namespace
+
+void
+solveLanesDouble(const double *lu, const size_t *perm, size_t n,
+                 const double *b, size_t lanes, double *x)
+{
+#ifdef VN_LANES_AVX2
+    static const bool have_avx2 = __builtin_cpu_supports("avx2");
+    if (have_avx2) {
+        solveAllAvx2(lu, perm, n, b, lanes, x);
+        return;
+    }
+#endif
+    solveAll(lu, perm, n, b, lanes, x);
+}
+
+} // namespace vn::detail

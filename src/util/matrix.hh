@@ -13,9 +13,11 @@
 #ifndef VN_UTIL_MATRIX_HH
 #define VN_UTIL_MATRIX_HH
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "util/logging.hh"
@@ -26,6 +28,23 @@ namespace vn
 /** Magnitude used for pivot selection; overloaded for complex. */
 inline double fieldAbs(double x) { return std::fabs(x); }
 inline double fieldAbs(const std::complex<double> &x) { return std::abs(x); }
+
+namespace detail
+{
+
+/**
+ * Lane-batched LU substitution kernel for double (lanes.cc). Performs,
+ * for each of `lanes` SoA right-hand sides, exactly the scalar
+ * solveInto() operation sequence; element (i, k) lives at
+ * `i * lanes + k` in both `b` and `x`. `lu` is the row-major n x n
+ * factorization and `perm` the row permutation. Compiled out of line
+ * so the chunked inner loops get constant trip counts (register
+ * accumulators) and, on x86-64, a runtime-dispatched AVX2 clone.
+ */
+void solveLanesDouble(const double *lu, const size_t *perm, size_t n,
+                      const double *b, size_t lanes, double *x);
+
+} // namespace detail
 
 /**
  * Dense row-major matrix over field T (double or std::complex<double>).
@@ -63,6 +82,9 @@ class Matrix
     {
         std::fill(data_.begin(), data_.end(), T{});
     }
+
+    /** Raw row-major storage (rows() * cols() elements). */
+    const T *data() const { return data_.data(); }
 
   private:
     size_t rows_ = 0;
@@ -176,6 +198,69 @@ class LuSolver
             for (size_t j = ii + 1; j < n_; ++j)
                 sum -= lu_(ii, j) * x[j];
             x[ii] = sum / lu_(ii, ii);
+        }
+    }
+
+    /**
+     * Solve K right-hand sides laid out as SoA lanes: `b` and `x` hold
+     * `size() * lanes` entries where element (i, k) of unknown i and
+     * lane k lives at index `i * lanes + k`.
+     *
+     * Each lane performs *exactly* the scalar solveInto() operation
+     * sequence (same j-loop order, no zero-pivot short cuts), so lane k
+     * of the result is bit-identical to a scalar solve of lane k's
+     * right-hand side. The lane loop is innermost over contiguous
+     * memory, which lets the compiler vectorize and amortizes every
+     * lu_(i, j) load over all lanes — this is the kernel behind the
+     * batched transient solver.
+     */
+    void
+    solveLanesInto(const std::vector<T> &b, size_t lanes,
+                   std::vector<T> &x) const
+    {
+        if (!factorized_)
+            panic("LuSolver::solveLanesInto() before factorize()");
+        if (lanes == 0)
+            fatal("LuSolver::solveLanesInto(): lanes must be >= 1");
+        if (b.size() != n_ * lanes)
+            fatal("LuSolver::solveLanesInto(): rhs size ", b.size(),
+                  " does not match ", n_, " unknowns x ", lanes,
+                  " lanes");
+        x.resize(n_ * lanes);
+        if constexpr (std::is_same_v<T, double>) {
+            // Hot path: out-of-line kernel whose lane chunks have
+            // compile-time trip counts, so the per-row running sums
+            // stay in vector registers across the whole j loop (the
+            // scalar `sum` variable, widened to a lane chunk).
+            detail::solveLanesDouble(lu_.data(), perm_.data(), n_,
+                                     b.data(), lanes, x.data());
+            return;
+        }
+        // Generic field (complex AC analysis): plain lane loop, same
+        // per-lane operation sequence as solveInto().
+        for (size_t i = 0; i < n_; ++i) {
+            const T *bp = &b[perm_[i] * lanes];
+            T *xi = &x[i * lanes];
+            for (size_t k = 0; k < lanes; ++k)
+                xi[k] = bp[k];
+            for (size_t j = 0; j < i; ++j) {
+                const T factor = lu_(i, j);
+                const T *xj = &x[j * lanes];
+                for (size_t k = 0; k < lanes; ++k)
+                    xi[k] -= factor * xj[k];
+            }
+        }
+        for (size_t ii = n_; ii-- > 0;) {
+            T *xi = &x[ii * lanes];
+            for (size_t j = ii + 1; j < n_; ++j) {
+                const T factor = lu_(ii, j);
+                const T *xj = &x[j * lanes];
+                for (size_t k = 0; k < lanes; ++k)
+                    xi[k] -= factor * xj[k];
+            }
+            const T diag = lu_(ii, ii);
+            for (size_t k = 0; k < lanes; ++k)
+                xi[k] /= diag;
         }
     }
 

@@ -40,6 +40,8 @@
 #include "chip/variation.hh"
 #include "chip/vmin.hh"
 #include "circuit/ac.hh"
+#include "circuit/batched.hh"
+#include "circuit/factorization.hh"
 #include "circuit/netlist.hh"
 #include "circuit/transient.hh"
 #include "circuit/waveform.hh"

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -224,6 +226,187 @@ TEST(CampaignTest, StatsSinkAggregatesAcrossCampaigns)
     EXPECT_EQ(sink.executed, 15u);
     EXPECT_EQ(sink.threads, 4);
     EXPECT_FALSE(sink.summary().empty());
+}
+
+/** runCampaign, but submitting the same keys/work as lane batches. */
+std::vector<Point>
+runBatchedCampaign(int jobs, const std::string &cache_dir, int n,
+                   size_t lanes, CampaignStats *sink = nullptr)
+{
+    CampaignOptions options;
+    options.jobs = jobs;
+    options.cache_dir = cache_dir;
+    options.stats_sink = sink;
+    Campaign<Point> campaign(options, 99, "scope window=1e-6");
+    campaign.setCodec(encodePoint, decodePoint);
+    for (int start = 0; start < n; start += static_cast<int>(lanes)) {
+        int count = std::min(static_cast<int>(lanes), n - start);
+        std::vector<std::string> keys;
+        for (int i = start; i < start + count; ++i)
+            keys.push_back("point " + std::to_string(i));
+        campaign.submitBatch(
+            keys, [start](std::span<const uint64_t> seeds,
+                          std::span<const size_t> lane_idx) {
+                std::vector<Point> out;
+                for (size_t m = 0; m < seeds.size(); ++m) {
+                    out.push_back(seededJob(
+                        seeds[m],
+                        start + static_cast<int>(lane_idx[m])));
+                }
+                return out;
+            });
+    }
+    return campaign.collectOrFatal();
+}
+
+TEST(CampaignBatchTest, BatchedRunIsBitIdenticalToScalar)
+{
+    // Same keys, same campaign seed: batch lanes must see exactly the
+    // scalar-derived per-key seeds and land at the same indices.
+    auto scalar = runCampaign(1, "", 41);
+    for (size_t lanes : {1u, 4u, 8u, 16u}) {
+        auto batched = runBatchedCampaign(2, "", 41, lanes);
+        ASSERT_EQ(scalar.size(), batched.size()) << "lanes " << lanes;
+        for (size_t i = 0; i < scalar.size(); ++i) {
+            EXPECT_EQ(scalar[i].value, batched[i].value)
+                << "lanes " << lanes << " at " << i;
+            EXPECT_EQ(scalar[i].noise, batched[i].noise)
+                << "lanes " << lanes << " at " << i;
+        }
+    }
+}
+
+TEST(CampaignBatchTest, BatchAndScalarShareCacheEntries)
+{
+    // A scalar campaign fills the cache; a batched one over the same
+    // keys must be 100% hits (and vice versa) since per-lane keys are
+    // identical.
+    CacheDir dir("batch_share");
+    CampaignStats scalar_stats, batch_stats, back_stats;
+    auto scalar = runCampaign(1, dir.path(), 12, &scalar_stats);
+    auto batched = runBatchedCampaign(2, dir.path(), 12, 5, &batch_stats);
+    EXPECT_EQ(scalar_stats.executed, 12u);
+    EXPECT_EQ(batch_stats.cache_hits, 12u);
+    EXPECT_EQ(batch_stats.executed, 0u);
+    for (size_t i = 0; i < scalar.size(); ++i)
+        EXPECT_EQ(scalar[i].value, batched[i].value) << "at " << i;
+
+    // And a scalar replay over a batch-written cache also hits.
+    CacheDir dir2("batch_write");
+    runBatchedCampaign(1, dir2.path(), 7, 3, nullptr);
+    auto replay = runCampaign(1, dir2.path(), 7, &back_stats);
+    EXPECT_EQ(back_stats.cache_hits, 7u);
+    for (size_t i = 0; i < replay.size(); ++i)
+        EXPECT_EQ(scalar[i].value, replay[i].value) << "at " << i;
+}
+
+TEST(CampaignBatchTest, PartialCacheRecomputesOnlyMissingLanes)
+{
+    CacheDir dir("batch_partial");
+    // Prime the cache with keys 0..5 only.
+    runCampaign(1, dir.path(), 6, nullptr);
+
+    // One 10-lane batch over keys 0..9: 6 hits, 4 computed; the batch
+    // fn must be handed exactly the missing lane indices 6..9.
+    CampaignOptions options;
+    options.cache_dir = dir.path();
+    CampaignStats stats;
+    options.stats_sink = &stats;
+    Campaign<Point> campaign(options, 99, "scope window=1e-6");
+    campaign.setCodec(encodePoint, decodePoint);
+    std::vector<std::string> keys;
+    for (int i = 0; i < 10; ++i)
+        keys.push_back("point " + std::to_string(i));
+    std::vector<size_t> seen;
+    campaign.submitBatch(
+        keys, [&seen](std::span<const uint64_t> seeds,
+                      std::span<const size_t> lane_idx) {
+            seen.assign(lane_idx.begin(), lane_idx.end());
+            std::vector<Point> out;
+            for (size_t m = 0; m < seeds.size(); ++m)
+                out.push_back(seededJob(
+                    seeds[m], static_cast<int>(lane_idx[m])));
+            return out;
+        });
+    auto results = campaign.collectOrFatal();
+
+    EXPECT_EQ(stats.cache_hits, 6u);
+    EXPECT_EQ(stats.executed, 4u);
+    ASSERT_EQ(seen.size(), 4u);
+    for (size_t m = 0; m < seen.size(); ++m)
+        EXPECT_EQ(seen[m], 6u + m);
+
+    auto reference = runCampaign(1, "", 10);
+    for (size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(reference[i].value, results[i].value) << "at " << i;
+}
+
+TEST(CampaignBatchTest, ThrowingBatchFailsExactlyItsLanes)
+{
+    CampaignOptions options;
+    Campaign<Point> campaign(options, 5, "scope");
+    campaign.submitBatch({"a0", "a1"},
+                         [](std::span<const uint64_t> seeds,
+                            std::span<const size_t>) {
+                             return std::vector<Point>(seeds.size());
+                         });
+    campaign.submitBatch({"b0", "b1", "b2"},
+                         [](std::span<const uint64_t>,
+                            std::span<const size_t>)
+                             -> std::vector<Point> {
+                             throw std::runtime_error("lane diverged");
+                         });
+    campaign.submitBatch({"c0"},
+                         [](std::span<const uint64_t> seeds,
+                            std::span<const size_t>) {
+                             return std::vector<Point>(seeds.size());
+                         });
+    auto results = campaign.collect();
+    ASSERT_EQ(results.size(), 6u);
+    for (size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(results[i].has_value(), i < 2 || i == 5) << "at " << i;
+
+    // Lanes 2..4 (the b batch) fail with their own indices and keys.
+    ASSERT_EQ(campaign.failures().size(), 3u);
+    for (size_t m = 0; m < 3; ++m) {
+        EXPECT_EQ(campaign.failures()[m].index, 2u + m);
+        EXPECT_EQ(campaign.failures()[m].key,
+                  "b" + std::to_string(m));
+        EXPECT_EQ(campaign.failures()[m].error, "lane diverged");
+        EXPECT_EQ(campaign.failures()[m].attempts, 2);
+    }
+    EXPECT_EQ(campaign.stats().failures, 3u);
+    EXPECT_EQ(campaign.stats().retries, 1u); // one whole-batch retry
+}
+
+TEST(CampaignBatchTest, WrongResultCountIsContained)
+{
+    CampaignOptions options;
+    options.max_attempts = 1;
+    Campaign<Point> campaign(options, 5, "scope");
+    campaign.submitBatch({"x0", "x1"},
+                         [](std::span<const uint64_t>,
+                            std::span<const size_t>) {
+                             return std::vector<Point>(1); // short!
+                         });
+    auto results = campaign.collect();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].has_value());
+    EXPECT_FALSE(results[1].has_value());
+    ASSERT_EQ(campaign.failures().size(), 2u);
+    EXPECT_NE(campaign.failures()[0].error.find("batch returned"),
+              std::string::npos);
+}
+
+TEST(CampaignBatchTest, LaneBatchCounterCountsMultiLaneJobsOnly)
+{
+    CampaignStats sink;
+    runBatchedCampaign(1, "", 9, 4, &sink); // batches of 4, 4, 1
+    EXPECT_EQ(sink.jobs, 9u);
+    EXPECT_EQ(sink.executed, 9u);
+    EXPECT_EQ(sink.lane_batches, 2u);
+    runCampaign(1, "", 3, &sink); // scalar jobs never count
+    EXPECT_EQ(sink.lane_batches, 2u);
 }
 
 } // namespace
