@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Fleet-layer performance: what the vnoise_router relay hop costs,
+ * measured against the direct single-daemon path of perf_service.
+ *
+ * Topology: four in-process vnoised backends (identical contexts, one
+ * shared campaign cache) behind one in-process router, all over real
+ * loopback sockets. Two path pairs are driven with the same workload:
+ *
+ *  - ping direct vs ping routed: the router answers pings inline, so
+ *    this prices only its frame handling;
+ *  - hot sweep direct vs hot sweep routed: compute requests answered
+ *    from the backends' campaign cache — the routed shape adds the
+ *    full relay (decode, re-encode, ring lookup, pooled forward), an
+ *    unavoidable extra loopback round trip;
+ *  - hot sweep cached: the same hot set through a router with its
+ *    shared result tier enabled, the fleet's designed steady state —
+ *    repeats are answered from the content-addressed cache without
+ *    touching a backend, which is what buys the hot path back.
+ *
+ * Target: < 10% p50 penalty for the cached hot path at 4 backends
+ * (the uncached relay line is reported as the raw hop cost).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "router/router.hh"
+#include "service/resilient.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct LoadResult
+{
+    double seconds = 0.0;
+    size_t requests = 0;
+    std::vector<double> latency_ms;
+
+    double throughput() const
+    {
+        return static_cast<double>(requests) / seconds;
+    }
+
+    double
+    percentile(double p) const
+    {
+        if (latency_ms.empty())
+            return 0.0;
+        std::vector<double> sorted = latency_ms;
+        std::sort(sorted.begin(), sorted.end());
+        double rank = (p / 100.0) *
+                      static_cast<double>(sorted.size() - 1);
+        size_t lo = static_cast<size_t>(std::floor(rank));
+        size_t hi = std::min(lo + 1, sorted.size() - 1);
+        return sorted[lo] +
+               (rank - static_cast<double>(lo)) *
+                   (sorted[hi] - sorted[lo]);
+    }
+};
+
+/** Run `per_client` calls of `fn` from `clients` concurrent threads
+ *  sharing one ResilientClient aimed at `port`. */
+template <typename Fn>
+LoadResult
+drive(int port, int clients, int per_client, Fn fn)
+{
+    vn::service::ResilientClientConfig rconfig;
+    rconfig.port = port;
+    rconfig.pool_size = clients;
+    rconfig.retry.call_deadline_ms = 120000.0; // cold sweeps are slow
+    vn::service::ResilientClient client(rconfig);
+
+    LoadResult result;
+    std::vector<std::vector<double>> latencies(
+        static_cast<size_t>(clients));
+    Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            auto &mine = latencies[static_cast<size_t>(c)];
+            mine.reserve(static_cast<size_t>(per_client));
+            for (int i = 0; i < per_client; ++i) {
+                Clock::time_point t0 = Clock::now();
+                fn(client, c, i);
+                mine.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count());
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    result.seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (auto &l : latencies)
+        result.latency_ms.insert(result.latency_ms.end(), l.begin(),
+                                 l.end());
+    result.requests = result.latency_ms.size();
+    return result;
+}
+
+void
+report(const char *shape, const LoadResult &r)
+{
+    std::printf("%-16s %7zu requests in %6.2f s  %8.1f req/s  "
+                "p50 %7.3f ms  p99 %7.3f ms\n",
+                shape, r.requests, r.seconds, r.throughput(),
+                r.percentile(50.0), r.percentile(99.0));
+}
+
+void
+penalty(const char *shape, const LoadResult &direct,
+        const LoadResult &routed, bool target)
+{
+    double d = direct.percentile(50.0);
+    double pct = d > 0.0
+                     ? 100.0 * (routed.percentile(50.0) - d) / d
+                     : 0.0;
+    std::printf("%-16s relay p50 penalty %+6.1f%%%s\n", shape, pct,
+                target ? "  (target < 10%)" : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vnbench::banner("perf_router",
+                    "vnoise_router relay overhead vs direct vnoised");
+
+    vn::AnalysisContext ctx = vnbench::defaultContext(argc, argv);
+    ctx.window = 8e-6; // solver cost per request, not accuracy, matters
+
+    const int kBackends = 4;
+    const int kClients = 4;
+    const int kKeys = 32; // distinct sweep points in the hot set
+
+    // The direct baseline daemon plus the fleet, all sharing one
+    // campaign cache so "hot" means the same thing on every path.
+    vn::service::ServerConfig sconfig;
+    sconfig.dispatcher.queue_depth = 256;
+    sconfig.dispatcher.max_batch = 64;
+    vn::service::Server direct_server(ctx, sconfig);
+    direct_server.start();
+
+    std::vector<std::unique_ptr<vn::service::Server>> fleet;
+    vn::router::RouterConfig rconfig;
+    for (int i = 0; i < kBackends; ++i) {
+        fleet.push_back(
+            std::make_unique<vn::service::Server>(ctx, sconfig));
+        fleet.back()->start();
+        rconfig.backends.push_back(
+            {"s" + std::to_string(i), fleet.back()->port(), -1});
+    }
+    rconfig.backend_pool_size = kClients;
+    rconfig.health_period_ms = 1000.0;
+    vn::router::RouterConfig cached_config = rconfig;
+    vn::router::Router router(std::move(rconfig));
+    router.start();
+
+    // The same fleet behind a second router with the shared result
+    // tier enabled (the production configuration).
+    cached_config.cache_dir = vn::outputPath("router_cache");
+    vn::router::Router cached_router(std::move(cached_config));
+    cached_router.start();
+    std::printf("direct vnoised on 127.0.0.1:%d; router on "
+                "127.0.0.1:%d over %d backends\n\n",
+                direct_server.port(), router.port(), kBackends);
+
+    auto ping = [](vn::service::ResilientClient &client, int, int) {
+        client.ping();
+    };
+    auto hot = [](vn::service::ResilientClient &client, int c,
+                  int i) {
+        double freq = 1e6 + 1e5 * ((c * 1000 + i) % kKeys);
+        client.sweep(vn::service::SweepRequest{{freq, true}});
+    };
+
+    // Protocol overhead only.
+    LoadResult ping_direct =
+        drive(direct_server.port(), kClients, 500, ping);
+    report("ping direct", ping_direct);
+    LoadResult ping_routed =
+        drive(router.port(), kClients, 500, ping);
+    report("ping routed", ping_routed);
+
+    // Warm the shared campaign cache once (cold sweeps, not timed
+    // against each other), then drive the hot set over both paths.
+    drive(direct_server.port(), kClients, kKeys / kClients, hot);
+    LoadResult hot_direct =
+        drive(direct_server.port(), kClients, 50, hot);
+    report("hot sweep direct", hot_direct);
+    LoadResult hot_routed = drive(router.port(), kClients, 50, hot);
+    report("hot sweep routed", hot_routed);
+
+    // Warm the router's result tier, then drive the designed hot
+    // path: repeats served from the shared cache, no backend hop.
+    drive(cached_router.port(), kClients, kKeys / kClients, hot);
+    LoadResult hot_cached =
+        drive(cached_router.port(), kClients, 50, hot);
+    report("hot sweep cached", hot_cached);
+
+    std::printf("\n");
+    penalty("ping", ping_direct, ping_routed, false);
+    penalty("hot relay", hot_direct, hot_routed, false);
+    penalty("hot cached", hot_direct, hot_cached, true);
+
+    vn::router::RouterCounters counters = router.counters();
+    vn::router::RouterCounters cached = cached_router.counters();
+    std::printf("\nrouter: %llu frames, %llu forwarded, "
+                "%llu rebalanced, %llu hedged (%zu/%d healthy); "
+                "cached router: %llu hits, %llu stores\n",
+                static_cast<unsigned long long>(counters.frames),
+                static_cast<unsigned long long>(counters.forwarded),
+                static_cast<unsigned long long>(counters.rebalanced),
+                static_cast<unsigned long long>(counters.hedged),
+                router.healthyBackends(), kBackends,
+                static_cast<unsigned long long>(cached.cache_hits),
+                static_cast<unsigned long long>(cached.cache_stores));
+
+    cached_router.beginShutdown();
+    cached_router.wait();
+    router.beginShutdown();
+    router.wait();
+    for (auto &server : fleet) {
+        server->beginShutdown();
+        server->wait();
+    }
+    direct_server.beginShutdown();
+    direct_server.wait();
+    vnbench::printCampaignSummary();
+    return 0;
+}

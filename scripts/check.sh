@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, run the full test suite, then build the
 # campaign runtime and serving-stack tests under ThreadSanitizer and
-# run them, replay the lane-batched solver bit-identity suite, and
-# finish with the faultnet determinism replays. This is the gate a
-# change must pass before merging.
+# run them, replay the lane-batched solver bit-identity suite, replay
+# the faultnet determinism suite under two seeds, and finish with the
+# router fleet fault replay. This is the gate a change must pass
+# before merging.
 # (CI additionally runs the serving tests under ASan+UBSan; locally:
 #  cmake --preset asan && cmake --build --preset asan &&
 #  ctest --preset asan.)
@@ -46,6 +47,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_json_fuzz
 # FaultnetE2E acceptance run stays in the default-preset tier.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_resilient \
     --gtest_filter='Resilient.*:Faultnet.*:FaultnetDeterminism.*'
+# The router's control plane: accept loop, health prober, and the
+# per-connection reader threads all touch the backend table; the
+# kit-building forward/E2E suites stay in the default-preset tier.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_router \
+    --gtest_filter='Ring.*:Router.*'
 
 echo "== tier 3: lane-batched solver bit-identity =="
 # The batched transient solver must be byte-identical to the scalar
@@ -59,6 +65,15 @@ echo "== tier 4: faultnet determinism under two seeds =="
 for seed in 17 42; do
     VNOISE_FAULT_SEED="$seed" ./build/tests/test_resilient \
         --gtest_filter='FaultnetDeterminism.*'
+done
+
+echo "== tier 5: router fleet fault replay under two seeds =="
+# A 4-backend fleet with seeded faultnet carnage in front of one
+# backend must absorb every injected fault (slot retries + ring
+# fail-over) and return byte-identical results to the fault-free run.
+for seed in 17 42; do
+    VNOISE_FAULT_SEED="$seed" ./build/tests/test_router \
+        --gtest_filter='RouterFaultReplay.*'
 done
 
 echo "== all checks passed =="

@@ -1,0 +1,152 @@
+#include "router/ring.hh"
+
+#include <algorithm>
+
+#include "runtime/hash.hh"
+#include "util/logging.hh"
+
+namespace vn::router
+{
+
+namespace
+{
+
+/** Ring position of (seed, text): FNV-1a folded through splitmix64 so
+ *  near-identical names land far apart. */
+uint64_t
+ringHash(uint64_t seed, std::string_view text)
+{
+    return runtime::mix64(
+        runtime::fnv1aAppend(runtime::fnv1aAppend(runtime::kFnvOffset,
+                                                  seed),
+                             text));
+}
+
+} // namespace
+
+Ring::Ring(RingConfig config) : config_(config)
+{
+    if (config_.vnodes < 1)
+        fatal("Ring: vnodes must be >= 1");
+}
+
+void
+Ring::add(const std::string &member)
+{
+    if (member.empty())
+        fatal("Ring: empty member name");
+    if (contains(member))
+        fatal("Ring: duplicate member '", member, "'");
+    members_.push_back(member);
+    rebuild();
+}
+
+void
+Ring::remove(const std::string &member)
+{
+    auto it = std::find(members_.begin(), members_.end(), member);
+    if (it == members_.end())
+        return;
+    members_.erase(it);
+    rebuild();
+}
+
+bool
+Ring::contains(const std::string &member) const
+{
+    return std::find(members_.begin(), members_.end(), member) !=
+           members_.end();
+}
+
+void
+Ring::rebuild()
+{
+    points_.clear();
+    points_.reserve(members_.size() *
+                    static_cast<size_t>(config_.vnodes));
+    for (size_t m = 0; m < members_.size(); ++m) {
+        for (int v = 0; v < config_.vnodes; ++v) {
+            // Point hash depends only on (seed, member name, vnode
+            // index) — never on insertion order or the other members —
+            // so adding or removing a member leaves every surviving
+            // point exactly where it was.
+            std::string label =
+                members_[m] + "#" + std::to_string(v);
+            points_.push_back(
+                Point{ringHash(config_.seed, label), m});
+        }
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+uint64_t
+Ring::keyPoint(std::string_view key) const
+{
+    return ringHash(config_.seed, key);
+}
+
+const std::string &
+Ring::ownerOf(std::string_view key) const
+{
+    static const std::string kNone;
+    if (points_.empty())
+        return kNone;
+    uint64_t h = keyPoint(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point &p, uint64_t value) { return p.hash < value; });
+    if (it == points_.end())
+        it = points_.begin(); // wrap past the last point
+    return members_[it->member];
+}
+
+std::vector<std::string>
+Ring::ownersOf(std::string_view key, size_t limit) const
+{
+    std::vector<std::string> owners;
+    if (points_.empty() || limit == 0)
+        return owners;
+    uint64_t h = keyPoint(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point &p, uint64_t value) { return p.hash < value; });
+    size_t start = it == points_.end()
+                       ? 0
+                       : static_cast<size_t>(it - points_.begin());
+    limit = std::min(limit, members_.size());
+    for (size_t step = 0;
+         step < points_.size() && owners.size() < limit; ++step) {
+        const std::string &name =
+            members_[points_[(start + step) % points_.size()].member];
+        if (std::find(owners.begin(), owners.end(), name) ==
+            owners.end())
+            owners.push_back(name);
+    }
+    return owners;
+}
+
+double
+Ring::shareOf(const std::string &member) const
+{
+    auto it = std::find(members_.begin(), members_.end(), member);
+    if (it == members_.end() || points_.empty())
+        return 0.0;
+    size_t index = static_cast<size_t>(it - members_.begin());
+    if (members_.size() == 1)
+        return 1.0;
+    // A point at hash H owns the arc (previous point, H]; sum the arcs
+    // of this member's points. Distances are exact in uint64 (the wrap
+    // subtraction is modular), converted to a fraction at the end.
+    uint64_t owned = 0;
+    for (size_t i = 0; i < points_.size(); ++i) {
+        if (points_[i].member != index)
+            continue;
+        uint64_t prev =
+            points_[(i + points_.size() - 1) % points_.size()].hash;
+        owned += points_[i].hash - prev; // modular: wraps correctly
+    }
+    return static_cast<double>(owned) /
+           18446744073709551616.0; // 2^64
+}
+
+} // namespace vn::router

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Consistent-hash ring with virtual nodes for the vnoise_router.
+ *
+ * Each member (a vnoised backend) owns `vnodes` points on a 64-bit
+ * ring; a key is owned by the member whose point follows the key's
+ * hash clockwise. Virtual nodes make two properties hold that a plain
+ * modulo shard cannot:
+ *
+ *  - *Arc-only rebalance.* Removing a member moves only the keys that
+ *    member owned (each of its arcs falls to the next point's owner);
+ *    every other key keeps its placement, so backend loss invalidates
+ *    only the lost backend's in-flight affinity, not the fleet's.
+ *  - *Even shares.* With enough points per member the arc shares
+ *    concentrate around 1/N, so no backend is a hot shard by
+ *    construction.
+ *
+ * Placement is a pure function of (seed, member names, vnodes): two
+ * routers built with the same configuration route every key
+ * identically, which is what makes a fleet restart (or a second
+ * router instance) placement-transparent. No randomness, no clock.
+ */
+
+#ifndef VN_ROUTER_RING_HH
+#define VN_ROUTER_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vn::router
+{
+
+/** Ring knobs. */
+struct RingConfig
+{
+    /** Points per member; more points = tighter share spread. */
+    int vnodes = 64;
+
+    /**
+     * Folded into every point hash and every key hash. Two rings with
+     * equal (seed, member set, vnodes) place every key identically.
+     */
+    uint64_t seed = 1;
+};
+
+/** The ring; not thread-safe (callers hold their own lock). */
+class Ring
+{
+  public:
+    explicit Ring(RingConfig config = RingConfig{});
+
+    /** Add a member; fatal() on a duplicate or empty name. */
+    void add(const std::string &member);
+
+    /** Remove a member (no-op when absent). Only its arcs remap. */
+    void remove(const std::string &member);
+
+    bool contains(const std::string &member) const;
+    size_t size() const { return members_.size(); }
+    bool empty() const { return members_.empty(); }
+
+    /** Member names in insertion order. */
+    const std::vector<std::string> &members() const { return members_; }
+
+    /**
+     * Owner of `key`; "" when the ring is empty. Stable across
+     * insertion order: placement depends only on the member set.
+     */
+    const std::string &ownerOf(std::string_view key) const;
+
+    /**
+     * Members in fallback order for `key`: the owner first, then each
+     * distinct next member clockwise. Size min(limit, size()).
+     */
+    std::vector<std::string> ownersOf(std::string_view key,
+                                      size_t limit) const;
+
+    /** Fraction of the ring (arc length) owned by `member`; 0 when
+     *  absent. Shares over all members sum to 1. */
+    double shareOf(const std::string &member) const;
+
+    /** The 64-bit ring position of a key (for tests/diagnostics). */
+    uint64_t keyPoint(std::string_view key) const;
+
+  private:
+    struct Point
+    {
+        uint64_t hash;
+        size_t member; //!< index into members_
+
+        bool operator<(const Point &other) const
+        {
+            // Tie-break on the member index so equal hashes (however
+            // unlikely) still order deterministically.
+            return hash != other.hash ? hash < other.hash
+                                      : member < other.member;
+        }
+    };
+
+    void rebuild();
+
+    RingConfig config_;
+    std::vector<std::string> members_;
+    std::vector<Point> points_; //!< sorted by hash
+};
+
+} // namespace vn::router
+
+#endif // VN_ROUTER_RING_HH

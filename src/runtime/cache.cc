@@ -42,10 +42,63 @@ ResultCache::entryPath(uint64_t key) const
     return (std::filesystem::path(dir_) / name).string();
 }
 
+std::string
+ResultCache::blobPath(uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.blob",
+                  static_cast<unsigned long long>(key));
+    return (std::filesystem::path(dir_) / name).string();
+}
+
 std::optional<KeyValueFile>
 ResultCache::load(uint64_t key) const
 {
     return KeyValueFile::tryLoad(entryPath(key));
+}
+
+std::optional<std::string>
+ResultCache::loadText(uint64_t key) const
+{
+    std::FILE *file = std::fopen(blobPath(key).c_str(), "rb");
+    if (!file)
+        return std::nullopt;
+    std::string text;
+    char chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+        text.append(chunk, got);
+    bool bad = std::ferror(file) != 0;
+    std::fclose(file);
+    if (bad)
+        return std::nullopt; // treat a torn read as a miss
+    return text;
+}
+
+void
+ResultCache::storeText(uint64_t key, std::string_view text) const
+{
+    std::string path = blobPath(key);
+    std::string tmp =
+        path + ".tmp" + std::to_string(tmp_counter_.fetch_add(1));
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file) {
+        warn("ResultCache: cannot write '", tmp, "'; result not "
+             "cached");
+        return;
+    }
+    bool ok = text.empty() ||
+              std::fwrite(text.data(), 1, text.size(), file) ==
+                  text.size();
+    ok = std::fclose(file) == 0 && ok;
+    std::error_code ec;
+    if (ok)
+        std::filesystem::rename(tmp, path, ec);
+    if (!ok || ec) {
+        std::filesystem::remove(tmp, ec);
+        warn("ResultCache: cannot publish '", path, "'; result not "
+             "cached");
+    }
 }
 
 void

@@ -54,10 +54,21 @@ class ResultCache
     /** Persist an entry (atomic replace; last writer wins). */
     void store(uint64_t key, const KeyValueFile &entry) const;
 
+    /**
+     * Raw-text variants (".blob" entries) for callers that cache
+     * opaque payloads rather than KeyValueFile snapshots — the router
+     * stores forwarded response JSON verbatim, so a replayed hit is
+     * byte-identical to the backend's original bytes. Same keyFor()
+     * addressing, so a kCodeVersionTag bump drains these too.
+     */
+    std::optional<std::string> loadText(uint64_t key) const;
+    void storeText(uint64_t key, std::string_view text) const;
+
     const std::string &dir() const { return dir_; }
 
   private:
     std::string entryPath(uint64_t key) const;
+    std::string blobPath(uint64_t key) const;
 
     std::string dir_;
     mutable std::atomic<uint64_t> tmp_counter_{0};

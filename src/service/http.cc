@@ -455,7 +455,7 @@ renderPrometheus(const Json &stats, size_t queue_depth,
     return out;
 }
 
-HttpGateway::HttpGateway(Dispatcher &dispatcher,
+HttpGateway::HttpGateway(Dispatcher *dispatcher,
                          MetricsRegistry &metrics, HttpConfig config,
                          Hooks hooks)
     : dispatcher_(dispatcher), metrics_(metrics), config_(config),
@@ -702,7 +702,7 @@ HttpGateway::handleRequest(const HttpRequest &request, bool &close)
                            {{"Allow", "GET"}});
         std::string text = renderPrometheus(
             hooks_.stats_json ? hooks_.stats_json() : Json::object(),
-            dispatcher_.queueDepth(), metrics_);
+            dispatcher_ ? dispatcher_->queueDepth() : 0, metrics_);
         return respond(200,
                        "text/plain; version=0.0.4; charset=utf-8",
                        text);
@@ -722,6 +722,10 @@ HttpGateway::handleRequest(const HttpRequest &request, bool &close)
         return respond(200, "text/plain", "ready\n");
     }
     if (path == "/v1/query") {
+        // Observability-only gateways (the router's) have no compute
+        // path behind them; the route simply does not exist there.
+        if (!dispatcher_)
+            return respond(404, "text/plain", "not found\n");
         if (request.method != "POST")
             return respond(405, "text/plain", "method not allowed\n",
                            {{"Allow", "POST"}});
@@ -824,11 +828,11 @@ HttpGateway::handleQuery(const HttpRequest &request, bool &close)
         std::promise<std::variant<AnyResult, WireError>>>();
     std::future<std::variant<AnyResult, WireError>> future =
         promise->get_future();
-    dispatcher_.submit(std::move(typed), deadline,
-                       [promise](std::variant<AnyResult, WireError>
-                                     outcome) {
-                           promise->set_value(std::move(outcome));
-                       });
+    dispatcher_->submit(std::move(typed), deadline,
+                        [promise](std::variant<AnyResult, WireError>
+                                      outcome) {
+                            promise->set_value(std::move(outcome));
+                        });
     std::variant<AnyResult, WireError> outcome = future.get();
 
     if (std::holds_alternative<AnyResult>(outcome))

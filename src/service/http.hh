@@ -150,7 +150,8 @@ HttpResponse httpRequestForTest(int port, const std::string &raw);
 std::string renderPrometheus(const Json &stats, size_t queue_depth,
                              const MetricsRegistry &metrics);
 
-/** The gateway; owned by Server when ServerConfig::http_port >= 0. */
+/** The gateway; owned by Server when ServerConfig::http_port >= 0,
+ *  and by the router daemon (dispatcher-less) for its own metrics. */
 class HttpGateway
 {
   public:
@@ -164,7 +165,13 @@ class HttpGateway
         std::function<bool()> draining;
     };
 
-    HttpGateway(Dispatcher &dispatcher, MetricsRegistry &metrics,
+    /**
+     * @param dispatcher compute path behind `POST /v1/query`; may be
+     *                   nullptr for observability-only gateways (the
+     *                   router), where /v1/query answers 404 and the
+     *                   queue-depth gauge reads 0
+     */
+    HttpGateway(Dispatcher *dispatcher, MetricsRegistry &metrics,
                 HttpConfig config, Hooks hooks);
 
     /** stop() if still running. */
@@ -197,7 +204,7 @@ class HttpGateway
     std::string handleRequest(const HttpRequest &request, bool &close);
     std::string handleQuery(const HttpRequest &request, bool &close);
 
-    Dispatcher &dispatcher_;
+    Dispatcher *dispatcher_; //!< nullptr: no /v1/query compute path
     MetricsRegistry &metrics_;
     HttpConfig config_;
     Hooks hooks_;

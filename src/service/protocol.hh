@@ -45,6 +45,12 @@ inline constexpr int kDefaultPort = 7411;
 /** Default port of the HTTP/1.1 observability gateway. */
 inline constexpr int kDefaultHttpPort = 7412;
 
+/** Default vnoise_router TCP port (same framed protocol). */
+inline constexpr int kDefaultRouterPort = 7413;
+
+/** Default port of the router's own metrics gateway. */
+inline constexpr int kDefaultRouterHttpPort = 7414;
+
 /** Default cap on one frame's JSON payload. */
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -14,6 +15,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "analysis/campaigns.hh"
+#include "runtime/cache.hh"
+#include "runtime/hash.hh"
 #include "util/logging.hh"
 
 namespace vn::service
@@ -72,6 +76,16 @@ Server::Server(const AnalysisContext &ctx, ServerConfig config)
     // framed `stats` verb and `/metrics` report the same numbers.
     config_.dispatcher.metrics = &metrics_;
     dispatcher_ = std::make_unique<Dispatcher>(ctx, config_.dispatcher);
+
+    // Fingerprint of the campaign scope (chip config + windowing +
+    // seed), announced in the `ping` handshake. A router refuses to
+    // mix backends whose fingerprints disagree: they would compute
+    // different answers for the same request.
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      runtime::fnv1a(analysisScope(ctx))));
+    scope_fingerprint_ = hex;
 }
 
 Server::~Server()
@@ -132,7 +146,7 @@ Server::start()
         HttpConfig http = config_.http;
         http.port = config_.http_port;
         http_ = std::make_unique<HttpGateway>(
-            *dispatcher_, metrics_, http,
+            dispatcher_.get(), metrics_, http,
             HttpGateway::Hooks{
                 [this] { return statsJson(); },
                 [this] { return shutting_down_.load(); },
@@ -441,6 +455,16 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         result.set("pong", Json::boolean(true));
         result.set("protocol",
                    Json::number(static_cast<double>(kProtocolVersion)));
+        // Handshake identity for fleet membership: a router checks
+        // code_version against its own tag (version-skewed backends
+        // are excluded so a deploy drains stale results) and scope
+        // against the fleet consensus (a misconfigured backend would
+        // silently compute different physics).
+        result.set("code_version",
+                   Json::str(std::string(runtime::kCodeVersionTag)));
+        result.set("scope", Json::str(scope_fingerprint_));
+        if (!config_.advertise.empty())
+            result.set("advertise", Json::str(config_.advertise));
         sendJson(*conn, makeOkResponse(id, std::move(result)));
         return true;
     }

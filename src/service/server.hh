@@ -65,6 +65,13 @@ struct ServerConfig
 
     /** Admission / batching knobs. */
     DispatcherConfig dispatcher;
+
+    /**
+     * Optional backend identity announced in the `ping` handshake
+     * (`vnoised --advertise`). A router lists backends by this name in
+     * its ring and metrics; empty means "derive from the port".
+     */
+    std::string advertise;
 };
 
 /** Frame/verb-level error counters (server side of `stats`). */
@@ -136,6 +143,12 @@ class Server
      */
     MetricsRegistry &metricsMutable() { return metrics_; }
 
+    /** Campaign-scope fingerprint announced in the ping handshake. */
+    const std::string &scopeFingerprint() const
+    {
+        return scope_fingerprint_;
+    }
+
     /** Test hook, forwarded to the dispatcher. */
     void pauseForTest(bool paused) { dispatcher_->pauseForTest(paused); }
 
@@ -161,6 +174,7 @@ class Server
     Json statsJson() const;
 
     ServerConfig config_;
+    std::string scope_fingerprint_; //!< hex fnv1a(analysisScope(ctx))
     MetricsRegistry metrics_;
     std::unique_ptr<Dispatcher> dispatcher_;
     std::unique_ptr<HttpGateway> http_;

@@ -369,6 +369,7 @@ cmdServe(const Args &args)
         static_cast<int>(args.number("max-batch", 32));
     config.dispatcher.batch_window_ms =
         static_cast<int>(args.number("batch-window-ms", 0));
+    config.advertise = args.text("advertise", "");
 
     AnalysisContext ctx;
     ctx.chip_config = chipConfig(args);
@@ -434,7 +435,7 @@ cmdQuery(int argc, char **argv)
     std::string verb = argv[2];
     Args args(argc, argv, 3);
     std::string bad = args.unknownKey(
-        {"port", "deadline-ms", "retries", "backoff-ms",
+        {"port", "router", "deadline-ms", "retries", "backoff-ms",
          "call-deadline-ms", "freq", "sync", "events", "bias-step",
          "mapping", "window", "core", "decimation", "intervals",
          "mean-active", "seed"});
@@ -446,6 +447,44 @@ cmdQuery(int argc, char **argv)
 
     int port =
         static_cast<int>(args.number("port", service::kDefaultPort));
+    if (args.has("router")) {
+        // --router HOST:PORT (or a bare port) aims the query at a
+        // vnoise_router instead of a single daemon; the wire protocol
+        // and exit codes are identical. The serving stack is loopback
+        // only, so any HOST other than 127.0.0.1 is refused.
+        if (args.has("port")) {
+            std::fprintf(stderr,
+                         "vnoise_cli query: --port and --router are "
+                         "mutually exclusive\n");
+            return 2;
+        }
+        std::string target = args.text("router", "");
+        std::string host = "127.0.0.1";
+        size_t colon = target.rfind(':');
+        if (colon != std::string::npos) {
+            host = target.substr(0, colon);
+            target = target.substr(colon + 1);
+        }
+        if (host != "127.0.0.1" && host != "localhost") {
+            std::fprintf(stderr,
+                         "vnoise_cli query: --router host must be "
+                         "127.0.0.1 (got '%s')\n",
+                         host.c_str());
+            return 2;
+        }
+        try {
+            size_t used = 0;
+            port = std::stoi(target, &used);
+            if (used != target.size() || port < 1 || port > 65535)
+                throw std::invalid_argument(target);
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "vnoise_cli query: --router expects "
+                         "HOST:PORT, got '%s'\n",
+                         args.text("router", "").c_str());
+            return 2;
+        }
+    }
     int retries = static_cast<int>(args.number("retries", 3));
     if (retries < 0) {
         std::fprintf(stderr,
@@ -553,18 +592,22 @@ usage(std::FILE *out)
         "  map [--workloads K]\n"
         "  spectrum [--freq HZ]\n"
         "  serve [--port N] [--http-port N] [--queue-depth N]\n"
-        "        [--max-batch N]\n"
-        "        [--batch-window-ms N]      run the vnoised daemon\n"
+        "        [--max-batch N] [--batch-window-ms N]\n"
+        "        [--advertise NAME]         run the vnoised daemon\n"
         "        (--http-port: Prometheus /metrics gateway, default "
         "7412;\n"
-        "         0 = ephemeral, negative = disabled)\n"
-        "  query <verb> [--port N] [--deadline-ms N] [--retries N]\n"
+        "         0 = ephemeral, negative = disabled;\n"
+        "         --advertise: backend name announced to vnoise_router)\n"
+        "  query <verb> [--port N | --router HOST:PORT]\n"
+        "        [--deadline-ms N] [--retries N]\n"
         "        [--backoff-ms N] [--call-deadline-ms N] [verb options]\n"
         "        verbs: ping stats shutdown sweep map margin guardband "
         "trace\n"
-        "        (retries with backoff on transient errors; exit codes:\n"
+        "        (--router targets a vnoise_router fleet, default port "
+        "7413;\n"
+        "         retries with backoff on transient errors; exit codes:\n"
         "         0 ok, 1 service error, 2 usage, 3 unreachable,\n"
-        "         4 circuit open)\n"
+        "         4 circuit open — same codes against a router)\n"
         "  --version | --help\n"
         "common: --config PATH  (key=value chip configuration; see\n"
         "        saveChipConfig / docs)\n"
@@ -633,7 +676,7 @@ main(int argc, char **argv)
     if (command == "serve")
         return runChecked(args,
                           {"port", "http-port", "queue-depth",
-                           "max-batch", "batch-window-ms"},
+                           "max-batch", "batch-window-ms", "advertise"},
                           cmdServe);
     if (command == "query")
         return cmdQuery(argc, argv);

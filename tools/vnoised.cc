@@ -29,13 +29,15 @@ usage(std::FILE *out)
         "               [--queue-depth N] [--max-batch N]\n"
         "               [--batch-window-ms N] [--config PATH]\n"
         "               [--cache-dir P] [--no-cache]\n"
-        "               [--version] [--help]\n"
+        "               [--advertise NAME] [--version] [--help]\n"
         "Serves the voltage-noise simulator on 127.0.0.1 (default port "
         "%d).\n"
         "--http-port adds the HTTP/1.1 observability gateway "
         "(default %d;\n"
         "/metrics, /healthz, /readyz, POST /v1/query; 0 = ephemeral,\n"
-        "negative = disabled).\n",
+        "negative = disabled).\n"
+        "--advertise announces NAME in the ping handshake so a\n"
+        "vnoise_router lists this backend under it.\n",
         vn::service::kDefaultPort, vn::service::kDefaultHttpPort);
 }
 
@@ -78,7 +80,8 @@ main(int argc, char **argv)
         static const char *known[] = {"port", "http-port", "jobs",
                                       "queue-depth", "max-batch",
                                       "batch-window-ms", "config",
-                                      "cache-dir", "no-cache"};
+                                      "cache-dir", "no-cache",
+                                      "advertise"};
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;
@@ -113,6 +116,8 @@ main(int argc, char **argv)
         static_cast<int>(number("max-batch", 32));
     config.dispatcher.batch_window_ms =
         static_cast<int>(number("batch-window-ms", 0));
+    if (flags.count("advertise"))
+        config.advertise = flags["advertise"];
 
     vn::AnalysisContext ctx;
     if (flags.count("config"))
@@ -138,6 +143,10 @@ main(int argc, char **argv)
                 "(%d workers, queue depth %d)\n",
                 VN_VERSION, server.port(), server.dispatcher().threads(),
                 config.dispatcher.queue_depth);
+    if (!config.advertise.empty())
+        std::printf("vnoised: advertising as '%s' (scope %s)\n",
+                    config.advertise.c_str(),
+                    server.scopeFingerprint().c_str());
     if (server.httpPort() >= 0)
         std::printf("vnoised: HTTP gateway on 127.0.0.1:%d "
                     "(/metrics, /healthz, /readyz, /v1/query)\n",
