@@ -13,6 +13,13 @@
  *    interval pays,
  *  - query ping: POST /v1/query with a ping body — the JSON envelope
  *    path shared with real compute queries.
+ *
+ * A fourth shape runs against a second, kit-equipped server: the same
+ * >1 MiB trace that perf_service streams as begin/chunk/end frames is
+ * fetched here as one large HTTP body (the gateway has no frame cap),
+ * so the two benches price the two wire paths for the same payload.
+ * The first request computes the campaign; the measured row replays
+ * the result cache, so it prices JSON encode + large-body send.
  */
 
 #include <algorithm>
@@ -207,5 +214,42 @@ main()
 
     server.beginShutdown();
     server.wait();
+
+    // Large-body counterpart of perf_service's streamed-trace rows:
+    // the same 60000-sample undecimated trace (~1.2 MB of JSON) over
+    // the gateway, served as a single HTTP response. Needs the kit,
+    // so it gets its own server; the warm-up request computes the
+    // campaign once and the measured row replays the result cache.
+    vn::AnalysisContext trace_ctx = vnbench::defaultContext();
+    trace_ctx.campaign.cache_dir = vn::defaultCacheDir();
+    vn::service::ServerConfig trace_config;
+    trace_config.port = 0;
+    trace_config.http_port = 0;
+    vn::service::Server trace_server(trace_ctx, trace_config);
+    trace_server.start();
+    int trace_port = trace_server.httpPort();
+
+    const std::string trace_body =
+        "{\"id\":1,\"verb\":\"trace\",\"params\":{\"freq_hz\":2.4e6,"
+        "\"window\":6e-5,\"core\":1,\"decimation\":1}}";
+    const std::string trace_query =
+        "POST /v1/query HTTP/1.1\r\nHost: localhost\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: " +
+        std::to_string(trace_body.size()) + "\r\n\r\n" + trace_body;
+    report("cold trace", drive(trace_port, 1, 1, trace_query, 200));
+    LoadResult hot_trace = drive(trace_port, 2, 25, trace_query, 200);
+    report("hot trace", hot_trace);
+
+    HttpConn probe(trace_port);
+    vn::service::HttpResponse sample = probe.roundTrip(trace_query);
+    std::printf("\nbig trace: %zu-byte body per response "
+                "(single HTTP body; perf_service streams the same "
+                "payload chunked)\n",
+                sample.body.size());
+
+    trace_server.beginShutdown();
+    trace_server.wait();
+    vnbench::printCampaignSummary();
     return 0;
 }

@@ -67,7 +67,8 @@ struct LoadResult
  *  sharing one ResilientClient (pool bound == thread count). */
 template <typename Fn>
 LoadResult
-drive(vn::service::Server &server, int clients, int per_client, Fn fn)
+drive(vn::service::Server &server, int clients, int per_client, Fn fn,
+      bool accept_stream = false)
 {
     vn::service::ResilientClientConfig rconfig;
     rconfig.port = server.port();
@@ -75,6 +76,7 @@ drive(vn::service::Server &server, int clients, int per_client, Fn fn)
     rconfig.retry.call_deadline_ms = 120000.0; // cold sweeps are slow
     rconfig.metrics = &server.metricsMutable();
     vn::service::ResilientClient client(rconfig);
+    client.setAcceptStream(accept_stream);
 
     LoadResult result;
     std::vector<std::vector<double>> latencies(
@@ -160,6 +162,33 @@ main(int argc, char **argv)
             client.sweep(vn::service::SweepRequest{{freq, true}});
         });
     report("hot sweep", hot);
+
+    // Chunked streaming: a 60000-sample undecimated trace encodes to
+    // ~1.2 MB — past the 1 MiB frame cap, so every response travels as
+    // begin/chunk/end frames with checksummed reassembly. The first
+    // run computes the campaign; the repeats replay the result cache,
+    // so the hot row prices the streamed wire path itself.
+    const vn::service::TraceRequest kBigTrace{{2.4e6, 6e-5, 1, 1}};
+    LoadResult cold_trace = drive(
+        server, 1, 1,
+        [&](vn::service::ResilientClient &client, int, int) {
+            client.trace(kBigTrace);
+        },
+        /*accept_stream=*/true);
+    report("cold trace", cold_trace);
+    const int kTraceClients = 4, kTracePerClient = 8;
+    LoadResult hot_trace = drive(
+        server, kTraceClients, kTracePerClient,
+        [&](vn::service::ResilientClient &client, int, int) {
+            client.trace(kBigTrace);
+        },
+        /*accept_stream=*/true);
+    report("hot trace", hot_trace);
+    vn::service::ServerCounters wire = server.serverCounters();
+    std::printf("streaming: %llu streams, %llu chunks "
+                "(~1.2 MB per response, chunked at 256 KiB)\n",
+                static_cast<unsigned long long>(wire.streams),
+                static_cast<unsigned long long>(wire.stream_chunks));
 
     vn::service::ServiceCounters counters =
         server.dispatcher().counters();

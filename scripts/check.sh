@@ -47,6 +47,16 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_json_fuzz
 # FaultnetE2E acceptance run stays in the default-preset tier.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_resilient \
     --gtest_filter='Resilient.*:Faultnet.*:FaultnetDeterminism.*'
+# Streaming's kit-free parts: the frame helpers and the client's
+# reassembly threads against a scripted misbehaving server; the
+# kit-building live-stream suites stay in the default-preset tier.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_stream \
+    --gtest_filter='StreamProtocol.*:Stream.SequencingViolations*'
+# The WFQ itself is lock-free of surprises (the dispatcher serializes
+# it), but its accounting invariants must hold under TSan's memory
+# model too.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_admission \
+    --gtest_filter='Wfq.*'
 # The router's control plane: accept loop, health prober, and the
 # per-connection reader threads all touch the backend table; the
 # kit-building forward/E2E suites stay in the default-preset tier.
@@ -74,6 +84,16 @@ echo "== tier 5: router fleet fault replay under two seeds =="
 for seed in 17 42; do
     VNOISE_FAULT_SEED="$seed" ./build/tests/test_router \
         --gtest_filter='RouterFaultReplay.*'
+done
+
+echo "== tier 6: streamed-trace faultnet replay under two seeds =="
+# A >1 MiB chunked stream severed mid-chunk must surface as exactly
+# one io_error and be absorbed by exactly one resilient retry with
+# byte-identical reassembly — for any backoff seed, not just the
+# default.
+for seed in 17 42; do
+    VNOISE_FAULT_SEED="$seed" ./build/tests/test_stream \
+        --gtest_filter='Stream.MidStreamCut*'
 done
 
 echo "== all checks passed =="

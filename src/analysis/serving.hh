@@ -39,8 +39,10 @@ struct DroopTrace
 };
 
 /** Samples a single trace job may produce (guards the cache and the
- *  wire protocol against absurd window/decimation combinations). */
-inline constexpr size_t kMaxTraceSamples = 20000;
+ *  wire protocol against absurd window/decimation combinations).
+ *  Above ~40k samples the encoded result exceeds the 1 MiB frame cap
+ *  and is served as a chunked stream (protocol.hh). */
+inline constexpr size_t kMaxTraceSamples = 100000;
 
 /**
  * Capture the VDie trace of `spec.core` while every core runs the

@@ -648,14 +648,53 @@ Router::handleFrame(const std::shared_ptr<Connection> &conn,
     // one backend, where they coalesce instead of recomputing.
     std::string routing_key = service::requestKey(typed);
     forward(conn, id, *verb, routing_key,
-            service::encodeRequestParams(typed));
+            service::encodeRequestParams(typed),
+            request.boolOr("accept_stream", false));
     return true;
 }
+
+namespace
+{
+
+/**
+ * StreamSink that relays backend stream frames to a downstream
+ * connection verbatim except for the frame id, which is rewritten
+ * from the upstream request's id to the downstream client's. A failed
+ * downstream write aborts the relay (Client then throws `aborted`,
+ * which is never retried — the downstream is gone either way).
+ */
+class RelaySink : public service::StreamSink
+{
+  public:
+    RelaySink(std::function<bool(const Json &)> writer, Json id)
+        : writer_(std::move(writer)), id_(std::move(id))
+    {}
+
+    bool
+    onStreamFrame(const Json &frame,
+                  service::StreamFrameKind) override
+    {
+        ++frames_;
+        Json out = frame;
+        out.set("id", id_);
+        return writer_(out);
+    }
+
+    uint64_t frames() const { return frames_; }
+
+  private:
+    std::function<bool(const Json &)> writer_;
+    Json id_;
+    uint64_t frames_ = 0;
+};
+
+} // namespace
 
 void
 Router::forward(const std::shared_ptr<Connection> &conn,
                 const Json &id, service::Verb verb,
-                const std::string &routing_key, Json params)
+                const std::string &routing_key, Json params,
+                bool accept_stream)
 {
     // Shared result tier first: a hit needs no backend at all. The key
     // folds in runtime::kCodeVersionTag (via keyFor) and the fleet
@@ -732,10 +771,22 @@ Router::forward(const std::shared_ptr<Connection> &conn,
         ++(counters_.*field);
     };
 
+    // Relay mode: when the client opted in to streaming, backend
+    // stream frames pass straight through with the id rewritten; a
+    // mid-stream backend failure retries/fails over below and the
+    // fresh stream_begin restarts the downstream reassembly.
+    RelaySink sink(
+        [this, &conn](const Json &frame) {
+            return sendJsonChecked(*conn, frame);
+        },
+        id);
+    service::StreamSink *relay = accept_stream ? &sink : nullptr;
+
     Json result;
     Backend *served = nullptr;
     try {
-        result = primary->client->call(service::verbName(verb), params);
+        result = primary->client->call(service::verbName(verb), params,
+                                       relay);
         served = primary;
     } catch (const service::ServiceError &primary_error) {
         if (transportFailure(primary_error.code())) {
@@ -750,7 +801,7 @@ Router::forward(const std::shared_ptr<Connection> &conn,
             bump(&RouterCounters::rebalanced);
             try {
                 result = fallback->client->call(
-                    service::verbName(verb), params);
+                    service::verbName(verb), params, relay);
                 served = fallback;
             } catch (const service::ServiceError &fallback_error) {
                 sendJson(*conn, service::makeErrorResponse(
@@ -762,7 +813,7 @@ Router::forward(const std::shared_ptr<Connection> &conn,
             bump(&RouterCounters::hedged);
             try {
                 result = fallback->client->call(
-                    service::verbName(verb), params);
+                    service::verbName(verb), params, relay);
                 served = fallback;
             } catch (const service::ServiceError &) {
                 // The hedge failing must not rewrite the admission
@@ -779,8 +830,17 @@ Router::forward(const std::shared_ptr<Connection> &conn,
         }
     }
 
+    // A streamed relay already delivered every frame downstream and
+    // returned a null result; there is nothing left to send, and
+    // nothing frame-sized to cache.
+    bool streamed = relay && sink.frames() > 0 && result.isNull();
+
     served->forwarded.fetch_add(1);
     bump(&RouterCounters::forwarded);
+    if (streamed) {
+        bump(&RouterCounters::streamed_relays);
+        return;
+    }
     if (cacheable) {
         cache_->storeText(cache_key, result.dump());
         bump(&RouterCounters::cache_stores);
@@ -791,13 +851,21 @@ Router::forward(const std::shared_ptr<Connection> &conn,
 void
 Router::sendJson(Connection &conn, const Json &response)
 {
+    (void)sendJsonChecked(conn, response);
+}
+
+bool
+Router::sendJsonChecked(Connection &conn, const Json &response)
+{
     std::lock_guard<std::mutex> lock(conn.write_mutex);
     if (!conn.open.load())
-        return;
+        return false;
     if (!service::writeFrame(conn.fd, response.dump())) {
         conn.open.store(false);
         ::shutdown(conn.fd, SHUT_RDWR);
+        return false;
     }
+    return true;
 }
 
 Json
@@ -816,6 +884,7 @@ Router::statsJson() const
     router.set("bad_requests_total", u(c.bad_requests));
     router.set("unknown_verbs_total", u(c.unknown_verbs));
     router.set("forwarded_total", u(c.forwarded));
+    router.set("streamed_relays_total", u(c.streamed_relays));
     router.set("rebalanced_total", u(c.rebalanced));
     router.set("hedged_total", u(c.hedged));
     router.set("cache_hits_total", u(c.cache_hits));

@@ -31,6 +31,15 @@
  * stale entries fleet-wide, the same invalidation discipline the
  * backends' own campaign caches follow.
  *
+ * Large results stream through, never *into*, the router: when a
+ * client opts in with `accept_stream`, the backend's begin/chunk/end
+ * frames are relayed as they arrive with only the frame id rewritten,
+ * so the router's memory footprint stays flat no matter how big the
+ * trace is. A backend torn mid-stream retries/fails over exactly like
+ * a single-frame forward — the fresh `stream_begin` restarts the
+ * downstream reassembly — and streamed results bypass the shared
+ * cache (they would not fit a response frame anyway).
+ *
  * Observability: the router reuses the HTTP gateway (dispatcher-less)
  * for `/metrics`, `/healthz`, and drain-aware `/readyz`; its stats
  * document exposes forwarded/rebalanced/hedged counts and per-backend
@@ -146,6 +155,7 @@ struct RouterCounters
     uint64_t bad_requests = 0;
     uint64_t unknown_verbs = 0;
     uint64_t forwarded = 0;      //!< compute requests sent upstream
+    uint64_t streamed_relays = 0; //!< responses relayed chunk-by-chunk
     uint64_t rebalanced = 0;     //!< fail-overs to a ring successor
     uint64_t hedged = 0;         //!< overload hedges to a successor
     uint64_t cache_hits = 0;     //!< answered from the shared cache
@@ -237,8 +247,16 @@ class Router
                      const std::string &payload);
     void forward(const std::shared_ptr<Connection> &conn,
                  const service::Json &id, service::Verb verb,
-                 const std::string &routing_key, service::Json params);
+                 const std::string &routing_key, service::Json params,
+                 bool accept_stream);
     void sendJson(Connection &conn, const service::Json &response);
+
+    /** sendJson that reports whether the frame actually went out; a
+     *  stream relay uses this so a dead downstream aborts the relay
+     *  instead of draining the whole backend stream into a closed
+     *  socket. */
+    bool sendJsonChecked(Connection &conn,
+                         const service::Json &response);
     Backend *backendByName(const std::string &name);
 
     RouterConfig config_;

@@ -57,6 +57,13 @@ ResultCache::load(uint64_t key) const
     return KeyValueFile::tryLoad(entryPath(key));
 }
 
+bool
+ResultCache::contains(uint64_t key) const
+{
+    std::error_code ec;
+    return std::filesystem::exists(entryPath(key), ec);
+}
+
 std::optional<std::string>
 ResultCache::loadText(uint64_t key) const
 {

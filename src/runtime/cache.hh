@@ -51,6 +51,13 @@ class ResultCache
     /** Cached entry for `key`, or nullopt (missing/corrupt) on miss. */
     std::optional<KeyValueFile> load(uint64_t key) const;
 
+    /**
+     * True when an entry for `key` exists on disk — one stat(2), no
+     * read or parse. Used by admission control to classify a request
+     * as a cache hit without paying for a load.
+     */
+    bool contains(uint64_t key) const;
+
     /** Persist an entry (atomic replace; last writer wins). */
     void store(uint64_t key, const KeyValueFile &entry) const;
 

@@ -1,0 +1,16 @@
+#include "service/admission.hh"
+
+namespace vn::service
+{
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+    case Tier::Interactive: return "interactive";
+    case Tier::Batch: return "batch";
+    }
+    return "?";
+}
+
+} // namespace vn::service

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Priority admission for the dispatcher: verb tiers and a per-client
+ * weighted fair queue.
+ *
+ * Requests are classified into two tiers — Interactive (cheap verbs:
+ * ping, stats, and compute requests whose results are already in the
+ * result cache) and Batch (cold sweeps, guardband studies, traces).
+ * Each (client, tier) pair is a WFQ *flow*: items are tagged with a
+ * virtual finish time `max(V, flow.last_finish) + 1/weight(tier)` at
+ * push, and pop takes the smallest tag, so with weights 4:1 a
+ * saturated interactive flow gets four pops for every batch pop while
+ * an idle flow accumulates no credit it could later burst on.
+ *
+ * Starvation guard: any queued item older than `promotion_age_ms` is
+ * popped first regardless of its tag (oldest wins), so a lone batch
+ * client behind a firehose of interactive traffic is delayed by at
+ * most the promotion age, never forever.
+ *
+ * The queue is clock-free: callers pass `now_ms` into push/pop, which
+ * is what makes the admission tests deterministic under a fake clock.
+ */
+
+#ifndef VN_SERVICE_ADMISSION_HH
+#define VN_SERVICE_ADMISSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace vn::service
+{
+
+/** Admission priority tier. */
+enum class Tier
+{
+    Interactive = 0,
+    Batch = 1,
+};
+
+inline constexpr int kNumTiers = 2;
+
+/** Stable name for stats/metrics ("interactive" / "batch"). */
+const char *tierName(Tier tier);
+
+/** WFQ tuning knobs. */
+struct WfqConfig
+{
+    double interactive_weight = 4.0; //!< pops per batch pop when both wait
+    double batch_weight = 1.0;
+    double promotion_age_ms = 1000.0; //!< starvation bound; <=0 disables
+};
+
+/** Cumulative per-tier accounting, exported via stats + /metrics. */
+struct WfqTierCounters
+{
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    uint64_t promoted = 0; //!< pops forced by the starvation guard
+};
+
+/**
+ * Weighted fair queue over per-(client, tier) flows.
+ *
+ * Not thread-safe — the dispatcher already serializes access under its
+ * queue mutex.
+ */
+template <typename T> class WfqQueue
+{
+  public:
+    explicit WfqQueue(WfqConfig config = {}) : config_(config)
+    {
+        if (config_.interactive_weight <= 0.0)
+            config_.interactive_weight = 1.0;
+        if (config_.batch_weight <= 0.0)
+            config_.batch_weight = 1.0;
+    }
+
+    /** Queue `value` for `client_id` at tier `tier`. */
+    void push(T value, Tier tier, uint64_t client_id, double now_ms)
+    {
+        Flow &flow = flows_[FlowKey{client_id, tier}];
+        double start = virtual_time_ > flow.last_finish ? virtual_time_
+                                                        : flow.last_finish;
+        double finish = start + 1.0 / weight(tier);
+        flow.last_finish = finish;
+        flow.items.push_back(Item{std::move(value), finish, next_seq_++,
+                                  now_ms, tier});
+        ++size_;
+        ++depth_[static_cast<int>(tier)];
+        ++counters_[static_cast<int>(tier)].pushed;
+    }
+
+    /** Tier the next pop would serve; nullopt when empty. */
+    std::optional<Tier> peekTier(double now_ms) const
+    {
+        bool promoted = false;
+        auto it = selectFlow(now_ms, promoted);
+        if (it == flows_.end())
+            return std::nullopt;
+        return it->second.items.front().tier;
+    }
+
+    /** Remove and return the next item; nullopt when empty. */
+    std::optional<T> pop(double now_ms)
+    {
+        bool promoted = false;
+        auto it = selectFlow(now_ms, promoted);
+        if (it == flows_.end())
+            return std::nullopt;
+        Flow &flow = it->second;
+        Item item = std::move(flow.items.front());
+        flow.items.pop_front();
+        if (!promoted && item.finish_tag > virtual_time_)
+            virtual_time_ = item.finish_tag;
+        if (flow.items.empty())
+            flows_.erase(it);
+        --size_;
+        --depth_[static_cast<int>(item.tier)];
+        ++counters_[static_cast<int>(item.tier)].popped;
+        if (promoted)
+            ++counters_[static_cast<int>(item.tier)].promoted;
+        last_pop_wait_ms_ = now_ms - item.enqueued_ms;
+        return std::move(item.value);
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t depth(Tier tier) const
+    {
+        return depth_[static_cast<int>(tier)];
+    }
+    const WfqTierCounters &counters(Tier tier) const
+    {
+        return counters_[static_cast<int>(tier)];
+    }
+    /** Queue wait of the most recently popped item (test/metrics aid). */
+    double lastPopWaitMs() const { return last_pop_wait_ms_; }
+
+  private:
+    struct Item
+    {
+        T value;
+        double finish_tag;
+        uint64_t seq;
+        double enqueued_ms;
+        Tier tier;
+    };
+
+    using FlowKey = std::pair<uint64_t, Tier>;
+
+    struct Flow
+    {
+        std::deque<Item> items;
+        double last_finish = 0.0;
+    };
+
+    using FlowMap = std::map<FlowKey, Flow>;
+
+    double weight(Tier tier) const
+    {
+        return tier == Tier::Interactive ? config_.interactive_weight
+                                         : config_.batch_weight;
+    }
+
+    /**
+     * The flow whose head the next pop serves. Starvation guard first
+     * (oldest over-age head wins); otherwise smallest finish tag with
+     * the global sequence number as the deterministic tie-break.
+     */
+    typename FlowMap::const_iterator
+    selectFlow(double now_ms, bool &promoted) const
+    {
+        promoted = false;
+        auto best = flows_.end();
+        if (config_.promotion_age_ms > 0.0) {
+            for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+                const Item &head = it->second.items.front();
+                if (now_ms - head.enqueued_ms < config_.promotion_age_ms)
+                    continue;
+                if (best == flows_.end() ||
+                    head.enqueued_ms <
+                        best->second.items.front().enqueued_ms ||
+                    (head.enqueued_ms ==
+                         best->second.items.front().enqueued_ms &&
+                     head.seq < best->second.items.front().seq))
+                    best = it;
+            }
+            if (best != flows_.end()) {
+                promoted = true;
+                return best;
+            }
+        }
+        for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+            const Item &head = it->second.items.front();
+            if (best == flows_.end() ||
+                head.finish_tag < best->second.items.front().finish_tag ||
+                (head.finish_tag == best->second.items.front().finish_tag &&
+                 head.seq < best->second.items.front().seq))
+                best = it;
+        }
+        return best;
+    }
+
+    typename FlowMap::iterator selectFlow(double now_ms, bool &promoted)
+    {
+        auto it = std::as_const(*this).selectFlow(now_ms, promoted);
+        return it == flows_.end() ? flows_.end() : flows_.erase(it, it);
+    }
+
+    WfqConfig config_;
+    FlowMap flows_;
+    double virtual_time_ = 0.0;
+    uint64_t next_seq_ = 0;
+    size_t size_ = 0;
+    size_t depth_[kNumTiers] = {0, 0};
+    WfqTierCounters counters_[kNumTiers];
+    double last_pop_wait_ms_ = 0.0;
+};
+
+} // namespace vn::service
+
+#endif // VN_SERVICE_ADMISSION_HH

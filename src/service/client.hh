@@ -49,6 +49,32 @@ class ServiceError : public std::runtime_error
     double retry_after_ms_ = 0.0;
 };
 
+/** Reassembly cap: a `stream_begin` announcing more is refused. */
+inline constexpr size_t kMaxStreamResultBytes = 256u << 20;
+
+/**
+ * Receiver of raw streamed response frames (relay mode). The router
+ * implements this to forward chunks downstream without ever holding
+ * the whole result; the Client still verifies sequencing and the
+ * checksum as the frames pass through.
+ */
+class StreamSink
+{
+  public:
+    virtual ~StreamSink() = default;
+
+    /**
+     * One stream frame (begin/chunk/end), in wire order. A second
+     * Begin means the upstream restarted the stream — forward it; the
+     * downstream reassembler resets. Return false to abort the relay
+     * (e.g. the downstream peer is gone); the call then throws
+     * ServiceError("aborted") and the connection is closed (the
+     * remaining in-flight frames cannot be resynchronized).
+     */
+    virtual bool onStreamFrame(const Json &frame,
+                               StreamFrameKind kind) = 0;
+};
+
 /** Synchronous vnoised connection; see the file comment. */
 class Client
 {
@@ -83,12 +109,30 @@ class Client
     }
 
     /**
+     * Opt in to chunked streaming for every subsequent call: requests
+     * carry `accept_stream` and streamed responses are reassembled
+     * (and checksum-verified) transparently, so large trace results
+     * stop being bounded by the frame cap.
+     */
+    void setAcceptStream(bool accept) { accept_stream_ = accept; }
+
+    /**
      * Issue one request and block for its response. Returns the
      * `result` member on success; throws ServiceError with the wire
      * error code otherwise ("io_error" for transport failures,
-     * "bad_response" for an undecodable reply).
+     * "bad_response" for an undecodable reply — including any stream
+     * sequencing or checksum violation).
      */
     Json call(const std::string &verb, Json params);
+
+    /**
+     * call() in relay mode: when non-null `sink` receives the raw
+     * frames of a streamed response instead of this client buffering
+     * them (the return value is then null Json). Single-frame
+     * responses never touch the sink. Sequencing and the terminal
+     * checksum are verified as the frames pass through.
+     */
+    Json call(const std::string &verb, Json params, StreamSink *sink);
 
     /** Typed compute calls (throw ServiceError). */
     FreqSweepPoint sweep(const SweepRequest &request);
@@ -112,6 +156,7 @@ class Client
     int fd_ = -1;
     uint64_t next_id_ = 1;
     std::optional<double> deadline_ms_;
+    bool accept_stream_ = false;
 };
 
 } // namespace vn::service

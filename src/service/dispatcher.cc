@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "analysis/campaigns.hh"
 #include "util/logging.hh"
 
 namespace vn::service
@@ -27,7 +28,8 @@ millisecondsSince(Dispatcher::Clock::time_point start,
 
 Dispatcher::Dispatcher(const AnalysisContext &base,
                        DispatcherConfig config)
-    : base_(base), config_(config), pool_(base.campaign.jobs)
+    : base_(base), config_(config), pool_(base.campaign.jobs),
+      queue_(config.wfq)
 {
     if (config_.queue_depth < 1)
         fatal("Dispatcher: queue_depth must be >= 1");
@@ -38,6 +40,15 @@ Dispatcher::Dispatcher(const AnalysisContext &base,
     base_.campaign.pool = &pool_;
     base_.campaign.stats_sink = nullptr;
     latency_ring_.resize(kLatencyWindow, 0.0);
+    for (int t = 0; t < kNumTiers; ++t)
+        wait_ring_[t].resize(kLatencyWindow, 0.0);
+    // The admission probe shares the campaigns' cache directory, so a
+    // contains() hit here means the campaign will be a cache hit too.
+    if (!base_.campaign.cache_dir.empty()) {
+        probe_cache_ = std::make_unique<runtime::ResultCache>(
+            base_.campaign.cache_dir);
+        scope_ = analysisScope(base_);
+    }
 }
 
 Dispatcher::~Dispatcher()
@@ -58,12 +69,78 @@ Dispatcher::start()
     batcher_ = std::thread([this] { batcherLoop(); });
 }
 
+double
+Dispatcher::nowMs() const
+{
+    if (clock_ms_)
+        return clock_ms_();
+    return millisecondsSince(epoch_, Clock::now());
+}
+
+void
+Dispatcher::setClockForTest(std::function<double()> now_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    clock_ms_ = std::move(now_ms);
+}
+
+Tier
+Dispatcher::classify(const AnyRequest &request) const
+{
+    Verb verb = requestVerb(request);
+    switch (verb) {
+    case Verb::Ping:
+    case Verb::Stats:
+    case Verb::Shutdown:
+        // Control verbs are answered inline by the listeners and only
+        // reach the queue in tests; they are interactive by definition.
+        return Tier::Interactive;
+    case Verb::Sweep:
+    case Verb::Trace:
+        break;
+    default:
+        // map/margin/guardband campaign scopes carry per-request
+        // extras (effective context, bias step); reconstructing them
+        // here would duplicate study internals, so they ride the
+        // batch tier unconditionally.
+        return Tier::Batch;
+    }
+    if (!probe_cache_)
+        return Tier::Batch;
+    // The campaign job key for a sweep is the request key with the
+    // study's "fsweep" prefix; trace keys match the request key
+    // exactly (both print with %.17g).
+    std::string job_key = requestKey(request);
+    if (verb == Verb::Sweep)
+        job_key = "f" + job_key;
+    return probe_cache_->contains(
+               runtime::ResultCache::keyFor(scope_, job_key))
+               ? Tier::Interactive
+               : Tier::Batch;
+}
+
+double
+Dispatcher::retryAfterMsLocked(Tier tier) const
+{
+    // Per-tier drain horizon: interactive work drains ahead of batch
+    // work, so an interactive reject estimates only the interactive
+    // backlog while a batch reject waits out both tiers.
+    size_t drain_ahead = queue_.depth(Tier::Interactive);
+    if (tier == Tier::Batch)
+        drain_ahead += queue_.depth(Tier::Batch);
+    double window = std::max(
+        1.0, static_cast<double>(config_.batch_window_ms));
+    return window * (1.0 + static_cast<double>(drain_ahead) /
+                               static_cast<double>(config_.max_batch));
+}
+
 void
 Dispatcher::submit(AnyRequest request,
                    std::optional<Clock::time_point> deadline,
-                   Completion done)
+                   Completion done, uint64_t client_id)
 {
     std::string key = requestKey(request);
+    Tier tier = classify(request);
 
     // Faultnet: a scheduled injection rejects the request before it
     // ever reaches the queue, exactly as a real overload would.
@@ -93,26 +170,31 @@ Dispatcher::submit(AnyRequest request,
                            "the service is draining; retry elsewhere"});
             return;
         }
-        if (queue_.size() >=
+        if (queue_.depth(tier) >=
             static_cast<size_t>(config_.queue_depth)) {
             ++counters_.rejected_overloaded;
+            ++counters_.tier[static_cast<int>(tier)]
+                  .rejected_overloaded;
+            // The hint reflects THIS tier's drain horizon: an
+            // interactive reject must not inherit the batch queue's
+            // backpressure estimate.
+            double retry_after_ms = retryAfterMsLocked(tier);
             lock.unlock();
-            // Hint at least one batch window: retrying sooner would
-            // find the same queue still full.
-            double retry_after_ms =
-                std::max(1.0, static_cast<double>(
-                                  config_.batch_window_ms));
             done(WireError{"overloaded",
-                           "admission queue is full (depth " +
+                           std::string("admission queue is full (") +
+                               tierName(tier) + " depth " +
                                std::to_string(config_.queue_depth) +
                                "); retry with backoff",
                            retry_after_ms});
             return;
         }
         ++counters_.admitted;
-        queue_.push_back(Pending{std::move(request), std::move(key),
-                                 deadline, Clock::now(),
-                                 std::move(done)});
+        ++counters_.tier[static_cast<int>(tier)].admitted;
+        double now_ms = nowMs();
+        Pending pending{std::move(request), std::move(key), deadline,
+                        Clock::now(),       std::move(done), tier,
+                        now_ms};
+        queue_.push(std::move(pending), tier, client_id, now_ms);
     }
     cv_.notify_one();
 }
@@ -136,7 +218,13 @@ ServiceCounters
 Dispatcher::counters() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counters_;
+    ServiceCounters snap = counters_;
+    for (int t = 0; t < kNumTiers; ++t) {
+        Tier tier = static_cast<Tier>(t);
+        snap.tier[t].depth = queue_.depth(tier);
+        snap.tier[t].promoted = queue_.counters(tier).promoted;
+    }
+    return snap;
 }
 
 size_t
@@ -146,6 +234,13 @@ Dispatcher::queueDepth() const
     return queue_.size();
 }
 
+size_t
+Dispatcher::queueDepth(Tier tier) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.depth(tier);
+}
+
 std::vector<double>
 Dispatcher::latencySamplesMs() const
 {
@@ -153,6 +248,17 @@ Dispatcher::latencySamplesMs() const
     size_t n = std::min(latency_count_, latency_ring_.size());
     return std::vector<double>(latency_ring_.begin(),
                                latency_ring_.begin() +
+                                   static_cast<long>(n));
+}
+
+std::vector<double>
+Dispatcher::tierWaitSamplesMs(Tier tier) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int t = static_cast<int>(tier);
+    size_t n = std::min(wait_count_[t], wait_ring_[t].size());
+    return std::vector<double>(wait_ring_[t].begin(),
+                               wait_ring_[t].begin() +
                                    static_cast<long>(n));
 }
 
@@ -190,12 +296,37 @@ Dispatcher::batcherLoop()
                 lock.lock();
             }
 
+            // Drain a tier-pure run in WFQ order: the queue's next
+            // choice sets the batch's tier, and the batch extends only
+            // while the next choice stays on that tier — so a cheap
+            // interactive run is never welded onto a batch campaign,
+            // and the weighted interleave shows up as alternating
+            // small batches rather than intra-batch mixing.
+            double now_ms = nowMs();
             size_t take = std::min(
                 queue_.size(), static_cast<size_t>(config_.max_batch));
             batch.reserve(take);
-            for (size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+            std::optional<Tier> run_tier;
+            while (batch.size() < take) {
+                std::optional<Tier> next = queue_.peekTier(now_ms);
+                if (!next || (run_tier && *next != *run_tier))
+                    break;
+                run_tier = *next;
+                std::optional<Pending> item = queue_.pop(now_ms);
+                double wait_ms = queue_.lastPopWaitMs();
+                int t = static_cast<int>(item->tier);
+                wait_ring_[t][wait_next_[t]] = wait_ms;
+                wait_next_[t] =
+                    (wait_next_[t] + 1) % wait_ring_[t].size();
+                ++wait_count_[t];
+                if (config_.metrics) {
+                    MetricHistogram &h =
+                        item->tier == Tier::Interactive
+                            ? config_.metrics->interactive_wait_ms
+                            : config_.metrics->batch_wait_ms;
+                    h.observe(wait_ms);
+                }
+                batch.push_back(std::move(*item));
             }
         }
         runBatch(std::move(batch));

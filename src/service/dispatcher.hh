@@ -3,17 +3,28 @@
  * Admission control and micro-batching for vnoised.
  *
  * Connection threads submit() typed requests; a single batcher thread
- * drains the bounded queue, groups the drained requests by verb (and
+ * drains the admission queue, groups the drained requests by verb (and
  * per-verb sub-key, e.g. the mapping study's stimulus frequency),
  * coalesces identical requests into one computation, and runs each
  * group as ONE campaign on the daemon's long-lived work-stealing pool
  * — so concurrent clients share workers and the content-addressed
  * result cache exactly like the points of a single big sweep would.
  *
- * Backpressure is explicit: a submit() beyond `queue_depth` is
- * answered immediately with a structured `overloaded` error instead
- * of queueing unboundedly; a request whose deadline has passed by the
- * time the batcher picks it up is answered `deadline_exceeded`
+ * Admission is tiered (admission.hh): requests are classified as
+ * Interactive (cached sweep/trace results) or Batch (cold campaigns)
+ * and queued in a per-client weighted fair queue, so one client's
+ * cold guardband study cannot starve another's cache hits. Drained
+ * batches are tier-pure — the batcher takes the WFQ's next choice and
+ * extends the batch only with same-tier picks — which keeps
+ * interactive latency decoupled from the runtimes of batch campaigns
+ * while preserving the weighted interleave.
+ *
+ * Backpressure is explicit and per-tier: a submit() beyond the tier's
+ * `queue_depth` is answered immediately with a structured
+ * `overloaded` error whose `retry_after_ms` reflects that tier's
+ * drain horizon (an interactive reject does not inherit the batch
+ * queue's backpressure estimate); a request whose deadline has passed
+ * by the time the batcher picks it up is answered `deadline_exceeded`
  * without being computed; after drain() begins, new submissions get
  * `shutting_down` while everything already admitted still completes.
  *
@@ -28,8 +39,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -37,7 +48,9 @@
 #include <vector>
 
 #include "analysis/context.hh"
+#include "runtime/cache.hh"
 #include "runtime/pool.hh"
+#include "service/admission.hh"
 #include "service/codec.hh"
 #include "service/metrics.hh"
 
@@ -69,8 +82,15 @@ class FaultHook
 /** Dispatcher knobs (see docs/serving.md for tuning guidance). */
 struct DispatcherConfig
 {
-    /** Admitted-but-unbatched requests beyond this are rejected. */
+    /**
+     * Admitted-but-unbatched requests beyond this are rejected. The
+     * cap is per tier: a batch queue at capacity does not block
+     * interactive admissions, and vice versa.
+     */
     int queue_depth = 64;
+
+    /** WFQ weights and the starvation-age promotion bound. */
+    WfqConfig wfq;
 
     /** Largest number of requests drained into one batch. */
     int max_batch = 32;
@@ -106,6 +126,16 @@ struct ServiceCounters
     uint64_t batches = 0;   //!< batches executed
     uint64_t coalesced = 0; //!< requests answered by another's job
 
+    /** Per-tier admission accounting. */
+    struct TierCounters
+    {
+        uint64_t admitted = 0;
+        uint64_t rejected_overloaded = 0;
+        uint64_t promoted = 0; //!< starvation-age promotions at drain
+        size_t depth = 0;      //!< queued now (gauge, not cumulative)
+    };
+    TierCounters tier[kNumTiers];
+
     /** Aggregated campaign counters (cache hits, steals, ...). */
     runtime::CampaignStats campaign;
 };
@@ -140,11 +170,12 @@ class Dispatcher
     /**
      * Submit one request from any thread. `done` is invoked exactly
      * once — synchronously on the reject paths, on the batcher thread
-     * otherwise.
+     * otherwise. `client_id` names the WFQ flow (one per connection);
+     * 0 is a shared anonymous flow.
      */
     void submit(AnyRequest request,
                 std::optional<Clock::time_point> deadline,
-                Completion done);
+                Completion done, uint64_t client_id = 0);
 
     /**
      * Stop admitting (subsequent submissions are answered
@@ -159,11 +190,29 @@ class Dispatcher
     /** Requests admitted but not yet drained into a batch. */
     size_t queueDepth() const;
 
+    /** Queued requests of one tier. */
+    size_t queueDepth(Tier tier) const;
+
+    /**
+     * Admission tier of a request: Interactive for control verbs and
+     * for sweep/trace requests whose result is already in the result
+     * cache; Batch for everything cold (and for map/margin/guardband,
+     * whose campaign scopes carry per-request extras the admission
+     * probe cannot reconstruct cheaply).
+     */
+    Tier classify(const AnyRequest &request) const;
+
     /**
      * Completed-request latencies (milliseconds, most recent window,
      * unordered) for percentile reporting.
      */
     std::vector<double> latencySamplesMs() const;
+
+    /**
+     * Queue waits (enqueue to batch drain, ms) of one tier, most
+     * recent window, unordered.
+     */
+    std::vector<double> tierWaitSamplesMs(Tier tier) const;
 
     /** Worker threads of the shared pool. */
     int threads() const { return pool_.threads(); }
@@ -174,6 +223,13 @@ class Dispatcher
      */
     void pauseForTest(bool paused);
 
+    /**
+     * Test hook: replace the wall clock feeding WFQ enqueue ages (and
+     * thus starvation promotion) with a callable returning fake
+     * milliseconds. Set before start().
+     */
+    void setClockForTest(std::function<double()> now_ms);
+
   private:
     struct Pending
     {
@@ -182,30 +238,41 @@ class Dispatcher
         std::optional<Clock::time_point> deadline;
         Clock::time_point admitted;
         Completion done;
+        Tier tier = Tier::Batch;
+        double enqueued_ms = 0.0;
     };
 
     void batcherLoop();
     void runBatch(std::vector<Pending> batch);
     void complete(Pending &pending,
                   std::variant<AnyResult, WireError> outcome);
+    double nowMs() const;
+    double retryAfterMsLocked(Tier tier) const;
 
     AnalysisContext base_;
     DispatcherConfig config_;
     runtime::Pool pool_;
+    std::unique_ptr<runtime::ResultCache> probe_cache_;
+    std::string scope_; //!< analysisScope(base_), the probe scope
 
     mutable std::mutex mutex_;
     std::mutex join_mutex_; //!< serializes concurrent drain() joins
     std::condition_variable cv_;
-    std::deque<Pending> queue_;
+    WfqQueue<Pending> queue_;
     bool draining_ = false;
     bool paused_ = false;
     bool started_ = false;
     std::thread batcher_;
+    std::function<double()> clock_ms_; //!< test override; null = real
+    Clock::time_point epoch_ = Clock::now();
 
     ServiceCounters counters_;
     std::vector<double> latency_ring_;
     size_t latency_next_ = 0;
     size_t latency_count_ = 0;
+    std::vector<double> wait_ring_[kNumTiers];
+    size_t wait_next_[kNumTiers] = {0, 0};
+    size_t wait_count_[kNumTiers] = {0, 0};
 };
 
 } // namespace vn::service

@@ -539,11 +539,36 @@ FaultProxy::relayConnection(const std::shared_ptr<ProxyConnection> &conn)
         }
         if (!writeFrame(conn->upstream_fd, payload))
             break;
-        std::string response;
-        if (readFrame(conn->upstream_fd, response,
-                      kDefaultMaxFrameBytes) != FrameStatus::Ok)
-            break;
-        if (!applyResponseAction(conn, action, response))
+        // Relay every frame of the response: one frame for ordinary
+        // calls, begin/chunk.../end for a chunked stream. The proxy
+        // never buffers the stream — each frame is classified and
+        // forwarded as it arrives.
+        bool severed = false;
+        size_t cumulative_wire = 0;
+        bool more = true;
+        while (more) {
+            std::string response;
+            if (readFrame(conn->upstream_fd, response,
+                          kDefaultMaxFrameBytes) != FrameStatus::Ok) {
+                severed = true;
+                break;
+            }
+            StreamFrameKind kind = StreamFrameKind::None;
+            try {
+                kind = streamFrameKind(Json::parse(response));
+            } catch (const JsonError &) {
+                // Unparseable responses relay verbatim as a final
+                // frame; the client owns the protocol error.
+            }
+            more = kind == StreamFrameKind::Begin ||
+                   kind == StreamFrameKind::Chunk;
+            if (!applyResponseAction(conn, action, response, !more,
+                                     cumulative_wire)) {
+                severed = true;
+                break;
+            }
+        }
+        if (severed)
             break;
     }
     conn->open.store(false);
@@ -561,15 +586,33 @@ FaultProxy::relayConnection(const std::shared_ptr<ProxyConnection> &conn)
 bool
 FaultProxy::applyResponseAction(
     const std::shared_ptr<ProxyConnection> &conn,
-    const FaultAction &action, const std::string &payload)
+    const FaultAction &action, const std::string &payload,
+    bool last_frame, size_t &cumulative_wire)
 {
     switch (action.kind) {
     case FaultAction::Kind::CutMidFrame: {
         // Forward a prefix of the raw wire bytes, then hang up: the
         // client reads a torn frame (possibly a torn HEADER when
-        // bytes < 4) and must treat the connection as poisoned.
+        // bytes < 4) and must treat the connection as poisoned. The
+        // cut point is cumulative across the response's frames, so a
+        // chunked stream relays intact until the running total
+        // crosses it; a cut past the whole response still severs
+        // after the final frame.
         std::string wire = frameHeader(payload.size()) + payload;
-        size_t n = std::min(action.bytes, wire.size());
+        if (!last_frame &&
+            cumulative_wire + wire.size() < action.bytes) {
+            cumulative_wire += wire.size();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.relayed_stream_frames;
+            }
+            return sendAll(conn->client_fd, wire.data(), wire.size());
+        }
+        size_t n = std::min(action.bytes > cumulative_wire
+                                ? action.bytes - cumulative_wire
+                                : 0,
+                            wire.size());
+        cumulative_wire += n;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++counters_.injected_cuts;
@@ -591,22 +634,30 @@ FaultProxy::applyResponseAction(
         return false;
     }
     case FaultAction::Kind::DelayMs: {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++counters_.injected_delays;
+        if (cumulative_wire == 0) {
+            // Delay once, before the response's first frame — not per
+            // chunk, which would multiply the configured latency.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.injected_delays;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    action.delay_ms));
         }
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(
-                action.delay_ms));
         break;
     }
     case FaultAction::Kind::Overloaded: // handled before forwarding
     case FaultAction::Kind::None:
         break;
     }
+    cumulative_wire += 4 + payload.size();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++counters_.forwarded;
+        if (last_frame)
+            ++counters_.forwarded; // count responses, not frames
+        else
+            ++counters_.relayed_stream_frames;
     }
     return writeFrame(conn->client_fd, payload);
 }

@@ -54,7 +54,12 @@ struct FaultAction
     {
         None,
         /** Forward only the first `bytes` of the response's wire
-         *  bytes (header included), then sever the connection. */
+         *  bytes (headers included), then sever the connection. The
+         *  count is CUMULATIVE across every frame of the response, so
+         *  for a chunked stream the cut lands in whichever
+         *  begin/chunk/end frame the running total crosses — and a
+         *  cut point past the whole response still severs after the
+         *  final frame. */
         CutMidFrame,
         /** Forward a header declaring the full payload length but
          *  only `bytes` payload bytes, then sever the connection. */
@@ -137,6 +142,7 @@ struct FaultProxyCounters
     uint64_t refused = 0;
     uint64_t requests = 0;    //!< frames read from clients
     uint64_t forwarded = 0;   //!< responses relayed intact
+    uint64_t relayed_stream_frames = 0; //!< begin/chunk frames relayed
     uint64_t injected_overloaded = 0;
     uint64_t injected_cuts = 0;
     uint64_t injected_truncations = 0;
@@ -180,11 +186,18 @@ class FaultProxy
     void acceptLoop();
     void relayConnection(const std::shared_ptr<ProxyConnection> &conn);
 
-    /** Apply `action` to one upstream response payload; returns false
-     *  when the connection must be severed afterwards. */
+    /**
+     * Apply `action` to one frame of an upstream response; returns
+     * false when the connection must be severed afterwards.
+     * `last_frame` marks the response's final frame (a single-frame
+     * response or a stream_end), `cumulative_wire` accumulates the
+     * wire bytes relayed so far for this response (headers included)
+     * so CutMidFrame can land mid-stream.
+     */
     bool applyResponseAction(const std::shared_ptr<ProxyConnection> &conn,
                              const FaultAction &action,
-                             const std::string &payload);
+                             const std::string &payload,
+                             bool last_frame, size_t &cumulative_wire);
 
     int upstream_port_;
     FaultSchedule schedule_;

@@ -452,6 +452,13 @@ renderPrometheus(const Json &stats, size_t queue_depth,
     renderHistogram(out, "vnoised_batch_size",
                     "Requests per dispatched batch.",
                     metrics.batch_size.snapshot());
+    renderHistogram(out, "vnoised_interactive_wait_ms",
+                    "Interactive-tier queue wait plus inline "
+                    "interactive verb handling (milliseconds).",
+                    metrics.interactive_wait_ms.snapshot());
+    renderHistogram(out, "vnoised_batch_wait_ms",
+                    "Batch-tier queue wait (milliseconds).",
+                    metrics.batch_wait_ms.snapshot());
     return out;
 }
 

@@ -63,7 +63,11 @@ MetricHistogram::snapshot() const
 MetricsRegistry::MetricsRegistry()
     : request_latency_ms({0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
                           1000, 2500, 5000, 10000}),
-      batch_size({1, 2, 4, 8, 16, 32, 64, 128})
+      batch_size({1, 2, 4, 8, 16, 32, 64, 128}),
+      interactive_wait_ms({0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+                           1000, 2500, 5000, 10000}),
+      batch_wait_ms({0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000,
+                     2500, 5000, 10000})
 {}
 
 } // namespace vn::service

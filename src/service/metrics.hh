@@ -110,6 +110,15 @@ struct MetricsRegistry
     /** Requests per cut batch. */
     MetricHistogram batch_size;
 
+    /**
+     * Queue wait by admission tier (ms): enqueue to batch-drain for
+     * queued compute requests, plus the handling time of inline
+     * interactive verbs (ping) so the interactive p99 on `/metrics`
+     * covers the whole tier, not just the queued part.
+     */
+    MetricHistogram interactive_wait_ms;
+    MetricHistogram batch_wait_ms;
+
     /** HTTP requests answered, by outcome class. */
     MetricCounter http_requests;
     MetricCounter http_errors; //!< responses with status >= 400

@@ -1,10 +1,13 @@
 #include "service/protocol.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "runtime/hash.hh"
 
 namespace vn::service
 {
@@ -143,6 +146,91 @@ makeErrorResponse(const Json &id, const WireError &error)
     response.set("ok", Json::boolean(false));
     response.set("error", std::move(detail));
     return response;
+}
+
+StreamFrameKind
+streamFrameKind(const Json &frame)
+{
+    if (!frame.isObject() || !frame.has("stream"))
+        return StreamFrameKind::None;
+    const Json &kind = frame.at("stream");
+    if (!kind.isString())
+        return StreamFrameKind::Bad;
+    const std::string &name = kind.asString();
+    if (name == "begin") {
+        if (!frame.has("bytes") || !frame.at("bytes").isNumber() ||
+            !frame.has("chunks") || !frame.at("chunks").isNumber())
+            return StreamFrameKind::Bad;
+        return StreamFrameKind::Begin;
+    }
+    if (name == "chunk") {
+        if (!frame.has("seq") || !frame.at("seq").isNumber() ||
+            !frame.has("data") || !frame.at("data").isString())
+            return StreamFrameKind::Bad;
+        return StreamFrameKind::Chunk;
+    }
+    if (name == "end") {
+        if (!frame.has("chunks") || !frame.at("chunks").isNumber() ||
+            !frame.has("checksum") || !frame.at("checksum").isString())
+            return StreamFrameKind::Bad;
+        return StreamFrameKind::End;
+    }
+    return StreamFrameKind::Bad;
+}
+
+std::string
+streamChecksumHex(const std::string &text)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(runtime::fnv1a(text)));
+    return std::string(buf, 16);
+}
+
+Json
+makeStreamBegin(const Json &id, const std::string &verb, size_t bytes,
+                size_t chunks, size_t chunk_bytes)
+{
+    Json frame = Json::object();
+    frame.set("id", id);
+    frame.set("ok", Json::boolean(true));
+    frame.set("stream", Json::str("begin"));
+    frame.set("verb", Json::str(verb));
+    frame.set("bytes", Json::number(static_cast<double>(bytes)));
+    frame.set("chunks", Json::number(static_cast<double>(chunks)));
+    frame.set("chunk_bytes", Json::number(static_cast<double>(chunk_bytes)));
+    return frame;
+}
+
+Json
+makeStreamChunk(const Json &id, size_t seq, std::string data)
+{
+    Json frame = Json::object();
+    frame.set("id", id);
+    frame.set("stream", Json::str("chunk"));
+    frame.set("seq", Json::number(static_cast<double>(seq)));
+    frame.set("data", Json::str(std::move(data)));
+    return frame;
+}
+
+Json
+makeStreamEnd(const Json &id, size_t chunks, const std::string &checksum)
+{
+    Json frame = Json::object();
+    frame.set("id", id);
+    frame.set("stream", Json::str("end"));
+    frame.set("chunks", Json::number(static_cast<double>(chunks)));
+    frame.set("checksum", Json::str(checksum));
+    return frame;
+}
+
+size_t
+streamChunkCount(size_t bytes, size_t chunk_bytes)
+{
+    if (chunk_bytes == 0)
+        chunk_bytes = 1;
+    size_t chunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+    return chunks == 0 ? 1 : chunks;
 }
 
 } // namespace vn::service

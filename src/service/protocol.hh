@@ -21,7 +21,30 @@
  * harness computes survives the wire bit-exactly.
  *
  * Error codes: malformed_frame, oversized_frame, unknown_verb,
- * bad_request, overloaded, deadline_exceeded, shutting_down, internal.
+ * bad_request, overloaded, deadline_exceeded, shutting_down, internal,
+ * result_too_large.
+ *
+ * Streaming: a request may carry `"accept_stream": true`. A server
+ * whose encoded result would not fit one frame may then answer with a
+ * chunked stream instead of a single response:
+ *
+ *   {"id": N, "ok": true, "stream": "begin", "verb": "trace",
+ *    "bytes": B, "chunks": K, "chunk_bytes": C}
+ *   {"id": N, "stream": "chunk", "seq": 0, "data": "..."}  (x K, seq
+ *    strictly 0..K-1)
+ *   {"id": N, "stream": "end", "chunks": K, "checksum": "<16 hex>"}
+ *
+ * `data` carries consecutive substrings of the result's canonical JSON
+ * text; concatenated in sequence order they reconstruct it exactly,
+ * and `checksum` is the FNV-1a 64 of the whole text. A second `begin`
+ * for an id already mid-stream RESTARTS reassembly from scratch — this
+ * is how a retry or a router fail-over replaces a torn stream with a
+ * clean one on the same connection. Any sequencing violation
+ * (out-of-order, duplicate, or missing seq; checksum mismatch) is a
+ * protocol error: the client closes the connection rather than guess.
+ * A result too large for one frame sent to a client that did NOT opt
+ * in is answered with a `result_too_large` error instead of an
+ * unparseable oversized frame.
  */
 
 #ifndef VN_SERVICE_PROTOCOL_HH
@@ -53,6 +76,9 @@ inline constexpr int kDefaultRouterHttpPort = 7414;
 
 /** Default cap on one frame's JSON payload. */
 inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/** Default size of one stream chunk's `data` text. */
+inline constexpr size_t kDefaultStreamChunkBytes = 256 * 1024;
 
 /** Request verbs. */
 enum class Verb
@@ -112,6 +138,40 @@ Json makeOkResponse(const Json &id, Json result);
 
 /** Build the JSON envelope of an error response. */
 Json makeErrorResponse(const Json &id, const WireError &error);
+
+/** What kind of response frame a parsed payload is. */
+enum class StreamFrameKind
+{
+    None,  //!< ordinary single-frame response (no "stream" key)
+    Begin, //!< stream header frame
+    Chunk, //!< one data chunk
+    End,   //!< terminal frame with checksum
+    Bad,   //!< has a "stream" key but malformed / unknown kind
+};
+
+/** Classify a parsed response frame. */
+StreamFrameKind streamFrameKind(const Json &frame);
+
+/** FNV-1a 64 of the full result text, as 16 lowercase hex digits. */
+std::string streamChecksumHex(const std::string &text);
+
+/** Build the `stream: begin` header frame. */
+Json makeStreamBegin(const Json &id, const std::string &verb, size_t bytes,
+                     size_t chunks, size_t chunk_bytes);
+
+/** Build one `stream: chunk` frame carrying `data`. */
+Json makeStreamChunk(const Json &id, size_t seq, std::string data);
+
+/** Build the terminal `stream: end` frame. */
+Json makeStreamEnd(const Json &id, size_t chunks,
+                   const std::string &checksum);
+
+/**
+ * Number of chunks needed to carry `bytes` of result text at
+ * `chunk_bytes` per chunk (at least 1 — an empty result still streams
+ * one empty chunk so begin/chunk/end framing stays uniform).
+ */
+size_t streamChunkCount(size_t bytes, size_t chunk_bytes);
 
 } // namespace vn::service
 

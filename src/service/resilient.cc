@@ -248,16 +248,32 @@ ResilientClient::now() const
     return f();
 }
 
+void
+ResilientClient::setAcceptStream(bool accept)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    accept_stream_ = accept;
+}
+
 Json
 ResilientClient::call(const std::string &verb, Json params)
 {
+    return call(verb, std::move(params), nullptr);
+}
+
+Json
+ResilientClient::call(const std::string &verb, Json params,
+                      StreamSink *sink)
+{
     std::function<void(double)> sleep_fn;
     std::function<void(int, double)> observer;
+    bool accept_stream;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.calls;
         sleep_fn = sleep_ms_;
         observer = attempt_observer_;
+        accept_stream = accept_stream_;
     }
 
     const RetryPolicy &policy = config_.retry;
@@ -324,7 +340,8 @@ ResilientClient::call(const std::string &verb, Json params)
                 attempt_deadline_ms > 0.0
                     ? std::optional<double>(attempt_deadline_ms)
                     : std::nullopt);
-            Json result = conn->client.call(verb, params);
+            conn->client.setAcceptStream(accept_stream);
+            Json result = conn->client.call(verb, params, sink);
             breaker_.onSuccess();
             publishBreaker();
             checkin(std::move(conn));

@@ -245,6 +245,24 @@ class ResilientClient
      */
     Json call(const std::string &verb, Json params);
 
+    /**
+     * call() in relay mode (see Client::call with a StreamSink). A
+     * retry after a mid-stream transport failure re-issues the request
+     * and the sink sees a fresh `stream_begin` — the downstream
+     * reassembler restarts cleanly, so a retried relay is byte-
+     * identical to an unbroken one. `aborted` (the sink gave up) is
+     * not retried.
+     */
+    Json call(const std::string &verb, Json params, StreamSink *sink);
+
+    /**
+     * Opt every pooled connection in to chunked streaming: large
+     * results are reassembled transparently; a stream torn mid-flight
+     * surfaces as one retryable `io_error` and the retry restarts the
+     * stream from scratch.
+     */
+    void setAcceptStream(bool accept);
+
     /** Typed calls, same contracts as Client's. */
     FreqSweepPoint sweep(const SweepRequest &request);
     MappingResult map(const MapRequest &request);
@@ -299,6 +317,7 @@ class ResilientClient
     mutable std::mutex mutex_;
     std::condition_variable pool_cv_;
     std::deque<std::unique_ptr<PooledConnection>> idle_;
+    bool accept_stream_ = false;
     int in_use_ = 0;
     ResilienceCounters counters_;
     uint64_t mirrored_opens_ = 0; //!< breaker opens already in metrics

@@ -307,6 +307,12 @@ Server::acceptLoop()
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            // Connection ordinal doubles as the WFQ flow identity:
+            // stable for the connection's lifetime, never reused.
+            conn->client_id = ++counters_.connections;
+        }
+        {
             std::lock_guard<std::mutex> lock(connections_mutex_);
             connections_.push_back(conn);
         }
@@ -315,10 +321,6 @@ Server::acceptLoop()
         conn->reader = std::thread([this, conn] {
             handleConnection(conn);
         });
-        {
-            std::lock_guard<std::mutex> lock(counters_mutex_);
-            ++counters_.connections;
-        }
     }
 }
 
@@ -451,6 +453,11 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
 
     switch (*verb) {
     case Verb::Ping: {
+        // Inline interactive verbs bypass the queue entirely; their
+        // handling time feeds the interactive-tier histogram so the
+        // tier's /metrics p99 covers them (the QoS bound the admission
+        // tests assert).
+        auto ping_start = Dispatcher::Clock::now();
         Json result = Json::object();
         result.set("pong", Json::boolean(true));
         result.set("protocol",
@@ -466,6 +473,10 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
         if (!config_.advertise.empty())
             result.set("advertise", Json::str(config_.advertise));
         sendJson(*conn, makeOkResponse(id, std::move(result)));
+        metrics_.interactive_wait_ms.observe(
+            std::chrono::duration<double, std::milli>(
+                Dispatcher::Clock::now() - ping_start)
+                .count());
         return true;
     }
     case Verb::Stats: {
@@ -522,21 +533,128 @@ Server::handleFrame(const std::shared_ptr<Connection> &conn,
                        static_cast<int64_t>(ms * 1000.0));
     }
 
+    bool accept_stream = request.boolOr("accept_stream", false);
+    std::string verb_name_owned = verb_name;
     dispatcher_->submit(
         std::move(typed), deadline,
-        [this, conn, id](std::variant<AnyResult, WireError> outcome) {
+        [this, conn, id, accept_stream, verb_name_owned](
+            std::variant<AnyResult, WireError> outcome) {
             if (std::holds_alternative<WireError>(outcome)) {
                 sendJson(*conn,
                          makeErrorResponse(
                              id, std::get<WireError>(outcome)));
-            } else {
-                sendJson(*conn,
-                         makeOkResponse(
-                             id, encodeResult(
-                                     std::get<AnyResult>(outcome))));
+                return;
             }
-        });
+            Json result = encodeResult(std::get<AnyResult>(outcome));
+            std::string text = result.dump();
+            if (text.size() <= streamThresholdBytes()) {
+                sendJson(*conn, makeOkResponse(id, std::move(result)));
+                return;
+            }
+            if (!accept_stream) {
+                // Without the opt-in, an over-cap single frame would
+                // desynchronize the client's reader; a structured
+                // error it can parse is strictly better.
+                {
+                    std::lock_guard<std::mutex> lock(counters_mutex_);
+                    ++counters_.result_too_large;
+                }
+                sendJson(*conn,
+                         makeErrorResponse(
+                             id,
+                             WireError{
+                                 "result_too_large",
+                                 "result is " +
+                                     std::to_string(text.size()) +
+                                     " bytes; send accept_stream to "
+                                     "receive it chunked"}));
+                return;
+            }
+            sendStream(*conn, id, verb_name_owned, text);
+        },
+        conn->client_id);
     return true;
+}
+
+size_t
+Server::streamThresholdBytes() const
+{
+    if (config_.stream_threshold_bytes > 0)
+        return config_.stream_threshold_bytes;
+    // Auto: stream anything that could not ride one frame once the
+    // response envelope is added.
+    size_t headroom = 4096;
+    return config_.max_frame_bytes > headroom
+               ? config_.max_frame_bytes - headroom
+               : config_.max_frame_bytes;
+}
+
+void
+Server::sendStream(Connection &conn, const Json &id,
+                   const std::string &verb_name,
+                   const std::string &result_text)
+{
+    // Worst-case JSON escaping doubles every data byte; clamp the
+    // chunk so an escaped chunk plus envelope still fits one frame.
+    size_t chunk_bytes = config_.stream_chunk_bytes;
+    size_t wire_cap = (config_.max_frame_bytes - 256) / 2;
+    if (chunk_bytes > wire_cap)
+        chunk_bytes = wire_cap;
+    if (chunk_bytes == 0)
+        chunk_bytes = 1;
+    size_t chunks = streamChunkCount(result_text.size(), chunk_bytes);
+
+    // The whole stream goes out under the write mutex: frames of one
+    // stream must never interleave with another response on this
+    // connection. Chunk count is small (result bytes / 256 KiB) and
+    // each write is bounded by SO_SNDTIMEO, so the hold is bounded.
+    std::lock_guard<std::mutex> lock(conn.write_mutex);
+    auto abort = [&] {
+        std::lock_guard<std::mutex> clock(counters_mutex_);
+        ++counters_.stream_aborts;
+        conn.open.store(false);
+        if (conn.fd >= 0)
+            ::shutdown(conn.fd, SHUT_RDWR);
+    };
+    if (!conn.open.load()) {
+        // Peer already hung up (reader saw EOF): reap, don't write.
+        std::lock_guard<std::mutex> clock(counters_mutex_);
+        ++counters_.stream_aborts;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> clock(counters_mutex_);
+        ++counters_.streams;
+    }
+    if (!writeFrame(conn.fd,
+                    makeStreamBegin(id, verb_name, result_text.size(),
+                                    chunks, chunk_bytes)
+                        .dump())) {
+        abort();
+        return;
+    }
+    for (size_t seq = 0; seq < chunks; ++seq) {
+        if (!conn.open.load()) {
+            abort();
+            return;
+        }
+        size_t offset = seq * chunk_bytes;
+        size_t len = std::min(chunk_bytes, result_text.size() - offset);
+        if (!writeFrame(conn.fd,
+                        makeStreamChunk(id, seq,
+                                        result_text.substr(offset, len))
+                            .dump())) {
+            abort();
+            return;
+        }
+        std::lock_guard<std::mutex> clock(counters_mutex_);
+        ++counters_.stream_chunks;
+    }
+    if (!writeFrame(conn.fd,
+                    makeStreamEnd(id, chunks,
+                                  streamChecksumHex(result_text))
+                        .dump()))
+        abort();
 }
 
 void
@@ -594,6 +712,32 @@ Server::statsJson() const
     server.set("oversized", u(s.oversized));
     server.set("unknown_verbs", u(s.unknown_verbs));
     server.set("bad_requests", u(s.bad_requests));
+    server.set("streams", u(s.streams));
+    server.set("stream_chunks", u(s.stream_chunks));
+    server.set("stream_aborts", u(s.stream_aborts));
+    server.set("result_too_large", u(s.result_too_large));
+
+    // Per-tier admission series. Cumulative leaves carry the `_total`
+    // suffix so the Prometheus renderer exports them as counters;
+    // depth and the wait percentiles are gauges.
+    Json admission = Json::object();
+    for (int t = 0; t < kNumTiers; ++t) {
+        Tier tier = static_cast<Tier>(t);
+        std::string prefix = tierName(tier);
+        admission.set(prefix + "_admitted_total",
+                      u(c.tier[t].admitted));
+        admission.set(prefix + "_rejected_overloaded_total",
+                      u(c.tier[t].rejected_overloaded));
+        admission.set(prefix + "_promoted_total",
+                      u(c.tier[t].promoted));
+        admission.set(prefix + "_depth", u(c.tier[t].depth));
+        std::vector<double> waits =
+            dispatcher_->tierWaitSamplesMs(tier);
+        admission.set(prefix + "_wait_p50_ms",
+                      n(percentileOf(waits, 50.0)));
+        admission.set(prefix + "_wait_p99_ms",
+                      n(percentileOf(std::move(waits), 99.0)));
+    }
 
     // Client-resilience series (ResilientClient wired to this
     // registry); all zero unless an in-process client is configured
@@ -631,6 +775,7 @@ Server::statsJson() const
     stats.set("batching", std::move(batching));
     stats.set("campaign", std::move(campaign));
     stats.set("server", std::move(server));
+    stats.set("admission", std::move(admission));
     stats.set("resilience", std::move(resilience));
     stats.set("latency_ms", std::move(latency_ms));
     return stats;

@@ -55,6 +55,20 @@ struct ServerConfig
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
     /**
+     * Result text per `stream_chunk` frame. Clamped so a worst-case
+     * JSON-escaped chunk still fits one frame.
+     */
+    size_t stream_chunk_bytes = kDefaultStreamChunkBytes;
+
+    /**
+     * Results whose encoded text exceeds this are streamed (to clients
+     * that sent `accept_stream`) or answered `result_too_large`
+     * (to clients that did not). 0 (the default) derives the
+     * threshold from `max_frame_bytes` minus envelope headroom.
+     */
+    size_t stream_threshold_bytes = 0;
+
+    /**
      * SO_SNDTIMEO on every accepted connection. Completions are
      * written from the single batcher thread, so a client that submits
      * requests and then stops reading would otherwise stall every
@@ -83,6 +97,10 @@ struct ServerCounters
     uint64_t oversized = 0;
     uint64_t unknown_verbs = 0;
     uint64_t bad_requests = 0;
+    uint64_t streams = 0;       //!< results served as chunked streams
+    uint64_t stream_chunks = 0; //!< stream_chunk frames written
+    uint64_t stream_aborts = 0; //!< streams cut short (peer gone)
+    uint64_t result_too_large = 0; //!< oversized result, no opt-in
 };
 
 /** The vnoised daemon; see the file comment. */
@@ -163,6 +181,7 @@ class Server
         std::atomic<bool> open{true};
         std::thread reader;            //!< joined by the reaper/wait()
         std::atomic<bool> done{false}; //!< reader exited; fd closed
+        uint64_t client_id = 0;        //!< WFQ flow identity
     };
 
     void acceptLoop();
@@ -171,6 +190,10 @@ class Server
     bool handleFrame(const std::shared_ptr<Connection> &conn,
                      const std::string &payload);
     void sendJson(Connection &conn, const Json &response);
+    void sendStream(Connection &conn, const Json &id,
+                    const std::string &verb_name,
+                    const std::string &result_text);
+    size_t streamThresholdBytes() const;
     Json statsJson() const;
 
     ServerConfig config_;

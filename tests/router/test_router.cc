@@ -701,4 +701,172 @@ TEST(RouterFaultReplay, SeededFaultsAreAbsorbedAndReplayIdentically)
     }
 }
 
+// ---------------------------------------------------------------------
+// RouterStream: >1 MiB results relayed chunk-by-chunk through the
+// router, never buffered inside it.
+
+/** 60000 undecimated samples: ~1.2 MB encoded, past the frame cap. */
+DroopTraceSpec
+bigTraceSpec()
+{
+    DroopTraceSpec spec;
+    spec.freq_hz = 2.4e6;
+    spec.window = 6e-5;
+    spec.core = 1;
+    spec.decimation = 1;
+    return spec;
+}
+
+/** The in-process campaign's canonical dump of the big trace; also
+ *  warms the shared campaign cache so every backend replays it. */
+const std::string &
+bigTraceReferenceDump()
+{
+    static std::string dump = [] {
+        auto ctx = computeContext();
+        auto traces = droopTraces(
+            ctx, std::vector<DroopTraceSpec>{bigTraceSpec()});
+        return encodeResult(AnyResult(traces[0])).dump();
+    }();
+    return dump;
+}
+
+TEST(RouterStream, LargeTraceRelaysThroughTheFleetByteIdentical)
+{
+    auto ctx = computeContext();
+    Json params =
+        encodeRequestParams(AnyRequest(TraceRequest{bigTraceSpec()}));
+    ASSERT_GT(bigTraceReferenceDump().size(), kDefaultMaxFrameBytes)
+        << "the fixture must exceed the frame cap to prove anything";
+
+    std::vector<std::unique_ptr<Server>> fleet;
+    std::vector<BackendConfig> backends;
+    for (int b = 0; b < 4; ++b) {
+        ServerConfig server_config;
+        server_config.port = 0;
+        fleet.push_back(std::make_unique<Server>(ctx, server_config));
+        fleet.back()->start();
+        backends.push_back(BackendConfig{"node" + std::to_string(b),
+                                         fleet.back()->port()});
+    }
+
+    // Shared result cache ON: the test proves streamed results bypass
+    // it (they would not fit a response frame anyway).
+    RouterConfig config = routerConfig(backends);
+    config.cache_dir = scratchDir("router_stream_cache");
+    Router router(config);
+    router.start();
+    ASSERT_EQ(router.healthyBackends(), 4u);
+
+    // Twice through the router: both relays, both byte-identical to
+    // the in-process campaign — and the second is NOT a cache answer,
+    // because nothing was stored.
+    Client client(router.port());
+    client.setAcceptStream(true);
+    for (int round = 0; round < 2; ++round) {
+        Json result = client.call("trace", params);
+        EXPECT_EQ(result.dump(), bigTraceReferenceDump())
+            << "round " << round;
+    }
+    RouterCounters counters = router.counters();
+    EXPECT_EQ(counters.streamed_relays, 2u);
+    EXPECT_EQ(counters.forwarded, 2u);
+    EXPECT_EQ(counters.cache_stores, 0u)
+        << "a streamed result must never be buffered into the cache";
+    EXPECT_EQ(counters.cache_hits, 0u);
+    EXPECT_EQ(counters.rebalanced, 0u);
+
+    // Single node, no router: the same bytes. The relay added and
+    // removed nothing.
+    Client direct(fleet[0]->port());
+    direct.setAcceptStream(true);
+    EXPECT_EQ(direct.call("trace", params).dump(),
+              bigTraceReferenceDump());
+
+    // A router client that did NOT opt in still gets the structured
+    // reject, relayed from the backend.
+    Client plain(router.port());
+    try {
+        plain.call("trace", params);
+        ADD_FAILURE() << "expected result_too_large";
+    } catch (const ServiceError &e) {
+        EXPECT_EQ(e.code(), "result_too_large") << e.what();
+    }
+
+    for (auto &server : fleet) {
+        server->beginShutdown();
+        server->wait();
+    }
+}
+
+TEST(RouterStream, BackendCutMidStreamFailsOverByteIdentical)
+{
+    auto ctx = computeContext();
+    Json params =
+        encodeRequestParams(AnyRequest(TraceRequest{bigTraceSpec()}));
+    std::string routing_key =
+        requestKey(AnyRequest(TraceRequest{bigTraceSpec()}));
+
+    // Ring placement is a pure function of (seed, members, vnodes),
+    // so the trace's owner is known before any socket exists — only
+    // that backend gets the fault proxy.
+    const std::vector<std::string> names = {"node0", "node1", "node2",
+                                            "node3"};
+    RouterConfig config = routerConfig({});
+    Ring ring(config.ring);
+    for (const std::string &name : names)
+        ring.add(name);
+    std::string owner = ring.ownerOf(routing_key);
+    std::string successor = ring.ownersOf(routing_key, 2)[1];
+    ASSERT_NE(owner, successor);
+
+    std::vector<std::unique_ptr<Server>> fleet;
+    std::map<std::string, int> ports;
+    for (const std::string &name : names) {
+        ServerConfig server_config;
+        server_config.port = 0;
+        fleet.push_back(std::make_unique<Server>(ctx, server_config));
+        fleet.back()->start();
+        ports[name] = fleet.back()->port();
+    }
+
+    // The owner's proxy: request 0 is the router's start() health
+    // ping; requests 1 and 2 are the trace's two forward attempts
+    // (the router's per-slot policy is max_attempts = 2). Cutting
+    // both — once deep in the stream, once mid-chunk — kills the
+    // owner for this request, forcing ring fail-over to the
+    // successor, which restarts the stream from a fresh begin.
+    FaultProxy proxy(ports[owner], FaultSchedule()
+                                       .cutMidFrame(1, 300000)
+                                       .cutMidFrame(2, 120000));
+    proxy.start();
+
+    for (const std::string &name : names)
+        config.backends.push_back(BackendConfig{
+            name, name == owner ? proxy.port() : ports[name]});
+    Router router(config);
+    router.start();
+    ASSERT_EQ(router.healthyBackends(), 4u);
+
+    Client client(router.port());
+    client.setAcceptStream(true);
+    Json result = client.call("trace", params);
+    EXPECT_EQ(result.dump(), bigTraceReferenceDump())
+        << "fail-over reassembly diverged from the campaign bytes";
+
+    RouterCounters counters = router.counters();
+    EXPECT_GE(counters.rebalanced, 1u);
+    EXPECT_EQ(counters.streamed_relays, 1u);
+    FaultProxyCounters faults = proxy.counters();
+    EXPECT_EQ(faults.injected_cuts, 2u);
+    EXPECT_GT(faults.relayed_stream_frames, 0u)
+        << "the cuts must land mid-stream, not before it";
+
+    proxy.stop();
+    for (auto &server : fleet) {
+        server->beginShutdown();
+        server->wait();
+    }
+}
+
 } // namespace

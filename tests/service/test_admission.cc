@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Conformance tests of priority admission:
+ *
+ *  - Wfq.*: the weighted fair queue in isolation (it is clock-free,
+ *    so every property here is exact, not statistical) — the 4:1
+ *    weighted share, the starvation-age promotion bound, and the
+ *    depth/counter accounting.
+ *  - Admission.*: the dispatcher's use of it — verb/cache-state tier
+ *    classification, the per-tier `retry_after_ms` backpressure hints
+ *    (an interactive reject must not inherit the batch queue's drain
+ *    horizon), and a fake-clock run proving a lone batch request
+ *    behind an interactive flood is served within the promotion age.
+ *  - AdmissionQoS.*: the server-level guarantee — with the batch
+ *    queue saturated, interactive pings stay fast (the /metrics
+ *    interactive-wait histogram bounds their p99) and the framed
+ *    `stats` admission section agrees exactly with the Prometheus
+ *    `vnoised_admission_*` series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "analysis/serving.hh"
+#include "service/admission.hh"
+#include "service/client.hh"
+#include "service/dispatcher.hh"
+#include "service/http.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using namespace vn;
+using namespace vn::service;
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+/** Reduced-cost kit (same recipe as test_service.cc). */
+const vn::StressmarkKit &
+kit()
+{
+    static auto k = [] {
+        bool prev = vn::setQuiet(true);
+        vn::StressmarkKitParams params;
+        params.epi_reps = 300;
+        params.search.ipc_filter_keep = 32;
+        params.search.ipc_eval_instrs = 200;
+        params.search.power_eval_instrs = 800;
+        vn::StressmarkKit built(core(), params);
+        vn::setQuiet(prev);
+        return built;
+    }();
+    return k;
+}
+
+std::string
+scratchDir(const std::string &leaf)
+{
+    std::string dir = ::testing::TempDir() + "vnoise_admission_" +
+                      std::to_string(::getpid()) + "_" + leaf;
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+/** Compute-capable context; one shared campaign cache per process so
+ *  "warm" means warm for every dispatcher and server in this file. */
+vn::AnalysisContext
+computeContext()
+{
+    static std::string cache = scratchDir("campaign_cache");
+    vn::AnalysisContext ctx;
+    ctx.kit = &kit();
+    ctx.window = 6e-6;
+    ctx.unsync_draws = 2;
+    ctx.consecutive_events = 200;
+    ctx.campaign.cache_dir = cache;
+    return ctx;
+}
+
+DroopTraceSpec
+traceSpec(double window)
+{
+    DroopTraceSpec spec;
+    spec.freq_hz = 2.4e6;
+    spec.window = window;
+    spec.core = 1;
+    spec.decimation = 8;
+    return spec;
+}
+
+AnyRequest
+traceRequest(double window)
+{
+    return AnyRequest(TraceRequest{traceSpec(window)});
+}
+
+/** The spec every "warm interactive" request uses; warmed once. */
+constexpr double kWarmWindow = 6e-6;
+constexpr double kColdWindow = 8e-6;
+
+void
+warmTraceCache()
+{
+    static bool warmed = [] {
+        auto ctx = computeContext();
+        droopTraces(ctx,
+                    std::vector<DroopTraceSpec>{traceSpec(kWarmWindow)});
+        return true;
+    }();
+    (void)warmed;
+}
+
+// ---------------------------------------------------------------------
+// Wfq: the queue in isolation. Items are ints; < 100 marks the
+// interactive flow, >= 100 the batch flow.
+
+TEST(Wfq, WeightedShareIsExactlyFourToOne)
+{
+    WfqConfig config;
+    config.interactive_weight = 4.0;
+    config.batch_weight = 1.0;
+    config.promotion_age_ms = 0.0; // isolate the weights
+    WfqQueue<int> queue(config);
+
+    for (int i = 0; i < 60; ++i)
+        queue.push(i, Tier::Interactive, /*client_id=*/1, /*now_ms=*/0.0);
+    for (int i = 0; i < 60; ++i)
+        queue.push(100 + i, Tier::Batch, /*client_id=*/2, /*now_ms=*/0.0);
+    EXPECT_EQ(queue.size(), 120u);
+    EXPECT_EQ(queue.depth(Tier::Interactive), 60u);
+    EXPECT_EQ(queue.depth(Tier::Batch), 60u);
+
+    // With both flows saturated, any window of pops splits 4:1 — the
+    // first 50 pops are EXACTLY 40 interactive and 10 batch, and each
+    // flow drains in FIFO order.
+    int interactive_seen = 0, batch_seen = 0;
+    int next_interactive = 0, next_batch = 100;
+    for (int i = 0; i < 50; ++i) {
+        auto tier = queue.peekTier(0.0);
+        ASSERT_TRUE(tier.has_value());
+        auto value = queue.pop(0.0);
+        ASSERT_TRUE(value.has_value());
+        if (*value < 100) {
+            EXPECT_EQ(*tier, Tier::Interactive);
+            EXPECT_EQ(*value, next_interactive++);
+            ++interactive_seen;
+        } else {
+            EXPECT_EQ(*tier, Tier::Batch);
+            EXPECT_EQ(*value, next_batch++);
+            ++batch_seen;
+        }
+    }
+    EXPECT_EQ(interactive_seen, 40);
+    EXPECT_EQ(batch_seen, 10);
+    EXPECT_EQ(queue.counters(Tier::Interactive).popped, 40u);
+    EXPECT_EQ(queue.counters(Tier::Batch).popped, 10u);
+    EXPECT_EQ(queue.counters(Tier::Interactive).promoted, 0u);
+    EXPECT_EQ(queue.counters(Tier::Batch).promoted, 0u);
+
+    // An idle flow accumulates no credit: drain everything, push one
+    // item per flow much later — service resumes at the same 4:1
+    // cadence (interactive first), not a burst repaying idle time.
+    while (!queue.empty())
+        queue.pop(0.0);
+    queue.push(1000, Tier::Batch, 2, 5000.0);
+    queue.push(2000, Tier::Interactive, 1, 5000.0);
+    auto first = queue.pop(5000.0);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 2000);
+}
+
+TEST(Wfq, PromotionServesTheStarvedHeadAtTheAgeBound)
+{
+    WfqConfig config;
+    config.interactive_weight = 4.0;
+    config.batch_weight = 1.0;
+    config.promotion_age_ms = 50.0;
+    WfqQueue<int> queue(config);
+
+    // One batch item at t=0, then an interactive firehose at t=10
+    // that would win on tags forever.
+    queue.push(100, Tier::Batch, 2, 0.0);
+    for (int i = 0; i < 32; ++i)
+        queue.push(i, Tier::Interactive, 1, 10.0);
+
+    // Below the age bound the weights rule: interactive pops.
+    auto early = queue.pop(40.0);
+    ASSERT_TRUE(early.has_value());
+    EXPECT_EQ(*early, 0);
+    EXPECT_EQ(queue.counters(Tier::Batch).promoted, 0u);
+
+    // At t=60 the batch head is 60 ms old >= 50: it is promoted past
+    // every smaller tag — the starvation bound, not the weights,
+    // decides.
+    auto promoted = queue.pop(60.0);
+    ASSERT_TRUE(promoted.has_value());
+    EXPECT_EQ(*promoted, 100);
+    EXPECT_EQ(queue.counters(Tier::Batch).promoted, 1u);
+    EXPECT_NEAR(queue.lastPopWaitMs(), 60.0, 1e-9);
+
+    // Once both heads are over-age, the OLDEST wins — promotion is
+    // FIFO across flows, so it cannot itself starve anyone.
+    queue.push(101, Tier::Batch, 2, 70.0);
+    auto oldest = queue.pop(200.0);
+    ASSERT_TRUE(oldest.has_value());
+    EXPECT_EQ(*oldest, 1)
+        << "the t=10 interactive head predates the t=70 batch item";
+
+    // promotion_age_ms <= 0 disables the guard entirely.
+    WfqQueue<int> no_guard(WfqConfig{4.0, 1.0, 0.0});
+    no_guard.push(100, Tier::Batch, 2, 0.0);
+    no_guard.push(0, Tier::Interactive, 1, 0.0);
+    auto pick = no_guard.pop(1e9);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0) << "with the guard off, tags alone decide";
+}
+
+TEST(Wfq, DepthAndCounterAccountingStaysExact)
+{
+    WfqQueue<int> queue;
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.peekTier(0.0).has_value());
+    EXPECT_FALSE(queue.pop(0.0).has_value());
+
+    queue.push(1, Tier::Interactive, 7, 0.0);
+    queue.push(2, Tier::Batch, 7, 1.0);
+    queue.push(3, Tier::Batch, 8, 2.0);
+    EXPECT_EQ(queue.size(), 3u);
+    EXPECT_EQ(queue.depth(Tier::Interactive), 1u);
+    EXPECT_EQ(queue.depth(Tier::Batch), 2u);
+    EXPECT_EQ(queue.counters(Tier::Interactive).pushed, 1u);
+    EXPECT_EQ(queue.counters(Tier::Batch).pushed, 2u);
+
+    while (queue.pop(10.0).has_value()) {
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.depth(Tier::Interactive), 0u);
+    EXPECT_EQ(queue.depth(Tier::Batch), 0u);
+    EXPECT_EQ(queue.counters(Tier::Interactive).popped, 1u);
+    EXPECT_EQ(queue.counters(Tier::Batch).popped, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Admission: the dispatcher's classification and backpressure.
+
+TEST(Admission, ClassificationFollowsVerbAndCacheState)
+{
+    warmTraceCache();
+    auto ctx = computeContext();
+    Dispatcher dispatcher(ctx, DispatcherConfig{});
+
+    // A warmed trace is a cache hit => Interactive; a cold one is a
+    // campaign => Batch. The probe uses the same key the campaign
+    // stores under, so this is exact, not heuristic.
+    EXPECT_EQ(dispatcher.classify(traceRequest(kWarmWindow)),
+              Tier::Interactive);
+    EXPECT_EQ(dispatcher.classify(traceRequest(kColdWindow)),
+              Tier::Batch);
+
+    // A cold sweep is Batch; map/margin/guardband are Batch even when
+    // their results might be cached (their scopes carry per-request
+    // extras the admission probe cannot reconstruct).
+    SweepRequest sweep;
+    sweep.spec.freq_hz = 3.1e6;
+    EXPECT_EQ(dispatcher.classify(AnyRequest(sweep)), Tier::Batch);
+    MapRequest map;
+    EXPECT_EQ(dispatcher.classify(AnyRequest(map)), Tier::Batch);
+
+    // Without a cache directory there is no probe: everything that is
+    // not a control verb rides the batch tier.
+    vn::AnalysisContext bare = computeContext();
+    bare.campaign.cache_dir.clear();
+    Dispatcher no_cache(bare, DispatcherConfig{});
+    EXPECT_EQ(no_cache.classify(traceRequest(kWarmWindow)), Tier::Batch);
+}
+
+TEST(Admission, RetryAfterHintIsPerTier)
+{
+    warmTraceCache();
+    auto ctx = computeContext();
+
+    DispatcherConfig config;
+    config.queue_depth = 2; // per tier
+    config.max_batch = 1;
+    config.batch_window_ms = 10;
+
+    // Completion records; declared before the dispatcher so they
+    // outlive the drain in its destructor.
+    std::mutex mutex;
+    std::vector<WireError> rejects;
+    auto record = [&](std::variant<AnyResult, WireError> outcome) {
+        if (std::holds_alternative<WireError>(outcome)) {
+            std::lock_guard<std::mutex> lock(mutex);
+            rejects.push_back(std::get<WireError>(outcome));
+        }
+    };
+
+    Dispatcher dispatcher(ctx, config);
+    dispatcher.pauseForTest(true); // fill the queue deterministically
+    dispatcher.start();
+
+    // Fill both tiers to their (per-tier!) caps.
+    for (int i = 0; i < 2; ++i)
+        dispatcher.submit(traceRequest(kWarmWindow), std::nullopt,
+                          record, /*client_id=*/1);
+    for (int i = 0; i < 2; ++i)
+        dispatcher.submit(traceRequest(kColdWindow), std::nullopt,
+                          record, /*client_id=*/2);
+    EXPECT_EQ(dispatcher.queueDepth(Tier::Interactive), 2u);
+    EXPECT_EQ(dispatcher.queueDepth(Tier::Batch), 2u);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_TRUE(rejects.empty());
+    }
+
+    // The interactive hint waits out ONLY the interactive backlog:
+    //   10 ms * (1 + 2/1) = 30.  The batch hint waits out both tiers:
+    //   10 ms * (1 + 4/1) = 50.  A shared global hint would tell the
+    // interactive client to back off for the batch queue's horizon —
+    // the regression this test pins down.
+    dispatcher.submit(traceRequest(kWarmWindow), std::nullopt, record, 1);
+    dispatcher.submit(traceRequest(kColdWindow), std::nullopt, record, 2);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_EQ(rejects.size(), 2u);
+        EXPECT_EQ(rejects[0].code, "overloaded");
+        EXPECT_DOUBLE_EQ(rejects[0].retry_after_ms, 30.0);
+        EXPECT_EQ(rejects[1].code, "overloaded");
+        EXPECT_DOUBLE_EQ(rejects[1].retry_after_ms, 50.0);
+        EXPECT_NE(rejects[0].message.find("interactive"),
+                  std::string::npos);
+        EXPECT_NE(rejects[1].message.find("batch"), std::string::npos);
+    }
+
+    ServiceCounters counters = dispatcher.counters();
+    EXPECT_EQ(counters.tier[0].admitted, 2u);
+    EXPECT_EQ(counters.tier[1].admitted, 2u);
+    EXPECT_EQ(counters.tier[0].rejected_overloaded, 1u);
+    EXPECT_EQ(counters.tier[1].rejected_overloaded, 1u);
+
+    dispatcher.pauseForTest(false); // let the destructor drain cleanly
+}
+
+TEST(Admission, StarvedBatchRequestIsServedWithinThePromotionAge)
+{
+    warmTraceCache();
+    auto ctx = computeContext();
+
+    DispatcherConfig config;
+    config.max_batch = 1; // one WFQ decision per drained batch
+    config.batch_window_ms = 0;
+    config.wfq.promotion_age_ms = 50.0;
+
+    // A hand-cranked clock: enqueue ages (and thus promotion) are
+    // driven by the test, so this is deterministic, not timing-based.
+    auto fake_ms = std::make_shared<std::atomic<double>>(0.0);
+
+    std::mutex mutex;
+    std::vector<Tier> completion_order;
+    auto recordTier = [&](Tier tier) {
+        return [&, tier](std::variant<AnyResult, WireError> outcome) {
+            EXPECT_TRUE(std::holds_alternative<AnyResult>(outcome));
+            std::lock_guard<std::mutex> lock(mutex);
+            completion_order.push_back(tier);
+        };
+    };
+
+    Dispatcher dispatcher(ctx, config);
+    dispatcher.setClockForTest([fake_ms] { return fake_ms->load(); });
+    dispatcher.pauseForTest(true);
+    dispatcher.start();
+
+    // One batch request at t=0 behind eight interactive cache hits
+    // enqueued at t=10; by t=100 the batch head is 100 ms old, twice
+    // the promotion age, while every interactive tag still beats it.
+    // Its window must be one no earlier test ever computed (a warmed
+    // cache would reclassify it Interactive).
+    constexpr double kStarvedWindow = 1.2e-5;
+    ASSERT_EQ(dispatcher.classify(traceRequest(kStarvedWindow)),
+              Tier::Batch);
+    dispatcher.submit(traceRequest(kStarvedWindow), std::nullopt,
+                      recordTier(Tier::Batch), /*client_id=*/1);
+    fake_ms->store(10.0);
+    for (int i = 0; i < 8; ++i)
+        dispatcher.submit(traceRequest(kWarmWindow), std::nullopt,
+                          recordTier(Tier::Interactive),
+                          /*client_id=*/2);
+    fake_ms->store(100.0);
+    dispatcher.pauseForTest(false);
+
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (completion_order.size() == 9)
+            break;
+        std::this_thread::yield();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_EQ(completion_order.size(), 9u);
+        EXPECT_EQ(completion_order.front(), Tier::Batch)
+            << "the over-age batch request must be drained FIRST, "
+               "ahead of every better-tagged interactive item";
+    }
+    ServiceCounters counters = dispatcher.counters();
+    EXPECT_EQ(counters.tier[1].promoted, 1u);
+    // The clock is frozen at t=100, so by the time the batcher gets
+    // to the interactive items they are over-age too — all eight pop
+    // through the promotion path. Deterministic under the fake clock.
+    EXPECT_EQ(counters.tier[0].promoted, 8u);
+}
+
+// ---------------------------------------------------------------------
+// AdmissionQoS: the server-level guarantee, observed the way an
+// operator would observe it — through /metrics.
+
+/** First value of `name<space>` in a Prometheus text body. */
+double
+metricValue(const std::string &body, const std::string &name)
+{
+    std::string needle = name + " ";
+    size_t pos = 0;
+    while ((pos = body.find(needle, pos)) != std::string::npos) {
+        if (pos == 0 || body[pos - 1] == '\n')
+            return std::strtod(body.c_str() + pos + needle.size(),
+                               nullptr);
+        pos += needle.size();
+    }
+    ADD_FAILURE() << "metric not found: " << name;
+    return -1.0;
+}
+
+/** Cumulative count of a histogram bucket `le` (exact label match). */
+double
+bucketCount(const std::string &body, const std::string &histogram,
+            const std::string &le)
+{
+    return metricValue(body,
+                       histogram + "_bucket{le=\"" + le + "\"}");
+}
+
+TEST(AdmissionQoS, PingStaysFastUnderASaturatedBatchQueueAndStatsMatchMetrics)
+{
+    warmTraceCache();
+    auto ctx = computeContext();
+    ServerConfig config;
+    config.port = 0;
+    config.http_port = 0;
+    Server server(ctx, config);
+    server.start();
+    server.pauseForTest(true); // queued batch work stays queued
+
+    // Saturate the batch tier: 12 distinct cold traces from clients
+    // that never read their responses.
+    const int kBatchLoad = 12;
+    std::vector<Client> batch_clients;
+    for (int i = 0; i < kBatchLoad; ++i) {
+        batch_clients.emplace_back(server.port());
+        Json request = Json::object();
+        request.set("id", Json::number(i + 1));
+        request.set("verb", Json::str("trace"));
+        request.set("params",
+                    encodeRequestParams(
+                        traceRequest(9e-6 + i * 2e-7)));
+        ASSERT_TRUE(writeFrame(batch_clients.back().nativeHandle(),
+                               request.dump()));
+    }
+
+    // Admission is asynchronous to the writes; wait for the depth.
+    Client observer(server.port());
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    Json stats;
+    while (std::chrono::steady_clock::now() < deadline) {
+        stats = observer.stats();
+        if (stats.at("admission").at("batch_depth").asNumber() ==
+            kBatchLoad)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(stats.at("admission").at("batch_depth").asNumber(),
+              static_cast<double>(kBatchLoad));
+
+    // 100 interactive pings while the batch queue is full. Each is
+    // answered inline — never behind the queue — so the interactive
+    // tier's histogram now holds 100 sub-bound samples.
+    Client pinger(server.port());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(pinger.ping(), kProtocolVersion);
+
+    stats = observer.stats();
+    HttpResponse metrics = httpRequestForTest(
+        server.httpPort(),
+        "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    ASSERT_EQ(metrics.status, 200);
+    const std::string &body = metrics.body;
+
+    // QoS bound: p99 of the interactive wait is within 100 ms even
+    // with the batch tier saturated — at least 99 of the 100 pings
+    // landed at or below the le="100" bucket.
+    double total =
+        bucketCount(body, "vnoised_interactive_wait_ms", "+Inf");
+    double within =
+        bucketCount(body, "vnoised_interactive_wait_ms", "100");
+    ASSERT_GE(total, 100.0);
+    EXPECT_GE(within / total, 0.99)
+        << "interactive p99 exceeded 100 ms under batch saturation";
+
+    // The framed stats admission section and the Prometheus rendering
+    // are two encodings of the same counters and must agree EXACTLY.
+    const Json &admission = stats.at("admission");
+    struct Pair
+    {
+        const char *stats_key;
+        const char *metric;
+    };
+    const Pair pairs[] = {
+        {"interactive_admitted_total",
+         "vnoised_admission_interactive_admitted_total"},
+        {"interactive_rejected_overloaded_total",
+         "vnoised_admission_interactive_rejected_overloaded_total"},
+        {"interactive_promoted_total",
+         "vnoised_admission_interactive_promoted_total"},
+        {"interactive_depth", "vnoised_admission_interactive_depth"},
+        {"batch_admitted_total",
+         "vnoised_admission_batch_admitted_total"},
+        {"batch_rejected_overloaded_total",
+         "vnoised_admission_batch_rejected_overloaded_total"},
+        {"batch_promoted_total",
+         "vnoised_admission_batch_promoted_total"},
+        {"batch_depth", "vnoised_admission_batch_depth"},
+    };
+    for (const Pair &pair : pairs) {
+        SCOPED_TRACE(pair.metric);
+        EXPECT_EQ(metricValue(body, pair.metric),
+                  admission.at(pair.stats_key).asNumber());
+    }
+    // And the load is where this test put it.
+    EXPECT_EQ(admission.at("batch_depth").asNumber(),
+              static_cast<double>(kBatchLoad));
+    EXPECT_EQ(admission.at("batch_admitted_total").asNumber(),
+              static_cast<double>(kBatchLoad));
+    EXPECT_EQ(admission.at("interactive_depth").asNumber(), 0.0);
+
+    // Let the queued campaigns run to completion before teardown.
+    server.pauseForTest(false);
+    batch_clients.clear();
+    server.beginShutdown();
+    server.wait();
+}
+
+} // namespace

@@ -1,0 +1,635 @@
+/**
+ * @file
+ * Conformance tests of the chunked streaming result path:
+ *
+ *  - StreamProtocol.*: the pure frame helpers — chunk-count ceiling,
+ *    checksum formatting, and envelope classification (malformed
+ *    frames classify Bad, ordinary responses classify None).
+ *  - Stream.*: the live contract. A >1 MiB trace streams through a
+ *    default-framed vnoised and reassembles byte-identically to the
+ *    in-process campaign AND to an unstreamed transport of the same
+ *    result; a client without the opt-in gets a structured
+ *    `result_too_large`; every sequencing violation (out-of-order,
+ *    duplicate, short, checksum mismatch, single-frame mid-stream)
+ *    poisons the connection with ONE `bad_response`; a client that
+ *    disconnects mid-stream reaps the server's writer
+ *    (`stream_aborts`); and a faultnet mid-frame cut mid-stream
+ *    surfaces as ONE `io_error` to a plain client and is absorbed by
+ *    ONE ResilientClient retry with byte-identical reassembly
+ *    (scripts/check.sh replays this with two different seeds via
+ *    VNOISE_FAULT_SEED).
+ *  - StreamRelay.*: the StreamSink relay mode the router builds on —
+ *    frames arrive in wire order with verified checksums, and a sink
+ *    that gives up aborts the call with a non-retryable `aborted`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "analysis/serving.hh"
+#include "runtime/hash.hh"
+#include "service/client.hh"
+#include "service/codec.hh"
+#include "service/faultnet.hh"
+#include "service/resilient.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using namespace vn;
+using namespace vn::service;
+
+const vn::CoreModel &
+core()
+{
+    static vn::CoreModel c;
+    return c;
+}
+
+/** Reduced-cost kit (same recipe as test_service.cc). */
+const vn::StressmarkKit &
+kit()
+{
+    static auto k = [] {
+        bool prev = vn::setQuiet(true);
+        vn::StressmarkKitParams params;
+        params.epi_reps = 300;
+        params.search.ipc_filter_keep = 32;
+        params.search.ipc_eval_instrs = 200;
+        params.search.power_eval_instrs = 800;
+        vn::StressmarkKit built(core(), params);
+        vn::setQuiet(prev);
+        return built;
+    }();
+    return k;
+}
+
+/** A per-process scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &leaf)
+{
+    std::string dir = ::testing::TempDir() + "vnoise_stream_" +
+                      std::to_string(::getpid()) + "_" + leaf;
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+/**
+ * Compute-capable context. Every server in this file (and the
+ * in-process reference) shares one campaign cache directory, so the
+ * 60000-sample trace below is computed exactly once per test run and
+ * every later round-trip replays it bit-identically from the cache —
+ * the assertions exercise the transport, not the simulator.
+ */
+vn::AnalysisContext
+computeContext()
+{
+    static std::string cache = scratchDir("campaign_cache");
+    vn::AnalysisContext ctx;
+    ctx.kit = &kit();
+    ctx.window = 6e-6;
+    ctx.unsync_draws = 2;
+    ctx.consecutive_events = 200;
+    ctx.campaign.cache_dir = cache;
+    return ctx;
+}
+
+/** 60000 undecimated samples: ~1.2 MB encoded, past the 1 MiB frame
+ *  cap — the result that MUST stream. */
+DroopTraceSpec
+bigTraceSpec()
+{
+    DroopTraceSpec spec;
+    spec.freq_hz = 2.4e6;
+    spec.window = 6e-5;
+    spec.core = 1;
+    spec.decimation = 1;
+    return spec;
+}
+
+Json
+bigTraceParams()
+{
+    return encodeRequestParams(AnyRequest(TraceRequest{bigTraceSpec()}));
+}
+
+/** The in-process campaign's canonical dump of the big trace. */
+const std::string &
+bigTraceReferenceDump()
+{
+    static std::string dump = [] {
+        auto ctx = computeContext();
+        auto traces = droopTraces(
+            ctx, std::vector<DroopTraceSpec>{bigTraceSpec()});
+        return encodeResult(AnyResult(traces[0])).dump();
+    }();
+    return dump;
+}
+
+/**
+ * A scripted one-shot server: accepts one connection, reads one
+ * request frame, and answers with whatever frames the script builds
+ * from the request's id — the only honest way to put a misbehaving
+ * streamer on the wire.
+ */
+class FakeStreamServer
+{
+  public:
+    using Script = std::function<std::vector<Json>(const Json &id)>;
+
+    explicit FakeStreamServer(Script script)
+    {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(listen_fd_, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        EXPECT_EQ(::bind(listen_fd_,
+                         reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listen_fd_, 1), 0);
+        socklen_t len = sizeof(addr);
+        EXPECT_EQ(::getsockname(listen_fd_,
+                                reinterpret_cast<sockaddr *>(&addr),
+                                &len),
+                  0);
+        port_ = ntohs(addr.sin_port);
+        thread_ = std::thread([this, script = std::move(script)] {
+            int fd = ::accept(listen_fd_, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            std::string payload;
+            if (readFrame(fd, payload, kDefaultMaxFrameBytes) ==
+                FrameStatus::Ok) {
+                Json id;
+                try {
+                    Json request = Json::parse(payload);
+                    if (request.isObject() && request.has("id"))
+                        id = request.at("id");
+                } catch (const JsonError &) {
+                }
+                for (const Json &frame : script(id))
+                    if (!writeFrame(fd, frame.dump()))
+                        break;
+            }
+            // Linger until the client hangs up so its close is clean.
+            char sink[256];
+            while (::read(fd, sink, sizeof(sink)) > 0) {
+            }
+            ::close(fd);
+        });
+    }
+
+    ~FakeStreamServer()
+    {
+        if (thread_.joinable())
+            thread_.join();
+        ::close(listen_fd_);
+    }
+
+    int port() const { return port_; }
+
+  private:
+    int listen_fd_ = -1;
+    int port_ = -1;
+    std::thread thread_;
+};
+
+/** Expect `call` to throw a ServiceError with `code`; returns it. */
+template <typename Call>
+ServiceError
+expectError(const std::string &code, Call &&call)
+{
+    try {
+        call();
+    } catch (const ServiceError &e) {
+        EXPECT_EQ(e.code(), code) << e.what();
+        return e;
+    }
+    ADD_FAILURE() << "expected ServiceError " << code;
+    return ServiceError("", "");
+}
+
+// ---------------------------------------------------------------------
+// StreamProtocol: pure frame helpers.
+
+TEST(StreamProtocol, ChunkCountCeilsAndFloorsAtOne)
+{
+    EXPECT_EQ(streamChunkCount(0, 1024), 1u)
+        << "an empty result still streams one (empty) chunk";
+    EXPECT_EQ(streamChunkCount(1, 1024), 1u);
+    EXPECT_EQ(streamChunkCount(1024, 1024), 1u);
+    EXPECT_EQ(streamChunkCount(1025, 1024), 2u);
+    EXPECT_EQ(streamChunkCount(10 * 1024, 1024), 10u);
+    EXPECT_EQ(streamChunkCount(10 * 1024 + 1, 1024), 11u);
+    EXPECT_EQ(streamChunkCount(7, 0), 7u)
+        << "a zero chunk size must not divide by zero";
+}
+
+TEST(StreamProtocol, ChecksumIsSixteenLowercaseHexOfTheWholeText)
+{
+    std::string checksum = streamChecksumHex("hello");
+    EXPECT_EQ(checksum.size(), 16u);
+    for (char c : checksum)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << checksum;
+    EXPECT_EQ(checksum, streamChecksumHex("hello"));
+    EXPECT_NE(checksum, streamChecksumHex("hellp"));
+    // Chunk-wise accumulation equals the whole-text checksum — the
+    // property every relay checkpoint relies on.
+    uint64_t rolling = runtime::kFnvOffset;
+    rolling = runtime::fnv1aAppend(rolling, "he");
+    rolling = runtime::fnv1aAppend(rolling, "llo");
+    EXPECT_EQ(rolling, runtime::fnv1a("hello"));
+}
+
+TEST(StreamProtocol, EnvelopesClassifyAndMalformedFramesAreBad)
+{
+    Json id = Json::number(7);
+    Json begin = makeStreamBegin(id, "trace", 1000, 4, 256);
+    Json chunk = makeStreamChunk(id, 0, "data");
+    Json end = makeStreamEnd(id, 4, streamChecksumHex("data"));
+    EXPECT_EQ(streamFrameKind(begin), StreamFrameKind::Begin);
+    EXPECT_EQ(streamFrameKind(chunk), StreamFrameKind::Chunk);
+    EXPECT_EQ(streamFrameKind(end), StreamFrameKind::End);
+    EXPECT_TRUE(begin.at("ok").asBool());
+    EXPECT_EQ(begin.at("bytes").asNumber(), 1000.0);
+    EXPECT_EQ(begin.at("chunks").asNumber(), 4.0);
+
+    // Ordinary responses are not stream frames.
+    EXPECT_EQ(streamFrameKind(makeOkResponse(id, Json::object())),
+              StreamFrameKind::None);
+    EXPECT_EQ(streamFrameKind(makeErrorResponse(
+                  id, WireError{"overloaded", "full"})),
+              StreamFrameKind::None);
+
+    // Required fields missing or mistyped classify Bad, never None —
+    // a client must not mistake a torn envelope for a result.
+    Json bad_kind = Json::object();
+    bad_kind.set("stream", Json::str("nonsense"));
+    EXPECT_EQ(streamFrameKind(bad_kind), StreamFrameKind::Bad);
+    Json no_seq = makeStreamChunk(id, 0, "data");
+    no_seq.set("seq", Json::str("zero"));
+    EXPECT_EQ(streamFrameKind(no_seq), StreamFrameKind::Bad);
+    Json no_checksum = makeStreamEnd(id, 4, "abc");
+    no_checksum.set("checksum", Json::number(1));
+    EXPECT_EQ(streamFrameKind(no_checksum), StreamFrameKind::Bad);
+    Json no_bytes = makeStreamBegin(id, "trace", 1000, 4, 256);
+    no_bytes.set("bytes", Json::str("many"));
+    EXPECT_EQ(streamFrameKind(no_bytes), StreamFrameKind::Bad);
+}
+
+// ---------------------------------------------------------------------
+// Stream: the live contract.
+
+TEST(Stream, LargeTraceStreamsBitIdenticalToCampaignAndUnstreamed)
+{
+    auto ctx = computeContext();
+    ServerConfig config;
+    config.port = 0;
+    Server server(ctx, config);
+    server.start();
+
+    // Opted-in client: the >1 MiB result arrives chunked and
+    // reassembles to the in-process campaign's exact bytes.
+    Client streamed(server.port());
+    streamed.setAcceptStream(true);
+    Json result = streamed.call("trace", bigTraceParams());
+    EXPECT_EQ(result.dump(), bigTraceReferenceDump());
+    EXPECT_GT(result.dump().size(), kDefaultMaxFrameBytes)
+        << "the fixture must exceed the frame cap to prove anything";
+
+    ServerCounters counters = server.serverCounters();
+    EXPECT_EQ(counters.streams, 1u);
+    EXPECT_EQ(counters.stream_chunks,
+              streamChunkCount(bigTraceReferenceDump().size(),
+                               config.stream_chunk_bytes));
+    EXPECT_EQ(counters.stream_aborts, 0u);
+
+    // The decoded trace is usable, not just byte-equal.
+    DroopTrace trace =
+        std::get<DroopTrace>(decodeResult(Verb::Trace, result));
+    EXPECT_EQ(trace.v.size(), 60000u);
+
+    // A client that never opted in gets a structured reject, not a
+    // torn frame and not a silent truncation.
+    Client plain(server.port());
+    ServiceError too_large = expectError("result_too_large", [&] {
+        plain.call("trace", bigTraceParams());
+    });
+    EXPECT_NE(std::string(too_large.what()).find("accept_stream"),
+              std::string::npos)
+        << "the reject must tell the client how to opt in";
+    EXPECT_EQ(server.serverCounters().result_too_large, 1u);
+
+    server.beginShutdown();
+    server.wait();
+
+    // Unstreamed transport of the SAME result: a server whose frame
+    // cap fits the payload answers in one frame; the bytes must match
+    // the streamed reassembly exactly. (A raw-framed reader, because
+    // Client's read cap is the default frame size by design.)
+    ServerConfig wide = config;
+    wide.max_frame_bytes = 8u << 20;
+    Server single(ctx, wide);
+    single.start();
+    {
+        Client raw(single.port());
+        Json request = Json::object();
+        request.set("id", Json::number(1));
+        request.set("verb", Json::str("trace"));
+        request.set("params", bigTraceParams());
+        ASSERT_TRUE(writeFrame(raw.nativeHandle(), request.dump()));
+        std::string payload;
+        ASSERT_EQ(readFrame(raw.nativeHandle(), payload, 16u << 20),
+                  FrameStatus::Ok);
+        Json response = Json::parse(payload);
+        ASSERT_TRUE(response.at("ok").asBool());
+        EXPECT_EQ(streamFrameKind(response), StreamFrameKind::None)
+            << "a fitting result must not stream";
+        EXPECT_EQ(response.at("result").dump(),
+                  bigTraceReferenceDump());
+    }
+    EXPECT_EQ(single.serverCounters().streams, 0u);
+    single.beginShutdown();
+    single.wait();
+}
+
+TEST(Stream, SequencingViolationsPoisonTheConnectionAsBadResponse)
+{
+    const std::string text = "0123456789"; // the streamed "result"
+    const std::string checksum = streamChecksumHex(text);
+
+    // Each scenario scripts one protocol violation; the client must
+    // answer every one of them with bad_response AND a closed
+    // connection (the next call fails without touching the wire).
+    struct Scenario
+    {
+        const char *name;
+        FakeStreamServer::Script script;
+    };
+    const std::vector<Scenario> scenarios = {
+        {"out-of-order seq",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamBegin(id, "trace", text.size(), 2, 5),
+                 makeStreamChunk(id, 1, text.substr(5)),
+             };
+         }},
+        {"duplicate seq",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamBegin(id, "trace", text.size(), 2, 5),
+                 makeStreamChunk(id, 0, text.substr(0, 5)),
+                 makeStreamChunk(id, 0, text.substr(0, 5)),
+             };
+         }},
+        {"missing seq at end",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamBegin(id, "trace", text.size(), 2, 5),
+                 makeStreamChunk(id, 0, text.substr(0, 5)),
+                 makeStreamEnd(id, 2, checksum),
+             };
+         }},
+        {"chunk beyond announced count",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamBegin(id, "trace", 5, 1, 5),
+                 makeStreamChunk(id, 0, text.substr(0, 5)),
+                 makeStreamChunk(id, 1, text.substr(5)),
+             };
+         }},
+        {"checksum mismatch",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamBegin(id, "trace", text.size(), 2, 5),
+                 makeStreamChunk(id, 0, text.substr(0, 5)),
+                 makeStreamChunk(id, 1, text.substr(5)),
+                 makeStreamEnd(id, 2, "0000000000000000"),
+             };
+         }},
+        {"single-frame ok mid-stream",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamBegin(id, "trace", text.size(), 2, 5),
+                 makeOkResponse(id, Json::str(text)),
+             };
+         }},
+        {"chunk before begin",
+         [&](const Json &id) {
+             return std::vector<Json>{
+                 makeStreamChunk(id, 0, text),
+             };
+         }},
+        {"malformed stream frame",
+         [&](const Json &id) {
+             Json bad = makeStreamChunk(id, 0, text);
+             bad.set("data", Json::number(3.0));
+             return std::vector<Json>{bad};
+         }},
+    };
+
+    for (const Scenario &scenario : scenarios) {
+        SCOPED_TRACE(scenario.name);
+        FakeStreamServer fake(scenario.script);
+        Client client(fake.port());
+        client.setAcceptStream(true);
+        expectError("bad_response", [&] {
+            client.call("trace", Json::object());
+        });
+        // Poisoned means CLOSED: no later call may read frames that
+        // might belong to the torn stream.
+        expectError("io_error",
+                    [&] { client.call("ping", Json::object()); });
+    }
+}
+
+TEST(Stream, MidStreamDisconnectReapsTheServerWriter)
+{
+    auto ctx = computeContext();
+    ServerConfig config;
+    config.port = 0;
+    Server server(ctx, config);
+    server.start();
+
+    // A raw client that requests the stream, reads only the begin
+    // frame, and vanishes. The server's writer must notice and abort
+    // the stream instead of pumping a megabyte into a dead socket.
+    {
+        Client raw(server.port());
+        Json request = Json::object();
+        request.set("id", Json::number(1));
+        request.set("verb", Json::str("trace"));
+        request.set("params", bigTraceParams());
+        request.set("accept_stream", Json::boolean(true));
+        ASSERT_TRUE(writeFrame(raw.nativeHandle(), request.dump()));
+        std::string payload;
+        ASSERT_EQ(readFrame(raw.nativeHandle(), payload, kDefaultMaxFrameBytes),
+                  FrameStatus::Ok);
+        EXPECT_EQ(streamFrameKind(Json::parse(payload)),
+                  StreamFrameKind::Begin);
+    } // ~Client closes the socket mid-stream
+
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.serverCounters().stream_aborts == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server.serverCounters().stream_aborts, 1u)
+        << "the writer was not reaped within 10 s";
+
+    server.beginShutdown();
+    server.wait();
+}
+
+TEST(Stream, MidStreamCutIsOneIoErrorAndOneRetryRestoresTheBytes)
+{
+    uint64_t seed = 17;
+    if (const char *env = std::getenv("VNOISE_FAULT_SEED"))
+        seed = std::strtoull(env, nullptr, 10);
+
+    auto ctx = computeContext();
+    ServerConfig config;
+    config.port = 0;
+    Server server(ctx, config);
+    server.start();
+
+    // Sever the response of request 0 after 300000 cumulative wire
+    // bytes — past the begin frame and the first 256 KiB chunk, deep
+    // inside the stream.
+    const size_t kCutBytes = 300000;
+
+    // A plain client sees exactly ONE io_error — never a torn or
+    // partial result.
+    {
+        FaultProxy proxy(server.port(),
+                         FaultSchedule().cutMidFrame(0, kCutBytes));
+        proxy.start();
+        Client plain(proxy.port());
+        plain.setAcceptStream(true);
+        expectError("io_error", [&] {
+            plain.call("trace", bigTraceParams());
+        });
+        EXPECT_EQ(proxy.counters().injected_cuts, 1u);
+        EXPECT_GT(proxy.counters().relayed_stream_frames, 0u)
+            << "the cut must land mid-stream, not before it";
+        proxy.stop();
+    }
+
+    // A resilient client absorbs the same cut with one retry and
+    // reassembles the exact campaign bytes — under whatever seed
+    // check.sh replays this with.
+    {
+        FaultProxy proxy(server.port(),
+                         FaultSchedule().cutMidFrame(0, kCutBytes));
+        proxy.start();
+        ResilientClientConfig rconfig;
+        rconfig.port = proxy.port();
+        rconfig.retry.max_attempts = 4;
+        rconfig.retry.backoff_base_ms = 0.5;
+        rconfig.retry.backoff_cap_ms = 5.0;
+        rconfig.retry.backoff_seed = seed;
+        ResilientClient resilient(rconfig);
+        resilient.setAcceptStream(true);
+
+        Json result = resilient.call("trace", bigTraceParams());
+        EXPECT_EQ(result.dump(), bigTraceReferenceDump())
+            << "retried reassembly diverged under seed " << seed;
+
+        ResilienceCounters rc = resilient.counters();
+        EXPECT_EQ(rc.retries, 1u)
+            << "one cut must cost exactly one retry";
+        EXPECT_EQ(rc.failures, 0u);
+        EXPECT_EQ(proxy.counters().injected_cuts, 1u);
+        proxy.stop();
+    }
+
+    server.beginShutdown();
+    server.wait();
+}
+
+// ---------------------------------------------------------------------
+// StreamRelay: the sink mode the router builds on.
+
+TEST(StreamRelay, SinkSeesFramesInWireOrderAndReturnsNull)
+{
+    auto ctx = computeContext();
+    ServerConfig config;
+    config.port = 0;
+    Server server(ctx, config);
+    server.start();
+
+    struct RecordingSink : StreamSink
+    {
+        std::vector<StreamFrameKind> kinds;
+        std::vector<size_t> seqs;
+        size_t bytes = 0;
+        bool onStreamFrame(const Json &frame,
+                           StreamFrameKind kind) override
+        {
+            kinds.push_back(kind);
+            if (kind == StreamFrameKind::Chunk) {
+                seqs.push_back(static_cast<size_t>(
+                    frame.at("seq").asNumber()));
+                bytes += frame.at("data").asString().size();
+            }
+            return true;
+        }
+    };
+
+    RecordingSink sink;
+    Client client(server.port());
+    Json returned = client.call("trace", bigTraceParams(), &sink);
+    EXPECT_TRUE(returned.isNull())
+        << "relay mode must not buffer a result";
+
+    size_t chunks = streamChunkCount(bigTraceReferenceDump().size(),
+                                     config.stream_chunk_bytes);
+    ASSERT_EQ(sink.kinds.size(), chunks + 2);
+    EXPECT_EQ(sink.kinds.front(), StreamFrameKind::Begin);
+    EXPECT_EQ(sink.kinds.back(), StreamFrameKind::End);
+    for (size_t i = 0; i < sink.seqs.size(); ++i)
+        EXPECT_EQ(sink.seqs[i], i);
+    EXPECT_EQ(sink.bytes, bigTraceReferenceDump().size());
+
+    // A sink that gives up mid-relay aborts the call with the
+    // non-retryable `aborted` and poisons the connection.
+    struct QuittingSink : StreamSink
+    {
+        int seen = 0;
+        bool onStreamFrame(const Json &, StreamFrameKind) override
+        {
+            return ++seen < 2;
+        }
+    };
+    QuittingSink quitter;
+    Client quitting(server.port());
+    expectError("aborted", [&] {
+        quitting.call("trace", bigTraceParams(), &quitter);
+    });
+    EXPECT_FALSE(retryableCode("aborted"))
+        << "a dead downstream must not trigger upstream retries";
+    expectError("io_error",
+                [&] { quitting.call("ping", Json::object()); });
+
+    server.beginShutdown();
+    server.wait();
+}
+
+} // namespace

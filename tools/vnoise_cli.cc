@@ -369,6 +369,18 @@ cmdServe(const Args &args)
         static_cast<int>(args.number("max-batch", 32));
     config.dispatcher.batch_window_ms =
         static_cast<int>(args.number("batch-window-ms", 0));
+    config.dispatcher.wfq.interactive_weight = args.number(
+        "interactive-weight", config.dispatcher.wfq.interactive_weight);
+    config.dispatcher.wfq.batch_weight =
+        args.number("batch-weight", config.dispatcher.wfq.batch_weight);
+    config.dispatcher.wfq.promotion_age_ms = args.number(
+        "promotion-age-ms", config.dispatcher.wfq.promotion_age_ms);
+    config.stream_chunk_bytes = static_cast<size_t>(args.number(
+        "stream-chunk-bytes",
+        static_cast<double>(config.stream_chunk_bytes)));
+    config.stream_threshold_bytes = static_cast<size_t>(args.number(
+        "stream-threshold-bytes",
+        static_cast<double>(config.stream_threshold_bytes)));
     config.advertise = args.text("advertise", "");
 
     AnalysisContext ctx;
@@ -436,9 +448,9 @@ cmdQuery(int argc, char **argv)
     Args args(argc, argv, 3);
     std::string bad = args.unknownKey(
         {"port", "router", "deadline-ms", "retries", "backoff-ms",
-         "call-deadline-ms", "freq", "sync", "events", "bias-step",
-         "mapping", "window", "core", "decimation", "intervals",
-         "mean-active", "seed"});
+         "call-deadline-ms", "accept-stream", "freq", "sync", "events",
+         "bias-step", "mapping", "window", "core", "decimation",
+         "intervals", "mean-active", "seed"});
     if (!bad.empty()) {
         std::fprintf(stderr, "vnoise_cli query: unknown option '--%s'\n",
                      bad.c_str());
@@ -506,6 +518,11 @@ cmdQuery(int argc, char **argv)
         rconfig.retry.attempt_deadline_ms =
             args.number("deadline-ms", 0);
     service::ResilientClient client(rconfig);
+    // Opt in to chunked streaming so a long undecimated trace is not
+    // bounded by the 1 MiB response frame cap; a server answering a
+    // `result_too_large` error is telling you to pass this.
+    if (args.has("accept-stream"))
+        client.setAcceptStream(true);
 
     try {
         if (verb == "ping") {
@@ -593,13 +610,19 @@ usage(std::FILE *out)
         "  spectrum [--freq HZ]\n"
         "  serve [--port N] [--http-port N] [--queue-depth N]\n"
         "        [--max-batch N] [--batch-window-ms N]\n"
+        "        [--interactive-weight W] [--batch-weight W]\n"
+        "        [--promotion-age-ms N] [--stream-chunk-bytes N]\n"
+        "        [--stream-threshold-bytes N]\n"
         "        [--advertise NAME]         run the vnoised daemon\n"
         "        (--http-port: Prometheus /metrics gateway, default "
         "7412;\n"
         "         0 = ephemeral, negative = disabled;\n"
+        "         --interactive-weight/--batch-weight: WFQ admission\n"
+        "         shares, default 4:1; --promotion-age-ms: starvation\n"
+        "         bound, default 1000;\n"
         "         --advertise: backend name announced to vnoise_router)\n"
         "  query <verb> [--port N | --router HOST:PORT]\n"
-        "        [--deadline-ms N] [--retries N]\n"
+        "        [--deadline-ms N] [--retries N] [--accept-stream]\n"
         "        [--backoff-ms N] [--call-deadline-ms N] [verb options]\n"
         "        verbs: ping stats shutdown sweep map margin guardband "
         "trace\n"
@@ -676,7 +699,10 @@ main(int argc, char **argv)
     if (command == "serve")
         return runChecked(args,
                           {"port", "http-port", "queue-depth",
-                           "max-batch", "batch-window-ms", "advertise"},
+                           "max-batch", "batch-window-ms",
+                           "interactive-weight", "batch-weight",
+                           "promotion-age-ms", "stream-chunk-bytes",
+                           "stream-threshold-bytes", "advertise"},
                           cmdServe);
     if (command == "query")
         return cmdQuery(argc, argv);

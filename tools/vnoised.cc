@@ -29,6 +29,10 @@ usage(std::FILE *out)
         "               [--queue-depth N] [--max-batch N]\n"
         "               [--batch-window-ms N] [--config PATH]\n"
         "               [--cache-dir P] [--no-cache]\n"
+        "               [--interactive-weight W] [--batch-weight W]\n"
+        "               [--promotion-age-ms N]\n"
+        "               [--stream-chunk-bytes N]\n"
+        "               [--stream-threshold-bytes N]\n"
         "               [--advertise NAME] [--version] [--help]\n"
         "Serves the voltage-noise simulator on 127.0.0.1 (default port "
         "%d).\n"
@@ -37,8 +41,15 @@ usage(std::FILE *out)
         "/metrics, /healthz, /readyz, POST /v1/query; 0 = ephemeral,\n"
         "negative = disabled).\n"
         "--advertise announces NAME in the ping handshake so a\n"
-        "vnoise_router lists this backend under it.\n",
-        vn::service::kDefaultPort, vn::service::kDefaultHttpPort);
+        "vnoise_router lists this backend under it.\n"
+        "--interactive-weight/--batch-weight set the WFQ admission\n"
+        "shares (default 4:1); --promotion-age-ms bounds starvation\n"
+        "(default 1000, <= 0 disables promotion).\n"
+        "--stream-chunk-bytes sizes chunked-result frames (default\n"
+        "%zu); --stream-threshold-bytes streams results above it\n"
+        "(default 0 = just under the frame cap).\n",
+        vn::service::kDefaultPort, vn::service::kDefaultHttpPort,
+        vn::service::kDefaultStreamChunkBytes);
 }
 
 } // namespace
@@ -81,6 +92,11 @@ main(int argc, char **argv)
                                       "queue-depth", "max-batch",
                                       "batch-window-ms", "config",
                                       "cache-dir", "no-cache",
+                                      "interactive-weight",
+                                      "batch-weight",
+                                      "promotion-age-ms",
+                                      "stream-chunk-bytes",
+                                      "stream-threshold-bytes",
                                       "advertise"};
         bool ok = false;
         for (const char *k : known)
@@ -116,6 +132,18 @@ main(int argc, char **argv)
         static_cast<int>(number("max-batch", 32));
     config.dispatcher.batch_window_ms =
         static_cast<int>(number("batch-window-ms", 0));
+    config.dispatcher.wfq.interactive_weight = number(
+        "interactive-weight", config.dispatcher.wfq.interactive_weight);
+    config.dispatcher.wfq.batch_weight =
+        number("batch-weight", config.dispatcher.wfq.batch_weight);
+    config.dispatcher.wfq.promotion_age_ms = number(
+        "promotion-age-ms", config.dispatcher.wfq.promotion_age_ms);
+    config.stream_chunk_bytes = static_cast<size_t>(number(
+        "stream-chunk-bytes",
+        static_cast<double>(config.stream_chunk_bytes)));
+    config.stream_threshold_bytes = static_cast<size_t>(number(
+        "stream-threshold-bytes",
+        static_cast<double>(config.stream_threshold_bytes)));
     if (flags.count("advertise"))
         config.advertise = flags["advertise"];
 
