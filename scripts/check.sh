@@ -2,9 +2,10 @@
 # Tier-1 verification: build, run the full test suite, then build the
 # campaign runtime and serving-stack tests under ThreadSanitizer and
 # run them, replay the lane-batched solver bit-identity suite, replay
-# the faultnet determinism suite under two seeds, and finish with the
-# router fleet fault replay. This is the gate a change must pass
-# before merging.
+# the faultnet determinism suite under two seeds, run the router
+# fleet fault replay, and finish with the kill-resume campaign replay
+# (SIGKILL mid-flight, --resume, byte-identical artifacts) under two
+# seeds. This is the gate a change must pass before merging.
 # (CI additionally runs the serving tests under ASan+UBSan; locally:
 #  cmake --preset asan && cmake --build --preset asan &&
 #  ctest --preset asan.)
@@ -31,6 +32,9 @@ echo "== tier 2: campaign runtime + serving stack under ThreadSanitizer =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_runtime
+# Durability: the cache's global corruption counters and the journal
+# are shared across campaign threads; the whole suite is kit-free.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_durability
 # The factorization cache is the one shared mutable structure in the
 # solver layer: campaign threads intern factorizations concurrently
 # and then read them lock-free while stepping.
@@ -94,6 +98,17 @@ echo "== tier 6: streamed-trace faultnet replay under two seeds =="
 for seed in 17 42; do
     VNOISE_FAULT_SEED="$seed" ./build/tests/test_stream \
         --gtest_filter='Stream.MidStreamCut*'
+done
+
+echo "== tier 7: durable-campaign kill-resume replay under two seeds =="
+# FaultFs torn writes / ENOSPC / bit flips must replay bit-identically
+# per seed, and a campaign killed with SIGKILL mid-flight and resumed
+# from its journal must produce artifacts byte-identical to an
+# uninterrupted run.
+for seed in 17 42; do
+    VNOISE_FAULT_SEED="$seed" ./build/tests/test_durability \
+        --gtest_filter='FaultFsDeterminism.*'
+    scripts/kill_resume_replay.sh "$seed"
 done
 
 echo "== all checks passed =="

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Kill-resume replay: prove that a campaign killed with SIGKILL
+# mid-flight and resumed via --resume produces stdout artifacts
+# byte-identical to an uninterrupted run.
+#
+# The victim run is killed once a seed-derived number of results has
+# been published to the cache (polling the cache directory keeps the
+# kill point meaningful on fast and slow machines alike); the resume
+# run replays the journaled completions and recomputes only the gap.
+#
+# Usage: scripts/kill_resume_replay.sh SEED [BUILD_DIR]
+set -euo pipefail
+
+seed="${1:?usage: $0 SEED [BUILD_DIR]}"
+build_dir="${2:-build}"
+
+cd "$(dirname "$0")/.."
+cli="$build_dir/tools/vnoise_cli"
+[ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 1; }
+
+scratch="$(mktemp -d "${TMPDIR:-/tmp}/vnoise_kill_resume.XXXXXX")"
+trap 'rm -rf "$scratch"' EXIT
+
+# One kit cache for all three runs: the reference run warms it, so
+# kill timing below measures campaign progress, not kit construction.
+export VNOISE_OUT_DIR="$scratch/out"
+
+points=24
+jobs=2
+# Seed-derived kill point: how many published results the victim gets
+# to finish before the SIGKILL (between 3 and 9 of the 24).
+kill_after=$((3 + seed % 7))
+
+echo "-- [seed $seed] reference run ($points points, uninterrupted)"
+"$cli" sweep --points "$points" --jobs "$jobs" \
+    --cache-dir "$scratch/ref_cache" \
+    --journal-dir "$scratch/ref_journal" \
+    > "$scratch/reference.out" 2> /dev/null
+
+echo "-- [seed $seed] victim run, SIGKILL after $kill_after results"
+"$cli" sweep --points "$points" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --journal-dir "$scratch/journal" \
+    > "$scratch/victim.out" 2> /dev/null &
+victim=$!
+while [ "$(ls "$scratch/cache" 2>/dev/null | wc -l)" -lt "$kill_after" ]
+do
+    if ! kill -0 "$victim" 2> /dev/null; then
+        echo "error: victim finished before the kill point" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+kill -9 "$victim"
+wait "$victim" 2> /dev/null || true
+[ -s "$scratch/victim.out" ] && {
+    echo "error: victim printed output despite the SIGKILL" >&2
+    exit 1
+}
+
+echo "-- [seed $seed] resume run"
+"$cli" sweep --points "$points" --jobs "$jobs" \
+    --cache-dir "$scratch/cache" \
+    --journal-dir "$scratch/journal" --resume \
+    > "$scratch/resume.out" 2> "$scratch/resume.err"
+
+# The resumed campaign must report replayed completions...
+grep -q "resumed" "$scratch/resume.err" || {
+    echo "error: resume run reported no journal skips" >&2
+    cat "$scratch/resume.err" >&2
+    exit 1
+}
+# ...and its artifacts must be byte-identical to the uninterrupted
+# run's.
+if ! cmp "$scratch/reference.out" "$scratch/resume.out"; then
+    echo "error: resumed artifacts differ from the reference" >&2
+    diff "$scratch/reference.out" "$scratch/resume.out" >&2 || true
+    exit 1
+fi
+echo "-- [seed $seed] resumed artifacts are byte-identical"

@@ -209,9 +209,14 @@ Router::wait()
         std::lock_guard<std::mutex> lock(connections_mutex_);
         conns.swap(connections_);
     }
-    for (auto &conn : conns)
+    for (auto &conn : conns) {
+        // The reader closes the fd (and writes -1) under write_mutex;
+        // taking it here keeps this shutdown off a concurrently closed
+        // — possibly already recycled — descriptor.
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
         if (conn->fd >= 0)
             ::shutdown(conn->fd, SHUT_RD);
+    }
     for (auto &conn : conns)
         if (conn->reader.joinable())
             conn->reader.join();
@@ -841,10 +846,8 @@ Router::forward(const std::shared_ptr<Connection> &conn,
         bump(&RouterCounters::streamed_relays);
         return;
     }
-    if (cacheable) {
-        cache_->storeText(cache_key, result.dump());
+    if (cacheable && cache_->storeText(cache_key, result.dump()))
         bump(&RouterCounters::cache_stores);
-    }
     sendJson(*conn, service::makeOkResponse(id, std::move(result)));
 }
 
@@ -889,6 +892,12 @@ Router::statsJson() const
     router.set("hedged_total", u(c.hedged));
     router.set("cache_hits_total", u(c.cache_hits));
     router.set("cache_stores_total", u(c.cache_stores));
+    // Integrity framing surfaces torn/flipped shared-tier blobs as
+    // counted misses (from the router's long-lived cache instance).
+    router.set("cache_corrupt_total",
+               u(cache_ ? cache_->counters().corrupt : 0));
+    router.set("cache_store_failures_total",
+               u(cache_ ? cache_->counters().store_failures : 0));
     router.set("no_backend_total", u(c.no_backend));
     router.set("version_skew_total", u(c.version_skew));
     router.set("scope_mismatch_total", u(c.scope_mismatch));

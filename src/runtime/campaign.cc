@@ -15,6 +15,8 @@ CampaignStats::add(const CampaignStats &other)
     retries += other.retries;
     failures += other.failures;
     lane_batches += other.lane_batches;
+    journal_skips += other.journal_skips;
+    cache_corrupt += other.cache_corrupt;
     steals += other.steals;
     threads = std::max(threads, other.threads);
 }
@@ -30,6 +32,11 @@ CampaignStats::summary() const
     if (lane_batches > 0)
         oss << ", " << lane_batches
             << (lane_batches == 1 ? " lane batch" : " lane batches");
+    if (journal_skips > 0)
+        oss << ", " << journal_skips << " resumed";
+    if (cache_corrupt > 0)
+        oss << ", " << cache_corrupt << " corrupt cache "
+            << (cache_corrupt == 1 ? "entry" : "entries");
     if (retries > 0)
         oss << ", " << retries << (retries == 1 ? " retry" : " retries");
     if (failures > 0)

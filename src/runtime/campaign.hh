@@ -44,6 +44,7 @@
 
 #include "runtime/cache.hh"
 #include "runtime/hash.hh"
+#include "runtime/journal.hh"
 #include "runtime/pool.hh"
 #include "util/kvfile.hh"
 #include "util/logging.hh"
@@ -59,6 +60,24 @@ struct CampaignOptions
 
     /** Result-cache directory; empty disables caching. */
     std::string cache_dir;
+
+    /**
+     * Completion-journal directory; empty disables journaling. With a
+     * journal, every finished job key is recorded append-only
+     * (journal.hh) so a crashed run leaves a durable record of its
+     * progress alongside the cached results.
+     */
+    std::string journal_dir;
+
+    /**
+     * Replay an existing journal at collect() instead of starting a
+     * fresh one: journaled jobs whose cache entries verify are served
+     * from the cache (counted as journal_skips), and only the genuine
+     * gap — jobs never finished, or finished but torn on disk — is
+     * recomputed. Requires journal_dir; results are bit-identical to
+     * an uninterrupted run either way.
+     */
+    bool resume = false;
 
     /** Total tries per job (first attempt + retries). */
     int max_attempts = 2;
@@ -107,6 +126,8 @@ struct CampaignStats
     size_t retries = 0;
     size_t failures = 0;
     size_t lane_batches = 0; //!< multi-lane batch jobs executed
+    size_t journal_skips = 0; //!< journaled jobs replayed on resume
+    size_t cache_corrupt = 0; //!< corrupt cache entries (recomputed)
     uint64_t steals = 0;
     int threads = 1; //!< largest pool that contributed
 
@@ -230,6 +251,11 @@ class Campaign
         if (!options_.cache_dir.empty() && encode_ && decode_)
             cache.emplace(options_.cache_dir);
 
+        std::optional<Journal> journal;
+        if (!options_.journal_dir.empty())
+            journal.emplace(options_.journal_dir, scope_, seed_,
+                            options_.resume);
+
         {
             std::optional<Pool> own;
             Pool *pool = options_.pool;
@@ -239,14 +265,24 @@ class Campaign
             }
             uint64_t steals_before = pool->steals();
             for (size_t i = 0; i < jobs.size(); ++i) {
-                pool->submit([this, &jobs, &results, &cache, i] {
-                    runJob(jobs[i], results, cache);
+                pool->submit([this, &jobs, &results, &cache, &journal,
+                              i] {
+                    runJob(jobs[i], results, cache, journal);
                 });
             }
             pool->wait();
             stats_.steals = pool->steals() - steals_before;
             stats_.threads = pool->threads();
         }
+
+        if (cache) {
+            // The cache was constructed fresh for this collect(), so
+            // its instance counters are exactly this campaign's
+            // corruption encounters.
+            stats_.cache_corrupt = cache->counters().corrupt;
+        }
+        if (journal)
+            journal->sync();
 
         if (options_.stats_sink != nullptr)
             options_.stats_sink->add(stats_);
@@ -294,15 +330,22 @@ class Campaign
 
     void
     runJob(const Job &job, std::vector<std::optional<Result>> &results,
-           std::optional<ResultCache> &cache)
+           std::optional<ResultCache> &cache,
+           std::optional<Journal> &journal)
     {
         const size_t n = job.keys.size();
 
-        // Per-lane cache probe; only the misses get computed.
+        // Per-lane cache probe; only the misses get computed. A lane
+        // both journaled as completed and intact in the cache is a
+        // resume skip; a journaled lane whose entry is gone or corrupt
+        // falls through to recompute — the journal records progress,
+        // the cache holds the data, and only their intersection is
+        // trusted.
         std::vector<uint64_t> cache_keys(n, 0);
         std::vector<size_t> missing;
         missing.reserve(n);
         size_t hits = 0;
+        size_t journal_skips = 0;
         for (size_t lane = 0; lane < n; ++lane) {
             if (cache) {
                 cache_keys[lane] =
@@ -310,6 +353,8 @@ class Campaign
                 if (auto entry = cache->load(cache_keys[lane])) {
                     results[job.base + lane] = decode_(*entry);
                     ++hits;
+                    if (journal && journal->contains(job.keys[lane]))
+                        ++journal_skips;
                     continue;
                 }
             }
@@ -318,6 +363,7 @@ class Campaign
         if (hits > 0) {
             std::lock_guard<std::mutex> lock(mutex_);
             stats_.cache_hits += hits;
+            stats_.journal_skips += journal_skips;
         }
         if (missing.empty())
             return;
@@ -346,6 +392,12 @@ class Campaign
                         encode_(out[m], entry);
                         cache->store(cache_keys[missing[m]], entry);
                     }
+                    // Journal after the entry is published: a key is
+                    // recorded completed only once its result is
+                    // (durably) loadable, so resume never trusts a
+                    // record ahead of its data.
+                    if (journal)
+                        journal->append(job.keys[missing[m]]);
                     results[job.base + missing[m]] = std::move(out[m]);
                 }
                 std::lock_guard<std::mutex> lock(mutex_);

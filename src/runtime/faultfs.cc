@@ -1,0 +1,214 @@
+#include "runtime/faultfs.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hh"
+
+namespace vn::runtime
+{
+
+FaultFsSchedule &
+FaultFsSchedule::tornWrite(uint64_t op_index, size_t keep_bytes)
+{
+    FsFault f;
+    f.kind = FsFault::Kind::TornWrite;
+    f.bytes = keep_bytes;
+    by_op_[op_index] = f;
+    return *this;
+}
+
+FaultFsSchedule &
+FaultFsSchedule::enospc(uint64_t op_index, size_t after_bytes)
+{
+    FsFault f;
+    f.kind = FsFault::Kind::Enospc;
+    f.bytes = after_bytes;
+    by_op_[op_index] = f;
+    return *this;
+}
+
+FaultFsSchedule &
+FaultFsSchedule::renameFail(uint64_t op_index)
+{
+    FsFault f;
+    f.kind = FsFault::Kind::RenameFail;
+    by_op_[op_index] = f;
+    return *this;
+}
+
+FaultFsSchedule &
+FaultFsSchedule::bitFlip(uint64_t op_index, size_t byte, unsigned bit)
+{
+    FsFault f;
+    f.kind = FsFault::Kind::BitFlip;
+    f.bytes = byte;
+    f.bit = bit % 8;
+    by_op_[op_index] = f;
+    return *this;
+}
+
+FsFault
+FaultFsSchedule::actionFor(uint64_t op_index) const
+{
+    auto it = by_op_.find(op_index);
+    return it == by_op_.end() ? FsFault{} : it->second;
+}
+
+FaultFsSchedule
+FaultFsSchedule::parse(const std::string &text)
+{
+    FaultFsSchedule schedule;
+    std::istringstream iss(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(iss, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::string verb;
+        if (!(ls >> verb))
+            continue; // blank
+        auto bad = [&](const char *why) {
+            throw std::runtime_error(
+                "FaultFsSchedule: line " + std::to_string(line_no) +
+                ": " + why);
+        };
+        uint64_t op = 0;
+        if (!(ls >> op))
+            bad("expected an operation index");
+        if (verb == "torn") {
+            size_t keep = 0;
+            if (!(ls >> keep))
+                bad("torn expects KEEP_BYTES");
+            schedule.tornWrite(op, keep);
+        } else if (verb == "enospc") {
+            size_t after = 0;
+            ls >> after; // optional
+            schedule.enospc(op, after);
+        } else if (verb == "rename-fail") {
+            schedule.renameFail(op);
+        } else if (verb == "bit-flip") {
+            size_t byte = 0;
+            unsigned bit = 0;
+            if (!(ls >> byte >> bit))
+                bad("bit-flip expects BYTE BIT");
+            schedule.bitFlip(op, byte, bit);
+        } else {
+            bad("unknown fault verb");
+        }
+    }
+    return schedule;
+}
+
+std::string
+FaultFsSchedule::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &[op, f] : by_op_) {
+        switch (f.kind) {
+        case FsFault::Kind::TornWrite:
+            oss << "torn " << op << " " << f.bytes << "\n";
+            break;
+        case FsFault::Kind::Enospc:
+            oss << "enospc " << op << " " << f.bytes << "\n";
+            break;
+        case FsFault::Kind::RenameFail:
+            oss << "rename-fail " << op << "\n";
+            break;
+        case FsFault::Kind::BitFlip:
+            oss << "bit-flip " << op << " " << f.bytes << " " << f.bit
+                << "\n";
+            break;
+        case FsFault::Kind::None:
+            break;
+        }
+    }
+    return oss.str();
+}
+
+FaultFsSchedule
+FaultFsSchedule::random(uint64_t seed, uint64_t writes, int faults)
+{
+    FaultFsSchedule schedule;
+    if (writes == 0 || faults <= 0)
+        return schedule;
+    Rng rng(seed);
+    for (int i = 0; i < faults; ++i) {
+        uint64_t op = rng.below(writes);
+        switch (rng.below(4)) {
+        case 0:
+            // Keep a prefix short enough that the frame is provably
+            // torn whatever the entry size.
+            schedule.tornWrite(op, rng.below(64));
+            break;
+        case 1:
+            schedule.enospc(op, rng.below(64));
+            break;
+        case 2:
+            schedule.renameFail(op);
+            break;
+        default:
+            schedule.bitFlip(op, rng.below(256),
+                             static_cast<unsigned>(rng.below(8)));
+            break;
+        }
+    }
+    return schedule;
+}
+
+bool
+FaultFsSchedule::operator==(const FaultFsSchedule &other) const
+{
+    if (by_op_.size() != other.by_op_.size())
+        return false;
+    auto a = by_op_.begin();
+    auto b = other.by_op_.begin();
+    for (; a != by_op_.end(); ++a, ++b) {
+        if (a->first != b->first || a->second.kind != b->second.kind ||
+            a->second.bytes != b->second.bytes ||
+            a->second.bit != b->second.bit)
+            return false;
+    }
+    return true;
+}
+
+FsFault
+FaultFs::next()
+{
+    uint64_t op = next_op_.fetch_add(1);
+    FsFault f = schedule_.actionFor(op);
+    switch (f.kind) {
+    case FsFault::Kind::TornWrite:
+        torn_.fetch_add(1);
+        break;
+    case FsFault::Kind::Enospc:
+        enospc_.fetch_add(1);
+        break;
+    case FsFault::Kind::RenameFail:
+        rename_failures_.fetch_add(1);
+        break;
+    case FsFault::Kind::BitFlip:
+        bit_flips_.fetch_add(1);
+        break;
+    case FsFault::Kind::None:
+        break;
+    }
+    return f;
+}
+
+FaultFsCounters
+FaultFs::counters() const
+{
+    FaultFsCounters c;
+    c.publishes = next_op_.load();
+    c.injected_torn_writes = torn_.load();
+    c.injected_enospc = enospc_.load();
+    c.injected_rename_failures = rename_failures_.load();
+    c.injected_bit_flips = bit_flips_.load();
+    return c;
+}
+
+} // namespace vn::runtime

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * FaultFs: deterministic disk-fault injection for the result cache.
+ *
+ * The disk-side sibling of the serving stack's faultnet
+ * (service/faultnet.hh): durability claims are only as good as the
+ * failures they were proven against, and real disk failures — a torn
+ * write at a power cut, a full filesystem, a flipped bit in a cold
+ * sector — do not reproduce on demand. FaultFsSchedule makes them
+ * reproduce: an explicit, seedable script of filesystem failures that
+ * replays bit-identically, indexed by *publish operation* (each
+ * ResultCache::store()/storeText() write-then-rename counts as one
+ * operation, in execution order).
+ *
+ * Injected failure modes:
+ *
+ *  - TornWrite: only the first KEEP bytes reach the file, but the
+ *    write *reports success* and the entry is published — the
+ *    post-power-cut state where rename survived but data didn't.
+ *  - BitFlip: one bit of the published bytes is inverted silently —
+ *    cold-storage corruption under the checksum's nose.
+ *  - Enospc: the write fails partway (disk full); the cache must
+ *    clean up its temp file and count a store failure.
+ *  - RenameFail: the write lands but the publish rename fails.
+ *
+ * Schedules have a line-based text form (parse()/dump() round-trip)
+ * so CI can pin a schedule in a script, and a random() constructor
+ * that derives a schedule from a seed via the library's own Rng.
+ * Lives in the runtime (not service/) because ResultCache is the
+ * injection point and service already depends on runtime.
+ */
+
+#ifndef VN_RUNTIME_FAULTFS_HH
+#define VN_RUNTIME_FAULTFS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vn::runtime
+{
+
+/** One scheduled disk fault, applied to one cache publish. */
+struct FsFault
+{
+    enum class Kind
+    {
+        None,
+        /** Keep only the first `bytes` of the entry, report success,
+         *  publish anyway (a torn-but-renamed entry). */
+        TornWrite,
+        /** Fail the data write after `bytes` bytes (disk full). */
+        Enospc,
+        /** Write everything, then fail the publish rename. */
+        RenameFail,
+        /** Invert bit `bit` of byte `bytes` (mod size), publish. */
+        BitFlip,
+    };
+
+    Kind kind = Kind::None;
+    size_t bytes = 0;
+    unsigned bit = 0;
+};
+
+/**
+ * The failure script: publish-operation-indexed faults. Operation
+ * indices count store()/storeText() publishes globally in execution
+ * order (0-based) on the FaultFs instance consuming the schedule.
+ */
+class FaultFsSchedule
+{
+  public:
+    FaultFsSchedule &tornWrite(uint64_t op_index, size_t keep_bytes);
+    FaultFsSchedule &enospc(uint64_t op_index, size_t after_bytes = 0);
+    FaultFsSchedule &renameFail(uint64_t op_index);
+    FaultFsSchedule &bitFlip(uint64_t op_index, size_t byte,
+                             unsigned bit);
+
+    /** Fault for an operation index (Kind::None when unscheduled). */
+    FsFault actionFor(uint64_t op_index) const;
+
+    bool empty() const { return by_op_.empty(); }
+    size_t actionCount() const { return by_op_.size(); }
+
+    /**
+     * Line-based text form; parse(dump()) reproduces the schedule
+     * exactly. Lines (N = operation index, blank lines and `#`
+     * comments ok):
+     *
+     *   torn N KEEP_BYTES
+     *   enospc N [AFTER_BYTES]
+     *   rename-fail N
+     *   bit-flip N BYTE BIT
+     *
+     * Throws std::runtime_error on a malformed line.
+     */
+    static FaultFsSchedule parse(const std::string &text);
+    std::string dump() const;
+
+    /**
+     * Derive a schedule from a seed: `faults` faults of mixed kinds
+     * spread over operation indices [0, writes). Pure function of its
+     * arguments — the same seed always yields the same schedule.
+     */
+    static FaultFsSchedule random(uint64_t seed, uint64_t writes,
+                                  int faults);
+
+    bool operator==(const FaultFsSchedule &other) const;
+
+  private:
+    std::map<uint64_t, FsFault> by_op_;
+};
+
+/** Cumulative injection counters. */
+struct FaultFsCounters
+{
+    uint64_t publishes = 0; //!< operations seen (faulted or not)
+    uint64_t injected_torn_writes = 0;
+    uint64_t injected_enospc = 0;
+    uint64_t injected_rename_failures = 0;
+    uint64_t injected_bit_flips = 0;
+};
+
+/**
+ * The injectable shim: hand one to ResultCache and every publish
+ * consumes the next operation index from the schedule. Thread-safe;
+ * indices are assigned in publish execution order, so single-threaded
+ * stores replay bit-identically for a given schedule.
+ */
+class FaultFs
+{
+  public:
+    explicit FaultFs(FaultFsSchedule schedule)
+        : schedule_(std::move(schedule))
+    {
+    }
+
+    /** Consume the next operation index and return its fault. */
+    FsFault next();
+
+    FaultFsCounters counters() const;
+
+    const FaultFsSchedule &schedule() const { return schedule_; }
+
+  private:
+    FaultFsSchedule schedule_;
+    std::atomic<uint64_t> next_op_{0};
+    std::atomic<uint64_t> torn_{0};
+    std::atomic<uint64_t> enospc_{0};
+    std::atomic<uint64_t> rename_failures_{0};
+    std::atomic<uint64_t> bit_flips_{0};
+};
+
+} // namespace vn::runtime
+
+#endif // VN_RUNTIME_FAULTFS_HH

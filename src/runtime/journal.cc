@@ -1,0 +1,276 @@
+#include "runtime/journal.hh"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "runtime/hash.hh"
+#include "util/logging.hh"
+
+namespace vn::runtime
+{
+
+namespace
+{
+
+constexpr std::string_view kJournalMagic = "vnoise-journal 1 ";
+
+/** fsync() every this many appends (plus on sync() and close). */
+constexpr uint64_t kSyncInterval = 32;
+
+std::string
+hex16(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Per-record checksum: covers identity, order, and the key bytes. */
+uint64_t
+recordSum(uint64_t scope_hash, uint64_t seq, std::string_view key)
+{
+    uint64_t h = fnv1aAppend(kFnvOffset, scope_hash);
+    h = fnv1aAppend(h, seq);
+    h = fnv1aAppend(h, key);
+    return h;
+}
+
+/** Parse exactly 16 lowercase hex digits; false on anything else. */
+bool
+parseHex16(std::string_view text, uint64_t *value)
+{
+    if (text.size() != 16)
+        return false;
+    uint64_t v = 0;
+    for (char c : text) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    *value = v;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+Journal::scopeHash(std::string_view scope, uint64_t seed)
+{
+    uint64_t h = fnv1a(scope);
+    return fnv1aAppend(h, seed);
+}
+
+std::string
+Journal::pathFor(const std::string &dir, std::string_view scope,
+                 uint64_t seed)
+{
+    return (std::filesystem::path(dir) /
+            (hex16(scopeHash(scope, seed)) + ".vnj"))
+        .string();
+}
+
+Journal::Journal(const std::string &dir, std::string_view scope,
+                 uint64_t seed, bool resume)
+    : path_(pathFor(dir, scope, seed)),
+      scope_hash_(scopeHash(scope, seed)), seed_(seed)
+{
+    if (dir.empty())
+        fatal("Journal: empty journal directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("Journal: cannot create '", dir, "': ", ec.message());
+
+    if (resume && replayExisting())
+        return;
+    openFresh();
+}
+
+Journal::~Journal()
+{
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+        std::fclose(file_);
+    }
+}
+
+void
+Journal::openFresh()
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr)
+        fatal("Journal: cannot write '", path_, "'");
+    std::string header;
+    header.append(kJournalMagic);
+    header.append(hex16(scope_hash_));
+    header.push_back(' ');
+    header.append(hex16(seed_));
+    header.push_back('\n');
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size() ||
+        std::fflush(file_) != 0)
+        fatal("Journal: cannot write header to '", path_, "'");
+    ::fsync(::fileno(file_));
+}
+
+bool
+Journal::replayExisting()
+{
+    std::FILE *file = std::fopen(path_.c_str(), "rb");
+    if (file == nullptr)
+        return false; // no journal yet; start fresh silently
+    std::string bytes;
+    char chunk[4096];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+        bytes.append(chunk, got);
+    bool read_error = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_error) {
+        warn("Journal: cannot read '", path_, "'; starting fresh");
+        return false;
+    }
+
+    // Header: magic + scope hash + seed, or the journal belongs to a
+    // different campaign (or format) and must not replay into this
+    // one.
+    size_t header_end = bytes.find('\n');
+    std::string expected;
+    expected.append(kJournalMagic);
+    expected.append(hex16(scope_hash_));
+    expected.push_back(' ');
+    expected.append(hex16(seed_));
+    if (header_end == std::string::npos ||
+        bytes.substr(0, header_end) != expected) {
+        warn("Journal: '", path_,
+             "' does not match this campaign's scope/seed; "
+             "starting fresh");
+        return false;
+    }
+
+    // Records, in order; the first bad one marks the torn tail.
+    size_t good_end = header_end + 1;
+    size_t pos = good_end;
+    uint64_t seq = 0;
+    while (pos < bytes.size()) {
+        size_t eol = bytes.find('\n', pos);
+        if (eol == std::string::npos)
+            break; // unterminated tail
+        std::string_view line(bytes.data() + pos, eol - pos);
+        uint64_t sum = 0;
+        if (line.size() < 19 || line[16] != ' ' ||
+            !parseHex16(line.substr(0, 16), &sum))
+            break;
+        size_t key_sep = line.find(' ', 17);
+        if (key_sep == std::string_view::npos)
+            break;
+        uint64_t rec_seq = 0;
+        try {
+            size_t consumed = 0;
+            std::string seq_text(line.substr(17, key_sep - 17));
+            rec_seq = std::stoull(seq_text, &consumed);
+            if (consumed != seq_text.size())
+                break;
+        } catch (const std::exception &) {
+            break;
+        }
+        std::string_view key = line.substr(key_sep + 1);
+        if (rec_seq != seq ||
+            sum != recordSum(scope_hash_, rec_seq, key))
+            break;
+        done_.insert(std::string(key));
+        ++seq;
+        pos = eol + 1;
+        good_end = pos;
+    }
+    replayed_ = seq;
+    next_seq_ = seq;
+
+    if (good_end < bytes.size()) {
+        // Torn tail (the expected kill -9 artifact): truncate it away
+        // so future appends extend a clean record stream.
+        torn_tail_ = true;
+        warn("Journal: '", path_, "' has a torn tail after ",
+             replayed_, " record(s); truncating");
+        std::error_code ec;
+        std::filesystem::resize_file(path_, good_end, ec);
+        if (ec) {
+            warn("Journal: cannot truncate '", path_,
+                 "'; starting fresh");
+            done_.clear();
+            replayed_ = 0;
+            next_seq_ = 0;
+            return false;
+        }
+    }
+
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr)
+        fatal("Journal: cannot append to '", path_, "'");
+    return true;
+}
+
+bool
+Journal::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.count(key) != 0;
+}
+
+size_t
+Journal::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.size();
+}
+
+bool
+Journal::append(const std::string &key)
+{
+    if (key.find('\n') != std::string::npos)
+        fatal("Journal: job keys must not contain newlines");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!done_.insert(key).second)
+        return false;
+    std::string line;
+    line.append(hex16(recordSum(scope_hash_, next_seq_, key)));
+    line.push_back(' ');
+    line.append(std::to_string(next_seq_));
+    line.push_back(' ');
+    line.append(key);
+    line.push_back('\n');
+    ++next_seq_;
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        // The in-memory set stays authoritative for this run; the
+        // record is simply not durable, so a resume recomputes it.
+        warn("Journal: cannot append to '", path_, "'");
+        return true;
+    }
+    if (++appends_since_sync_ >= kSyncInterval) {
+        appends_since_sync_ = 0;
+        ::fsync(::fileno(file_));
+    }
+    return true;
+}
+
+void
+Journal::sync()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        ::fsync(::fileno(file_));
+    }
+}
+
+} // namespace vn::runtime

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Append-only completion journal for crash-safe campaign resume.
+ *
+ * A multi-hour characterization campaign must survive `kill -9` — the
+ * paper-style Vmin/guardband sweeps expect undervolting-induced
+ * crashes as an outcome, not an anomaly. The result cache already
+ * persists each finished job; what a crash loses is the *knowledge of
+ * which jobs finished*, forcing a cold restart to re-probe (and, for
+ * any job whose entry was in flight, recompute). The journal closes
+ * that gap: one append-only, checksummed record per completed job
+ * key, scoped to (campaign scope, campaign seed) so a journal can
+ * never replay into a campaign it does not describe.
+ *
+ * File format (one journal per scope under the journal directory,
+ * named by the scope hash):
+ *
+ *   vnoise-journal 1 <scope-hash hex16> <seed hex16>
+ *   <checksum hex16> <seq> <job key ... to end of line>
+ *
+ * Each record's checksum covers (scope hash, sequence number, key),
+ * so a torn tail — the expected `kill -9` artifact — is detected at
+ * replay, truncated away, and journaling continues from the last
+ * good record. Records are flushed to the kernel per append (safe
+ * against process death) and fsync'd at sync points and on close
+ * (safe against power cuts up to the last sync).
+ */
+
+#ifndef VN_RUNTIME_JOURNAL_HH
+#define VN_RUNTIME_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace vn::runtime
+{
+
+/** One campaign scope's completion journal; thread-safe. */
+class Journal
+{
+  public:
+    /**
+     * Opens (creating directories as needed) the journal for
+     * (scope, seed) under `dir`. With `resume` set, existing records
+     * are replayed into the completed set — a mismatched header
+     * (different scope, seed, or format version) starts fresh with a
+     * warning instead. Without `resume`, any previous journal for the
+     * scope is truncated: a fresh run means fresh provenance.
+     */
+    Journal(const std::string &dir, std::string_view scope,
+            uint64_t seed, bool resume);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Identity of a (scope, seed) journal; names the file. */
+    static uint64_t scopeHash(std::string_view scope, uint64_t seed);
+
+    /** The journal file path `Journal(dir, scope, seed, ...)` uses. */
+    static std::string pathFor(const std::string &dir,
+                               std::string_view scope, uint64_t seed);
+
+    /** True when `key` is recorded as completed. */
+    bool contains(const std::string &key) const;
+
+    /** Record a completed key; false when already present. */
+    bool append(const std::string &key);
+
+    /** fsync the journal (power-cut durability point). */
+    void sync();
+
+    /** Completed keys currently known (replayed + appended). */
+    size_t size() const;
+
+    /** Records recovered from disk at open (resume runs). */
+    uint64_t replayed() const { return replayed_; }
+
+    /** True when replay found and truncated a torn tail. */
+    bool recoveredTornTail() const { return torn_tail_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void openFresh();
+    bool replayExisting();
+
+    std::string path_;
+    uint64_t scope_hash_ = 0;
+    uint64_t seed_ = 0;
+    std::FILE *file_ = nullptr;
+
+    mutable std::mutex mutex_;
+    std::unordered_set<std::string> done_;
+    uint64_t next_seq_ = 0;
+    uint64_t appends_since_sync_ = 0;
+    uint64_t replayed_ = 0;
+    bool torn_tail_ = false;
+};
+
+} // namespace vn::runtime
+
+#endif // VN_RUNTIME_JOURNAL_HH

@@ -66,7 +66,16 @@ Dispatcher::start()
     // Harness errors must surface as per-request `internal` responses,
     // not a daemon exit: fatal()/panic() throw from here on.
     setThrowOnError(true);
-    batcher_ = std::thread([this] { batcherLoop(); });
+    batcher_ = std::thread([this] {
+        batcherLoop();
+        // Publish completion so a bounded drain can tell "finished"
+        // from "wedged" without trying to join first.
+        {
+            std::lock_guard<std::mutex> done_lock(mutex_);
+            batcher_done_ = true;
+        }
+        cv_.notify_all();
+    });
 }
 
 double
@@ -202,16 +211,49 @@ Dispatcher::submit(AnyRequest request,
 void
 Dispatcher::drain()
 {
+    drainFor(0.0);
+}
+
+bool
+Dispatcher::drainFor(double timeout_s)
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         draining_ = true;
     }
     cv_.notify_all();
+    if (timeout_s > 0) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        bool finished = cv_.wait_for(
+            lock, std::chrono::duration<double>(timeout_s),
+            [this] { return batcher_done_ || !started_; });
+        if (!finished)
+            return false;
+    }
     // join_mutex_ serializes concurrent drain() calls (signal thread
     // vs destructor); joinable() goes false after the first join.
     std::lock_guard<std::mutex> join_lock(join_mutex_);
     if (batcher_.joinable())
         batcher_.join();
+    return true;
+}
+
+size_t
+Dispatcher::cancelPending()
+{
+    std::vector<Pending> cancelled;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        double now_ms = nowMs();
+        while (std::optional<Pending> item = queue_.pop(now_ms))
+            cancelled.push_back(std::move(*item));
+        counters_.rejected_shutdown += cancelled.size();
+    }
+    for (Pending &pending : cancelled)
+        pending.done(WireError{
+            "shutting_down",
+            "the drain timed out; request cancelled at shutdown"});
+    return cancelled.size();
 }
 
 ServiceCounters
@@ -260,6 +302,13 @@ Dispatcher::tierWaitSamplesMs(Tier tier) const
     return std::vector<double>(wait_ring_[t].begin(),
                                wait_ring_[t].begin() +
                                    static_cast<long>(n));
+}
+
+void
+Dispatcher::setBatchHookForTest(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_hook_ = std::move(hook);
 }
 
 void
@@ -358,6 +407,14 @@ Dispatcher::complete(Pending &pending,
 void
 Dispatcher::runBatch(std::vector<Pending> batch)
 {
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hook = batch_hook_;
+    }
+    if (hook && !batch.empty())
+        hook();
+
     // Expired deadlines are answered without being computed.
     std::vector<Pending> live;
     live.reserve(batch.size());

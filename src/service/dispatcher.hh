@@ -184,6 +184,23 @@ class Dispatcher
      */
     void drain();
 
+    /**
+     * drain(), but bounded: false when the batcher did not finish
+     * within `timeout_s` seconds — the batcher thread is left running
+     * (there is no safe way to kill a thread mid-campaign) and the
+     * caller decides what teardown the situation allows; see
+     * cancelPending() and Server::drainedCleanly(). timeout_s <= 0
+     * waits forever (== drain()).
+     */
+    bool drainFor(double timeout_s);
+
+    /**
+     * Answer every queued-but-unbatched request `shutting_down` and
+     * return how many were cancelled. Called after a drain timeout so
+     * a wedged batch cannot strand queued clients without a response.
+     */
+    size_t cancelPending();
+
     /** Snapshot of the cumulative counters. */
     ServiceCounters counters() const;
 
@@ -230,6 +247,14 @@ class Dispatcher
      */
     void setClockForTest(std::function<double()> now_ms);
 
+    /**
+     * Test hook: invoked on the batcher thread at the start of every
+     * non-empty batch — a hook that blocks is a scripted stuck
+     * batcher, which is how the bounded-drain path is tested. Set
+     * before start().
+     */
+    void setBatchHookForTest(std::function<void()> hook);
+
   private:
     struct Pending
     {
@@ -262,7 +287,9 @@ class Dispatcher
     bool draining_ = false;
     bool paused_ = false;
     bool started_ = false;
+    bool batcher_done_ = false; //!< batcher loop has returned
     std::thread batcher_;
+    std::function<void()> batch_hook_; //!< test hook; see setter
     std::function<double()> clock_ms_; //!< test override; null = real
     Clock::time_point epoch_ = Clock::now();
 

@@ -29,9 +29,18 @@ namespace
 /** Wake-pipe write end for the signal handlers (one server/process). */
 std::atomic<int> g_signal_wake_fd{-1};
 
+/** Shutdown signals received since installSignalHandlers(). */
+std::atomic<int> g_signal_count{0};
+
 extern "C" void
 handleShutdownSignal(int)
 {
+    if (g_signal_count.fetch_add(1, std::memory_order_relaxed) >= 1) {
+        // Second signal: the operator is done waiting for the
+        // graceful drain. _exit is async-signal-safe and skips every
+        // destructor — nothing below may be trusted mid-drain anyway.
+        ::_exit(130);
+    }
     int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
     if (fd >= 0) {
         char byte = 's';
@@ -161,6 +170,7 @@ Server::installSignalHandlers()
     if (!started_)
         fatal("Server: installSignalHandlers() before start()");
     g_signal_wake_fd.store(wake_write_fd_, std::memory_order_relaxed);
+    g_signal_count.store(0, std::memory_order_relaxed);
     struct sigaction action{};
     action.sa_handler = handleShutdownSignal;
     sigemptyset(&action.sa_mask);
@@ -188,8 +198,24 @@ Server::wait()
         accept_thread_.join();
 
     // Drain first: everything already admitted completes and its
-    // response is written before any connection is torn down.
-    dispatcher_->drain();
+    // response is written before any connection is torn down. With a
+    // configured timeout the drain is bounded — a wedged batch must
+    // not turn SIGTERM into a hang — and on expiry every
+    // queued-but-unbatched request is answered `shutting_down` and
+    // teardown proceeds without the batcher. drainedCleanly() reports
+    // which way it went; a standalone daemon should then exit via
+    // _Exit so the wedged thread is never joined.
+    if (config_.drain_timeout_s > 0) {
+        if (!dispatcher_->drainFor(config_.drain_timeout_s)) {
+            size_t cancelled = dispatcher_->cancelPending();
+            warn("Server: drain did not finish within ",
+                 config_.drain_timeout_s, " s; cancelled ", cancelled,
+                 " queued request(s)");
+            drained_cleanly_.store(false);
+        }
+    } else {
+        dispatcher_->drain();
+    }
 
     std::vector<std::shared_ptr<Connection>> conns;
     {
@@ -703,7 +729,26 @@ Server::statsJson() const
     campaign.set("executed", u(c.campaign.executed));
     campaign.set("retries", u(c.campaign.retries));
     campaign.set("failures", u(c.campaign.failures));
+    campaign.set("journal_skips", u(c.campaign.journal_skips));
+    campaign.set("cache_corrupt", u(c.campaign.cache_corrupt));
     campaign.set("steals", u(c.campaign.steals));
+
+    // Result-cache durability series, from the process-wide aggregate
+    // (batch campaigns open short-lived cache instances, so instance
+    // counters alone would vanish with them). Leaves carry `_total`
+    // so the Prometheus renderer exports them as counters — e.g.
+    // `vnoised_cache_corrupt_total`.
+    runtime::CacheCounters cache_counters =
+        runtime::ResultCache::globalCounters();
+    Json cache = Json::object();
+    cache.set("corrupt_total", u(cache_counters.corrupt));
+    cache.set("store_failures_total",
+              u(cache_counters.store_failures));
+    cache.set("tmp_reaped_total", u(cache_counters.tmp_reaped));
+    cache.set("scrub_runs_total", u(cache_counters.scrub_runs));
+    cache.set("scrub_scanned_total", u(cache_counters.scrub_scanned));
+    cache.set("scrub_quarantined_total",
+              u(cache_counters.scrub_quarantined));
 
     Json server = Json::object();
     server.set("connections", u(s.connections));
@@ -774,6 +819,7 @@ Server::statsJson() const
     stats.set("requests", std::move(requests));
     stats.set("batching", std::move(batching));
     stats.set("campaign", std::move(campaign));
+    stats.set("cache", std::move(cache));
     stats.set("server", std::move(server));
     stats.set("admission", std::move(admission));
     stats.set("resilience", std::move(resilience));

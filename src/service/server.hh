@@ -77,6 +77,17 @@ struct ServerConfig
      */
     double send_timeout_s = 5.0;
 
+    /**
+     * Upper bound on the graceful drain at shutdown. A wedged batch
+     * (a pathological campaign, a filesystem hang) must not turn
+     * SIGTERM into a forever-hang: after this many seconds the drain
+     * is abandoned, queued requests are answered `shutting_down`, and
+     * teardown proceeds (drainedCleanly() turns false). <= 0 (the
+     * default, for embedded/test servers) waits indefinitely; the
+     * standalone daemons default to 30 s via --drain-timeout-s.
+     */
+    double drain_timeout_s = 0.0;
+
     /** Admission / batching knobs. */
     DispatcherConfig dispatcher;
 
@@ -131,7 +142,9 @@ class Server
 
     /**
      * Route SIGINT/SIGTERM to beginShutdown() of this server (one
-     * server per process). Call after start().
+     * server per process); a SECOND signal forces immediate process
+     * exit (status 130) for operators done waiting on the drain.
+     * Call after start().
      */
     void installSignalHandlers();
 
@@ -144,6 +157,13 @@ class Server
      * close every connection, and join all threads.
      */
     void wait();
+
+    /**
+     * False when wait() abandoned the drain at the configured
+     * drain_timeout_s. A standalone daemon should then exit nonzero
+     * via std::_Exit — the wedged batcher thread cannot be joined.
+     */
+    bool drainedCleanly() const { return drained_cleanly_.load(); }
 
     /** Dispatcher counters + latency window (for tests/bench). */
     const Dispatcher &dispatcher() const { return *dispatcher_; }
@@ -169,6 +189,12 @@ class Server
 
     /** Test hook, forwarded to the dispatcher. */
     void pauseForTest(bool paused) { dispatcher_->pauseForTest(paused); }
+
+    /** Test hook (scripted stuck batcher), forwarded likewise. */
+    void setBatchHookForTest(std::function<void()> hook)
+    {
+        dispatcher_->setBatchHookForTest(std::move(hook));
+    }
 
     /** Connections not yet reaped (live + finished-but-unjoined). */
     size_t liveConnectionsForTest() const;
@@ -207,6 +233,7 @@ class Server
     int wake_write_fd_ = -1;
     int port_ = 0;
     std::atomic<bool> shutting_down_{false};
+    std::atomic<bool> drained_cleanly_{true};
     bool started_ = false;
     bool waited_ = false;
     std::thread accept_thread_;

@@ -35,18 +35,12 @@ namespace
 
 /** Shared parser; on failure `error` describes the offending line. */
 std::optional<KeyValueFile>
-parseFile(const std::string &path, std::string &error)
+parseStream(std::istream &in, const std::string &path, std::string &error)
 {
-    std::ifstream ifs(path);
-    if (!ifs) {
-        error = "cannot open '" + path + "'";
-        return std::nullopt;
-    }
-
     KeyValueFile kv;
     std::string line;
     int line_no = 0;
-    while (std::getline(ifs, line)) {
+    while (std::getline(in, line)) {
         ++line_no;
         auto hash = line.find('#');
         if (hash != std::string::npos)
@@ -82,6 +76,17 @@ parseFile(const std::string &path, std::string &error)
     return kv;
 }
 
+std::optional<KeyValueFile>
+parseFile(const std::string &path, std::string &error)
+{
+    std::ifstream ifs(path);
+    if (!ifs) {
+        error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    return parseStream(ifs, path, error);
+}
+
 } // namespace
 
 KeyValueFile
@@ -99,6 +104,14 @@ KeyValueFile::tryLoad(const std::string &path)
 {
     std::string error;
     return parseFile(path, error);
+}
+
+std::optional<KeyValueFile>
+KeyValueFile::tryParse(const std::string &text)
+{
+    std::istringstream iss(text);
+    std::string error;
+    return parseStream(iss, "<memory>", error);
 }
 
 std::string

@@ -34,6 +34,14 @@ class KeyValueFile
      */
     static std::optional<KeyValueFile> tryLoad(const std::string &path);
 
+    /**
+     * Parse serialized pairs already in memory; nullopt on malformed
+     * text. The in-memory dual of tryLoad() — used by the result cache,
+     * which reads and checksum-verifies a framed entry before handing
+     * the payload here.
+     */
+    static std::optional<KeyValueFile> tryParse(const std::string &text);
+
     /** Write all pairs, sorted by key. */
     void save(const std::string &path,
               const std::string &header = "") const;

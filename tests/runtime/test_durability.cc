@@ -1,0 +1,799 @@
+/**
+ * @file
+ * Durability tests: integrity-framed cache entries, scrub/quarantine,
+ * the completion journal, and deterministic disk-fault injection.
+ *
+ * The campaign-level claim under test is the paper workflow's: a
+ * multi-hour characterization campaign that crashes — torn writes,
+ * full disks, kill -9 — must resume to results byte-identical to an
+ * uninterrupted run, and must never serve a corrupt cached result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.hh"
+#include "runtime/faultfs.hh"
+#include "runtime/journal.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace vn::runtime;
+
+/** A fresh scratch directory under the test working dir. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : path_("durability_test_" + name)
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~ScratchDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::filesystem::path &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Sorted (filename -> bytes) snapshot of a directory. */
+std::map<std::string, std::string>
+snapshotDir(const std::string &dir)
+{
+    std::map<std::string, std::string> files;
+    if (!std::filesystem::exists(dir))
+        return files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.is_regular_file())
+            files[entry.path().filename().string()] =
+                readFile(entry.path());
+    }
+    return files;
+}
+
+/** The single entry file (.kv or .blob) in `dir`, or fatal. */
+std::filesystem::path
+singleEntryPath(const std::string &dir)
+{
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        std::string ext = entry.path().extension().string();
+        if (ext == ".kv" || ext == ".blob")
+            return entry.path();
+    }
+    ADD_FAILURE() << "no entry file in " << dir;
+    return {};
+}
+
+vn::KeyValueFile
+sampleEntry()
+{
+    vn::KeyValueFile kv;
+    kv.set("v_min", 1.0423567891234567);
+    kv.set("p2p", 12.75);
+    return kv;
+}
+
+// ---------------------------------------------------------------------
+// Entry framing: every corruption mode is a counted miss, never a
+// served result.
+// ---------------------------------------------------------------------
+
+TEST(CacheFraming, StoreLoadRoundTripsThroughTheFrame)
+{
+    ScratchDir dir("frame_roundtrip");
+    ResultCache cache(dir.path());
+    EXPECT_TRUE(cache.store(1, sampleEntry()));
+    auto loaded = cache.load(1);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->serialize(), sampleEntry().serialize());
+    EXPECT_EQ(cache.counters().corrupt, 0u);
+
+    // The on-disk bytes are framed: header + payload + checksum line.
+    std::string bytes = readFile(singleEntryPath(dir.path()));
+    EXPECT_EQ(bytes.rfind("vncache 1 ", 0), 0u);
+    EXPECT_NE(bytes.find("\nvnsum "), std::string::npos);
+}
+
+TEST(CacheFraming, TruncatedEntryIsACountedMiss)
+{
+    ScratchDir dir("frame_truncated");
+    ResultCache cache(dir.path());
+    cache.store(2, sampleEntry());
+    auto path = singleEntryPath(dir.path());
+    std::string bytes = readFile(path);
+    // A torn write keeps only a prefix; try several cut points.
+    for (size_t keep : {0u, 5u, 20u}) {
+        writeFile(path, bytes.substr(0, keep));
+        EXPECT_FALSE(cache.load(2).has_value()) << "keep " << keep;
+    }
+    EXPECT_EQ(cache.counters().corrupt, 3u);
+}
+
+TEST(CacheFraming, FlippedBitIsACountedMiss)
+{
+    ScratchDir dir("frame_bitflip");
+    ResultCache cache(dir.path());
+    cache.store(3, sampleEntry());
+    auto path = singleEntryPath(dir.path());
+    std::string bytes = readFile(path);
+    // Flip one payload bit; the checksum must catch it.
+    std::string flipped = bytes;
+    flipped[bytes.size() / 2] ^= 0x10;
+    writeFile(path, flipped);
+    EXPECT_FALSE(cache.load(3).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+
+    // Restoring the original bytes restores the hit.
+    writeFile(path, bytes);
+    EXPECT_TRUE(cache.load(3).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+}
+
+TEST(CacheFraming, UnframedLegacyEntryIsACountedMiss)
+{
+    ScratchDir dir("frame_legacy");
+    ResultCache cache(dir.path());
+    cache.store(4, sampleEntry());
+    // Overwrite with a valid *unframed* KeyValueFile — the
+    // pre-durability format. Stale formats recompute, never decode.
+    writeFile(singleEntryPath(dir.path()), sampleEntry().serialize());
+    EXPECT_FALSE(cache.load(4).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+}
+
+TEST(CacheFraming, IntactFrameWithUnparsablePayloadIsACountedMiss)
+{
+    ScratchDir dir("frame_unparsable");
+    ResultCache cache(dir.path());
+    // storeText frames arbitrary bytes; copying that blob under a .kv
+    // name simulates a writer bug the checksum cannot catch.
+    cache.storeText(5, "this is not a key/value snapshot");
+    auto blob = singleEntryPath(dir.path());
+    auto kv = blob;
+    kv.replace_extension(".kv");
+    std::filesystem::rename(blob, kv);
+    ResultCache reopened(dir.path());
+    EXPECT_FALSE(reopened.load(5).has_value());
+    EXPECT_EQ(reopened.counters().corrupt, 1u);
+}
+
+TEST(CacheFraming, TruncatedTextBlobIsACountedMiss)
+{
+    // Regression: loadText() on a torn blob must be a counted miss,
+    // not a served prefix (the router caches response JSON this way).
+    ScratchDir dir("frame_blob");
+    ResultCache cache(dir.path());
+    std::string text = "{\"result\": {\"v_min\": 1.042}}";
+    EXPECT_TRUE(cache.storeText(6, text));
+    ASSERT_EQ(cache.loadText(6), std::optional<std::string>(text));
+
+    auto path = singleEntryPath(dir.path());
+    std::string bytes = readFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() - 7));
+    EXPECT_FALSE(cache.loadText(6).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+}
+
+TEST(CacheFraming, CorruptionFeedsTheGlobalAggregate)
+{
+    CacheCounters before = ResultCache::globalCounters();
+    ScratchDir dir("frame_global");
+    ResultCache cache(dir.path());
+    cache.store(7, sampleEntry());
+    writeFile(singleEntryPath(dir.path()), "garbage");
+    EXPECT_FALSE(cache.load(7).has_value());
+    CacheCounters after = ResultCache::globalCounters();
+    EXPECT_EQ(after.corrupt, before.corrupt + 1);
+}
+
+// ---------------------------------------------------------------------
+// Scrub and temp-file reaping.
+// ---------------------------------------------------------------------
+
+TEST(CacheScrub, QuarantinesExactlyTheCorruptEntries)
+{
+    ScratchDir dir("scrub_quarantine");
+    ResultCache cache(dir.path());
+    for (uint64_t key = 0; key < 5; ++key)
+        cache.store(key, sampleEntry());
+    // Corrupt entries 1 and 3 in different ways.
+    auto rawKeyPath = [&](uint64_t key) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "%016llx.kv",
+                      static_cast<unsigned long long>(key));
+        return (std::filesystem::path(dir.path()) / name).string();
+    };
+    std::string p1 = rawKeyPath(1);
+    std::string p3 = rawKeyPath(3);
+    ASSERT_TRUE(std::filesystem::exists(p1));
+    ASSERT_TRUE(std::filesystem::exists(p3));
+    writeFile(p1, "truncated nonsense");
+    std::string b3 = readFile(p3);
+    b3[b3.size() / 2] ^= 0x01;
+    writeFile(p3, b3);
+
+    ScrubReport report = cache.scrub();
+    EXPECT_EQ(report.scanned, 5u);
+    EXPECT_EQ(report.ok, 3u);
+    EXPECT_EQ(report.quarantined, 2u);
+    EXPECT_TRUE(std::filesystem::exists(p1 + ".quarantine"));
+    EXPECT_TRUE(std::filesystem::exists(p3 + ".quarantine"));
+    EXPECT_FALSE(std::filesystem::exists(p1));
+    EXPECT_FALSE(std::filesystem::exists(p3));
+
+    // The intact entries still load; the corrupt ones are now misses
+    // without further corruption counts (they were quarantined away).
+    uint64_t corrupt_after_scrub = cache.counters().corrupt;
+    EXPECT_TRUE(cache.load(0).has_value());
+    EXPECT_FALSE(cache.load(1).has_value());
+    EXPECT_FALSE(cache.load(3).has_value());
+    EXPECT_EQ(cache.counters().corrupt, corrupt_after_scrub);
+    EXPECT_EQ(cache.counters().scrub_runs, 1u);
+    EXPECT_EQ(cache.counters().scrub_scanned, 5u);
+    EXPECT_EQ(cache.counters().scrub_quarantined, 2u);
+}
+
+TEST(CacheScrub, ScrubReapsTempFilesRegardlessOfAge)
+{
+    ScratchDir dir("scrub_tmp");
+    ResultCache cache(dir.path());
+    cache.store(1, sampleEntry());
+    writeFile(std::filesystem::path(dir.path()) / "deadbeef.kv.tmp0",
+              "partial");
+    ScrubReport report = cache.scrub();
+    EXPECT_EQ(report.tmp_reaped, 1u);
+    EXPECT_EQ(report.scanned, 1u);
+    EXPECT_EQ(report.ok, 1u);
+    EXPECT_FALSE(std::filesystem::exists(
+        std::filesystem::path(dir.path()) / "deadbeef.kv.tmp0"));
+}
+
+TEST(CacheScrub, OpenTimeReapIsAgeGated)
+{
+    ScratchDir dir("open_reap");
+    std::filesystem::create_directories(dir.path());
+    auto fresh = std::filesystem::path(dir.path()) / "aa.kv.tmp1";
+    auto stale = std::filesystem::path(dir.path()) / "bb.kv.tmp2";
+    writeFile(fresh, "live writer's temp");
+    writeFile(stale, "crashed writer's temp");
+    // Backdate the stale one beyond the reap age.
+    std::filesystem::last_write_time(
+        stale, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::hours(1));
+
+    bool was_quiet = vn::setQuiet(true);
+    ResultCache cache(dir.path());
+    vn::setQuiet(was_quiet);
+    EXPECT_TRUE(std::filesystem::exists(fresh));
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_EQ(cache.counters().tmp_reaped, 1u);
+}
+
+// ---------------------------------------------------------------------
+// FaultFsSchedule: scripting, round-trip, seeded derivation.
+// ---------------------------------------------------------------------
+
+TEST(FaultFsSchedule, BuildersAndActionFor)
+{
+    FaultFsSchedule s;
+    s.tornWrite(0, 10).enospc(2, 5).renameFail(4).bitFlip(6, 33, 3);
+    EXPECT_EQ(s.actionCount(), 4u);
+    EXPECT_EQ(s.actionFor(0).kind, FsFault::Kind::TornWrite);
+    EXPECT_EQ(s.actionFor(0).bytes, 10u);
+    EXPECT_EQ(s.actionFor(1).kind, FsFault::Kind::None);
+    EXPECT_EQ(s.actionFor(2).kind, FsFault::Kind::Enospc);
+    EXPECT_EQ(s.actionFor(4).kind, FsFault::Kind::RenameFail);
+    EXPECT_EQ(s.actionFor(6).kind, FsFault::Kind::BitFlip);
+    EXPECT_EQ(s.actionFor(6).bytes, 33u);
+    EXPECT_EQ(s.actionFor(6).bit, 3u);
+}
+
+TEST(FaultFsSchedule, DumpParseRoundTrips)
+{
+    FaultFsSchedule s;
+    s.tornWrite(3, 17).enospc(5).renameFail(7).bitFlip(11, 250, 7);
+    FaultFsSchedule parsed = FaultFsSchedule::parse(s.dump());
+    EXPECT_TRUE(parsed == s);
+    EXPECT_EQ(parsed.dump(), s.dump());
+}
+
+TEST(FaultFsSchedule, ParseAcceptsCommentsAndRejectsGarbage)
+{
+    FaultFsSchedule s = FaultFsSchedule::parse(
+        "# disk-fault script\n"
+        "\n"
+        "torn 0 12\n"
+        "enospc 1\n");
+    EXPECT_EQ(s.actionCount(), 2u);
+    EXPECT_THROW(FaultFsSchedule::parse("melt 3"),
+                 std::runtime_error);
+    EXPECT_THROW(FaultFsSchedule::parse("torn nope 12"),
+                 std::runtime_error);
+}
+
+TEST(FaultFsSchedule, RandomIsAPureFunctionOfItsArguments)
+{
+    FaultFsSchedule a = FaultFsSchedule::random(17, 100, 8);
+    FaultFsSchedule b = FaultFsSchedule::random(17, 100, 8);
+    FaultFsSchedule c = FaultFsSchedule::random(42, 100, 8);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_GE(a.actionCount(), 1u);
+    // Round-trips through text so CI can pin a derived schedule.
+    EXPECT_TRUE(FaultFsSchedule::parse(a.dump()) == a);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection through the cache: every injected failure is either
+// a counted store failure (nothing published) or a counted corrupt
+// miss (published but never served).
+// ---------------------------------------------------------------------
+
+/** Count files in `dir` whose name contains ".tmp". */
+size_t
+tmpFileCount(const std::string &dir)
+{
+    size_t n = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().filename().string().find(".tmp") !=
+            std::string::npos)
+            ++n;
+    }
+    return n;
+}
+
+TEST(FaultFsInjection, TornWritePublishesACountedCorruptMiss)
+{
+    ScratchDir dir("inject_torn");
+    FaultFs faults(FaultFsSchedule().tornWrite(0, 9));
+    ResultCache cache(dir.path(), &faults);
+    // The torn write lies success: store() returns true and the entry
+    // is published...
+    EXPECT_TRUE(cache.store(1, sampleEntry()));
+    EXPECT_TRUE(cache.contains(1));
+    // ...but loading it is a counted corrupt miss, never a result.
+    EXPECT_FALSE(cache.load(1).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+    EXPECT_EQ(faults.counters().injected_torn_writes, 1u);
+}
+
+TEST(FaultFsInjection, BitFlipPublishesACountedCorruptMiss)
+{
+    ScratchDir dir("inject_flip");
+    FaultFs faults(FaultFsSchedule().bitFlip(0, 40, 2));
+    ResultCache cache(dir.path(), &faults);
+    EXPECT_TRUE(cache.store(1, sampleEntry()));
+    EXPECT_FALSE(cache.load(1).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+    EXPECT_EQ(faults.counters().injected_bit_flips, 1u);
+}
+
+TEST(FaultFsInjection, EnospcFailsTheStoreAndLeavesNoTempFile)
+{
+    ScratchDir dir("inject_enospc");
+    FaultFs faults(FaultFsSchedule().enospc(0, 4));
+    ResultCache cache(dir.path(), &faults);
+    EXPECT_FALSE(cache.store(1, sampleEntry()));
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_EQ(tmpFileCount(dir.path()), 0u);
+    EXPECT_EQ(cache.counters().store_failures, 1u);
+    EXPECT_EQ(faults.counters().injected_enospc, 1u);
+    // The next publish (unscheduled) succeeds and reads back clean.
+    EXPECT_TRUE(cache.store(1, sampleEntry()));
+    EXPECT_TRUE(cache.load(1).has_value());
+}
+
+TEST(FaultFsInjection, RenameFailureFailsTheStoreAndLeavesNoTempFile)
+{
+    ScratchDir dir("inject_rename");
+    FaultFs faults(FaultFsSchedule().renameFail(0));
+    ResultCache cache(dir.path(), &faults);
+    EXPECT_FALSE(cache.storeText(1, "payload"));
+    EXPECT_FALSE(cache.loadText(1).has_value());
+    EXPECT_EQ(tmpFileCount(dir.path()), 0u);
+    EXPECT_EQ(cache.counters().store_failures, 1u);
+    EXPECT_EQ(faults.counters().injected_rename_failures, 1u);
+}
+
+TEST(FaultFsInjection, OperationIndicesCountEveryPublish)
+{
+    ScratchDir dir("inject_index");
+    // Fault only publish #2; publishes 0, 1 and 3 must land clean.
+    FaultFs faults(FaultFsSchedule().tornWrite(2, 3));
+    ResultCache cache(dir.path(), &faults);
+    for (uint64_t key = 0; key < 4; ++key)
+        cache.store(key, sampleEntry());
+    EXPECT_EQ(faults.counters().publishes, 4u);
+    EXPECT_TRUE(cache.load(0).has_value());
+    EXPECT_TRUE(cache.load(1).has_value());
+    EXPECT_FALSE(cache.load(2).has_value());
+    EXPECT_TRUE(cache.load(3).has_value());
+    EXPECT_EQ(cache.counters().corrupt, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded fault determinism: the check.sh replay tier runs this suite
+// under VNOISE_FAULT_SEED=17 and 42 — for any seed, a faulted
+// single-threaded store sequence must replay bit-identically.
+// ---------------------------------------------------------------------
+
+TEST(FaultFsDeterminism, SameSeedYieldsByteIdenticalCacheDirectories)
+{
+    const char *env = std::getenv("VNOISE_FAULT_SEED");
+    const uint64_t seed =
+        env ? std::strtoull(env, nullptr, 10) : 17ull;
+    const uint64_t writes = 24;
+
+    auto run = [&](const std::string &dir) {
+        FaultFs faults(FaultFsSchedule::random(seed, writes, 6));
+        ResultCache cache(dir, &faults);
+        for (uint64_t key = 0; key < writes; ++key) {
+            vn::KeyValueFile kv;
+            kv.set("value", static_cast<double>(key) + 0.5);
+            kv.set("seeded", static_cast<double>(seed));
+            cache.store(key, kv);
+        }
+        return faults.counters();
+    };
+
+    ScratchDir a("determinism_a"), b("determinism_b");
+    FaultFsCounters ca = run(a.path());
+    FaultFsCounters cb = run(b.path());
+    EXPECT_EQ(ca.publishes, cb.publishes);
+    EXPECT_EQ(ca.injected_torn_writes, cb.injected_torn_writes);
+    EXPECT_EQ(ca.injected_enospc, cb.injected_enospc);
+    EXPECT_EQ(ca.injected_rename_failures,
+              cb.injected_rename_failures);
+    EXPECT_EQ(ca.injected_bit_flips, cb.injected_bit_flips);
+
+    auto sa = snapshotDir(a.path());
+    auto sb = snapshotDir(b.path());
+    ASSERT_EQ(sa.size(), sb.size());
+    for (const auto &[name, bytes] : sa) {
+        ASSERT_TRUE(sb.count(name)) << name;
+        EXPECT_EQ(bytes, sb[name]) << name;
+    }
+
+    // And a faulted cache never serves corrupt data: reads after the
+    // faulted run either hit with intact payloads or miss.
+    ResultCache verify(a.path());
+    for (uint64_t key = 0; key < writes; ++key) {
+        auto entry = verify.load(key);
+        if (entry.has_value()) {
+            EXPECT_EQ(entry->require("value"),
+                      static_cast<double>(key) + 0.5);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal: append/replay, torn tails, scope binding.
+// ---------------------------------------------------------------------
+
+TEST(Journal, AppendsReplayAcrossReopen)
+{
+    ScratchDir dir("journal_replay");
+    {
+        Journal j(dir.path(), "scope", 99, false);
+        EXPECT_TRUE(j.append("point 0"));
+        EXPECT_TRUE(j.append("point 1"));
+        EXPECT_FALSE(j.append("point 0")); // dedup
+        EXPECT_EQ(j.size(), 2u);
+        j.sync();
+    }
+    Journal j(dir.path(), "scope", 99, true);
+    EXPECT_EQ(j.replayed(), 2u);
+    EXPECT_TRUE(j.contains("point 0"));
+    EXPECT_TRUE(j.contains("point 1"));
+    EXPECT_FALSE(j.contains("point 2"));
+    EXPECT_FALSE(j.recoveredTornTail());
+    // Appends continue after the replayed records.
+    EXPECT_TRUE(j.append("point 2"));
+    EXPECT_EQ(j.size(), 3u);
+}
+
+TEST(Journal, FreshOpenDiscardsThePreviousRun)
+{
+    ScratchDir dir("journal_fresh");
+    {
+        Journal j(dir.path(), "scope", 99, false);
+        j.append("old");
+    }
+    Journal j(dir.path(), "scope", 99, /*resume=*/false);
+    EXPECT_EQ(j.replayed(), 0u);
+    EXPECT_FALSE(j.contains("old"));
+}
+
+TEST(Journal, TornTailIsTruncatedAndJournalingContinues)
+{
+    ScratchDir dir("journal_torn");
+    std::string path = Journal::pathFor(dir.path(), "scope", 7);
+    {
+        Journal j(dir.path(), "scope", 7, false);
+        for (int i = 0; i < 5; ++i)
+            j.append("key " + std::to_string(i));
+    }
+    // Tear the tail mid-record, as kill -9 during an append would.
+    std::string bytes = readFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() - 9));
+
+    bool was_quiet = vn::setQuiet(true);
+    Journal j(dir.path(), "scope", 7, true);
+    vn::setQuiet(was_quiet);
+    EXPECT_TRUE(j.recoveredTornTail());
+    EXPECT_EQ(j.replayed(), 4u);
+    EXPECT_TRUE(j.contains("key 3"));
+    EXPECT_FALSE(j.contains("key 4")); // the torn record
+
+    // The file is self-healed: appending and reopening works.
+    EXPECT_TRUE(j.append("key 4"));
+    Journal again(dir.path(), "scope", 7, true);
+    EXPECT_EQ(again.replayed(), 5u);
+    EXPECT_FALSE(again.recoveredTornTail());
+}
+
+TEST(Journal, CorruptedRecordStopsReplayAtTheLastGoodOne)
+{
+    ScratchDir dir("journal_corrupt");
+    std::string path = Journal::pathFor(dir.path(), "scope", 7);
+    {
+        Journal j(dir.path(), "scope", 7, false);
+        for (int i = 0; i < 4; ++i)
+            j.append("key " + std::to_string(i));
+    }
+    // Flip a byte inside record #2's key: its checksum goes stale, so
+    // replay keeps records 0-1 and truncates the rest away.
+    std::string bytes = readFile(path);
+    size_t target = bytes.find("key 2");
+    ASSERT_NE(target, std::string::npos);
+    bytes[target + 4] = '9';
+    writeFile(path, bytes);
+
+    Journal j(dir.path(), "scope", 7, true);
+    EXPECT_TRUE(j.recoveredTornTail());
+    EXPECT_EQ(j.replayed(), 2u);
+    EXPECT_TRUE(j.contains("key 1"));
+    EXPECT_FALSE(j.contains("key 2"));
+    EXPECT_FALSE(j.contains("key 9"));
+    EXPECT_FALSE(j.contains("key 3"));
+}
+
+TEST(Journal, MismatchedSeedStartsFreshInsteadOfReplaying)
+{
+    ScratchDir dir("journal_seed");
+    {
+        Journal j(dir.path(), "scope", 1, false);
+        j.append("done under seed 1");
+    }
+    // Same (dir, scope) but a different seed is a different file —
+    // scope hash includes the seed, so nothing can cross-replay.
+    Journal j(dir.path(), "scope", 2, true);
+    EXPECT_EQ(j.replayed(), 0u);
+    EXPECT_FALSE(j.contains("done under seed 1"));
+    EXPECT_NE(Journal::pathFor(dir.path(), "scope", 1),
+              Journal::pathFor(dir.path(), "scope", 2));
+}
+
+TEST(Journal, GarbageFileIsReplacedWithAWarning)
+{
+    ScratchDir dir("journal_garbage");
+    std::string path = Journal::pathFor(dir.path(), "scope", 3);
+    std::filesystem::create_directories(dir.path());
+    writeFile(path, "not a journal at all\n");
+    Journal j(dir.path(), "scope", 3, true);
+    EXPECT_EQ(j.replayed(), 0u);
+    EXPECT_TRUE(j.append("fresh"));
+    Journal again(dir.path(), "scope", 3, true);
+    EXPECT_EQ(again.replayed(), 1u);
+}
+
+TEST(Journal, KeysWithSpacesSurviveTheRoundTrip)
+{
+    ScratchDir dir("journal_spaces");
+    std::string key = "fsweep f=2.6e6 corner=tt  padded";
+    {
+        Journal j(dir.path(), "scope", 4, false);
+        j.append(key);
+    }
+    Journal j(dir.path(), "scope", 4, true);
+    EXPECT_EQ(j.replayed(), 1u);
+    EXPECT_TRUE(j.contains(key));
+}
+
+// ---------------------------------------------------------------------
+// Campaign-level resume: the user-facing guarantee.
+// ---------------------------------------------------------------------
+
+struct Point
+{
+    double value = 0.0;
+    double noise = 0.0;
+};
+
+void
+encodePoint(const Point &p, vn::KeyValueFile &kv)
+{
+    kv.set("value", p.value);
+    kv.set("noise", p.noise);
+}
+
+Point
+decodePoint(const vn::KeyValueFile &kv)
+{
+    return {kv.require("value"), kv.require("noise")};
+}
+
+Point
+seededJob(uint64_t seed, int index)
+{
+    vn::Rng rng(seed);
+    Point p;
+    p.value = index + rng.uniform();
+    for (int i = 0; i < 10; ++i)
+        p.noise += rng.uniform(-1.0, 1.0);
+    return p;
+}
+
+std::vector<Point>
+runResumable(const std::string &cache_dir,
+             const std::string &journal_dir, bool resume, int n,
+             CampaignStats *sink)
+{
+    CampaignOptions options;
+    options.jobs = 2;
+    options.cache_dir = cache_dir;
+    options.journal_dir = journal_dir;
+    options.resume = resume;
+    options.stats_sink = sink;
+    Campaign<Point> campaign(options, 99, "scope window=1e-6");
+    campaign.setCodec(encodePoint, decodePoint);
+    for (int i = 0; i < n; ++i) {
+        campaign.submit("point " + std::to_string(i), [i](uint64_t s) {
+            return seededJob(s, i);
+        });
+    }
+    return campaign.collectOrFatal();
+}
+
+TEST(CampaignResume, ResumedRunSkipsEverythingAndMatchesByteForByte)
+{
+    ScratchDir cache("resume_cache"), journal("resume_journal");
+    CampaignStats first, second;
+    auto fresh =
+        runResumable(cache.path(), journal.path(), false, 15, &first);
+    EXPECT_EQ(first.executed, 15u);
+    EXPECT_EQ(first.journal_skips, 0u);
+
+    auto resumed =
+        runResumable(cache.path(), journal.path(), true, 15, &second);
+    EXPECT_EQ(second.executed, 0u);
+    EXPECT_EQ(second.cache_hits, 15u);
+    EXPECT_EQ(second.journal_skips, 15u);
+    EXPECT_EQ(second.cache_corrupt, 0u);
+    ASSERT_EQ(fresh.size(), resumed.size());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(fresh[i].value, resumed[i].value) << "at " << i;
+        EXPECT_EQ(fresh[i].noise, resumed[i].noise) << "at " << i;
+    }
+    EXPECT_NE(second.summary().find("resumed"), std::string::npos);
+}
+
+TEST(CampaignResume, RecomputesExactlyTheMissingAndCorruptEntries)
+{
+    ScratchDir cache("resume_gap_cache"), journal("resume_gap_jnl");
+    CampaignStats first;
+    auto fresh =
+        runResumable(cache.path(), journal.path(), false, 10, &first);
+    ASSERT_EQ(first.executed, 10u);
+
+    // Simulate the crash aftermath: one entry vanished (the rename
+    // never landed), one is torn (the data write didn't finish).
+    auto entryFile = [&](const std::string &key) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "%016llx.kv",
+                      static_cast<unsigned long long>(
+                          ResultCache::keyFor("scope window=1e-6",
+                                              key)));
+        return (std::filesystem::path(cache.path()) / name).string();
+    };
+    std::string gone = entryFile("point 2");
+    std::string torn = entryFile("point 7");
+    ASSERT_TRUE(std::filesystem::remove(gone));
+    std::string bytes = readFile(torn);
+    writeFile(torn, bytes.substr(0, bytes.size() / 2));
+
+    CampaignStats second;
+    auto resumed =
+        runResumable(cache.path(), journal.path(), true, 10, &second);
+    // Only the two damaged lanes recompute; the torn one is a counted
+    // corrupt encounter surfaced in the stats.
+    EXPECT_EQ(second.executed, 2u);
+    EXPECT_EQ(second.cache_hits, 8u);
+    EXPECT_EQ(second.journal_skips, 8u);
+    EXPECT_EQ(second.cache_corrupt, 1u);
+    ASSERT_EQ(fresh.size(), resumed.size());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(fresh[i].value, resumed[i].value) << "at " << i;
+        EXPECT_EQ(fresh[i].noise, resumed[i].noise) << "at " << i;
+    }
+    EXPECT_NE(second.summary().find("corrupt"), std::string::npos);
+}
+
+TEST(CampaignResume, FaultedFirstRunStillResumesToIdenticalResults)
+{
+    // End-to-end composition: a first run under injected disk faults
+    // loses some entries (failed stores) and poisons others (torn
+    // writes, bit flips); the resumed run recomputes exactly the
+    // damage and converges to the unfaulted reference.
+    auto reference = runResumable("", "", false, 12, nullptr);
+
+    ScratchDir cache("resume_fault_cache"),
+        journal("resume_fault_jnl");
+    FaultFs faults(FaultFsSchedule()
+                       .tornWrite(1, 11)
+                       .enospc(4)
+                       .renameFail(6)
+                       .bitFlip(9, 52, 1));
+    {
+        // The campaign engine owns its cache; drive the same publish
+        // sequence through a faulted cache by priming it manually.
+        ResultCache primed(cache.path(), &faults);
+        Journal j(journal.path(), "scope window=1e-6", 99, false);
+        for (int i = 0; i < 12; ++i) {
+            std::string key = "point " + std::to_string(i);
+            vn::KeyValueFile kv;
+            encodePoint(seededJob(vn::runtime::deriveSeed(99, key), i),
+                        kv);
+            if (primed.store(ResultCache::keyFor("scope window=1e-6",
+                                                 key),
+                             kv))
+                j.append(key);
+        }
+    }
+
+    CampaignStats stats;
+    auto resumed =
+        runResumable(cache.path(), journal.path(), true, 12, &stats);
+    // Two stores failed outright (enospc, rename) and two published
+    // corrupt (torn, flip): exactly four lanes recompute.
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.cache_hits, 8u);
+    EXPECT_EQ(stats.cache_corrupt, 2u);
+    ASSERT_EQ(reference.size(), resumed.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i].value, resumed[i].value) << "at " << i;
+        EXPECT_EQ(reference[i].noise, resumed[i].noise) << "at " << i;
+    }
+}
+
+} // namespace

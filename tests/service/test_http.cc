@@ -15,6 +15,8 @@
 
 #include <cctype>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <thread>
 
@@ -657,6 +659,28 @@ TEST(HttpMetrics, MetricsMatchFramedStatsExactly)
     EXPECT_EQ(resilient.counters().retries, 1u);
     EXPECT_EQ(hook.injected(), 1u);
 
+    // Durability counters are process-wide: a corrupt cache entry
+    // encountered by ANY ResultCache in the process must surface in
+    // this server's cache section — campaigns open short-lived cache
+    // instances, so the section aggregates across them.
+    runtime::CacheCounters cache_before =
+        runtime::ResultCache::globalCounters();
+    {
+        std::string scratch_dir = "http_metrics_cache_scratch";
+        std::filesystem::remove_all(scratch_dir);
+        runtime::ResultCache scratch(scratch_dir);
+        vn::KeyValueFile kv;
+        kv.set("x", 1.0);
+        ASSERT_TRUE(scratch.store(1, kv));
+        for (const auto &entry :
+             std::filesystem::directory_iterator(scratch_dir)) {
+            std::ofstream out(entry.path(), std::ios::trunc);
+            out << "torn";
+        }
+        EXPECT_FALSE(scratch.load(1).has_value());
+        std::filesystem::remove_all(scratch_dir);
+    }
+
     // Source of truth, encoding one: the framed stats document.
     Json stats = client.stats();
     // Encoding two: the Prometheus exposition. No requests run
@@ -674,6 +698,19 @@ TEST(HttpMetrics, MetricsMatchFramedStatsExactly)
     // already carry `_total` where they are counters.
     expectSectionMatches(stats.at("resilience"), "resilience", metrics,
                          /*append_total=*/false);
+    // The cache durability section's leaves are pre-suffixed `_total`.
+    expectSectionMatches(stats.at("cache"), "cache", metrics,
+                         /*append_total=*/false);
+
+    // The injected corruption above is visible, exactly once, in both
+    // encodings.
+    EXPECT_EQ(stats.at("cache").at("corrupt_total").asNumber(),
+              static_cast<double>(cache_before.corrupt + 1));
+    EXPECT_EQ(metrics.at("vnoised_cache_corrupt_total"),
+              static_cast<double>(cache_before.corrupt + 1));
+    EXPECT_NE(scrape.body.find(
+                  "# TYPE vnoised_cache_corrupt_total counter"),
+              std::string::npos);
 
     // Spot-check the known outcomes on both sides.
     EXPECT_EQ(metrics.at("vnoised_requests_completed_ok_total"), 4.0);

@@ -16,7 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -386,6 +389,98 @@ TEST(Service, SigtermDrainsInFlightRequestsBeforeExit)
 
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
+}
+
+TEST(Service, DrainTimeoutBoundsShutdownWithAWedgedBatcher)
+{
+    // A batch wedged mid-campaign (simulated by a blocking batch
+    // hook) must not turn shutdown into a hang: after
+    // drain_timeout_s, queued-but-unbatched requests are answered
+    // `shutting_down`, wait() returns, and drainedCleanly() reports
+    // the abandoned drain.
+    auto ctx = context();
+    ServerConfig config;
+    config.drain_timeout_s = 0.5;
+    config.dispatcher.max_batch = 1; // one request per batch
+    Server server(ctx, config);
+    server.start();
+    server.pauseForTest(true);
+
+    std::mutex hook_mutex;
+    std::condition_variable hook_cv;
+    bool batch_entered = false;
+    bool hook_released = false;
+    server.setBatchHookForTest([&] {
+        std::unique_lock<std::mutex> lock(hook_mutex);
+        batch_entered = true;
+        hook_cv.notify_all();
+        hook_cv.wait(lock, [&] { return hook_released; });
+    });
+
+    // Two requests: request 0 will wedge inside the first batch,
+    // request 1 stays queued behind it.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    for (int i = 0; i < 2; ++i) {
+        Json request = Json::object();
+        request.set("id", Json::number(i));
+        request.set("verb", Json::str("sweep"));
+        Json params = Json::object();
+        params.set("freq_hz", Json::number(2e6 + i * 1e6));
+        request.set("params", std::move(params));
+        ASSERT_TRUE(writeFrame(fd, request.dump()));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    // Release the pause; the batcher takes request 0 and wedges.
+    server.pauseForTest(false);
+    {
+        std::unique_lock<std::mutex> lock(hook_mutex);
+        ASSERT_TRUE(hook_cv.wait_for(lock, std::chrono::seconds(5),
+                                     [&] { return batch_entered; }));
+    }
+
+    auto shutdown_started = std::chrono::steady_clock::now();
+    server.beginShutdown();
+    server.wait(); // must return despite the wedged batch
+    double waited_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      shutdown_started)
+            .count();
+    EXPECT_LT(waited_s, 5.0);
+    EXPECT_FALSE(server.drainedCleanly());
+
+    // The queued request was cancelled with a structured error, its
+    // response written before the connection came down.
+    std::string text;
+    ASSERT_EQ(readFrame(fd, text, kDefaultMaxFrameBytes),
+              FrameStatus::Ok);
+    Json response = Json::parse(text);
+    ASSERT_FALSE(response.at("ok").asBool());
+    EXPECT_EQ(response.at("error").at("code").asString(),
+              "shutting_down");
+    EXPECT_EQ(response.at("id").asNumber(), 1.0);
+    EXPECT_EQ(readFrame(fd, text, kDefaultMaxFrameBytes),
+              FrameStatus::Eof);
+    ::close(fd);
+
+    ServiceCounters counters = server.dispatcher().counters();
+    EXPECT_EQ(counters.rejected_shutdown, 1u);
+
+    // Unwedge so the Dispatcher destructor can join the batcher; the
+    // wedged request completes into the now-closed connection.
+    {
+        std::lock_guard<std::mutex> lock(hook_mutex);
+        hook_released = true;
+    }
+    hook_cv.notify_all();
 }
 
 TEST(Service, ShutdownVerbDrainsLikeASignal)

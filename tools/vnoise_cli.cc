@@ -14,11 +14,13 @@
  *   map --jobs K                         best/worst workload mapping
  *   spectrum [--freq HZ]                 droop spectrum of a run (FFT)
  *   serve [--port N] [--jobs N] ...      run the vnoised daemon
+ *   cache scrub [--cache-dir P]          verify/quarantine the cache
  *   query <verb> [--port N] ...          one request against vnoised
  */
 
 #include <complex>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -115,8 +117,8 @@ class Args
 };
 
 /** Flags accepted by every subcommand. */
-const std::vector<std::string> kCommonFlags = {"config", "jobs",
-                                               "cache-dir", "no-cache"};
+const std::vector<std::string> kCommonFlags = {
+    "config", "jobs", "cache-dir", "no-cache", "journal-dir", "resume"};
 
 std::vector<std::string>
 withCommon(std::vector<std::string> flags)
@@ -137,6 +139,13 @@ campaignOptions(const Args &args)
         args.text("cache-dir", vn::defaultCacheDir());
     if (args.has("no-cache"))
         options.cache_dir.clear();
+    options.journal_dir = args.text("journal-dir", "");
+    options.resume = args.has("resume");
+    if (options.resume && options.journal_dir.empty())
+        fatal("vnoise_cli: --resume requires --journal-dir");
+    if (options.resume && options.cache_dir.empty())
+        fatal("vnoise_cli: --resume requires the result cache "
+              "(drop --no-cache)");
     return options;
 }
 
@@ -382,6 +391,7 @@ cmdServe(const Args &args)
         "stream-threshold-bytes",
         static_cast<double>(config.stream_threshold_bytes)));
     config.advertise = args.text("advertise", "");
+    config.drain_timeout_s = args.number("drain-timeout-s", 30.0);
 
     AnalysisContext ctx;
     ctx.chip_config = chipConfig(args);
@@ -410,6 +420,40 @@ cmdServe(const Args &args)
                 static_cast<unsigned long long>(c.completed_error),
                 static_cast<unsigned long long>(c.batches),
                 c.campaign.cache_hits);
+    if (!server.drainedCleanly()) {
+        warn("vnoised: drain timed out; exiting without joining the "
+             "wedged batcher");
+        std::fflush(nullptr);
+        // _Exit skips destructors: ~Dispatcher would block forever on
+        // the wedged batcher thread.
+        std::_Exit(1);
+    }
+    return 0;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 3 || std::string(argv[2]) != "scrub") {
+        std::fprintf(stderr,
+                     "vnoise_cli cache: expected subcommand 'scrub'\n");
+        return 2;
+    }
+    Args args(argc, argv, 3);
+    std::string bad = args.unknownKey({"cache-dir"});
+    if (!bad.empty()) {
+        std::fprintf(stderr,
+                     "vnoise_cli cache scrub: unknown option '--%s'\n",
+                     bad.c_str());
+        return 2;
+    }
+    std::string dir = args.text("cache-dir", vn::defaultCacheDir());
+    runtime::ResultCache cache(dir);
+    runtime::ScrubReport report = cache.scrub();
+    std::printf("scrubbed %s: %zu entries, %zu ok, %zu quarantined, "
+                "%zu temp file(s) reaped\n",
+                dir.c_str(), report.scanned, report.ok,
+                report.quarantined, report.tmp_reaped);
     return 0;
 }
 
@@ -613,14 +657,19 @@ usage(std::FILE *out)
         "        [--interactive-weight W] [--batch-weight W]\n"
         "        [--promotion-age-ms N] [--stream-chunk-bytes N]\n"
         "        [--stream-threshold-bytes N]\n"
-        "        [--advertise NAME]         run the vnoised daemon\n"
+        "        [--advertise NAME] [--drain-timeout-s S]\n"
+        "                                   run the vnoised daemon\n"
         "        (--http-port: Prometheus /metrics gateway, default "
         "7412;\n"
         "         0 = ephemeral, negative = disabled;\n"
         "         --interactive-weight/--batch-weight: WFQ admission\n"
         "         shares, default 4:1; --promotion-age-ms: starvation\n"
         "         bound, default 1000;\n"
-        "         --advertise: backend name announced to vnoise_router)\n"
+        "         --advertise: backend name announced to vnoise_router;\n"
+        "         --drain-timeout-s: bound on the graceful drain at\n"
+        "         shutdown, default 30, <= 0 waits forever)\n"
+        "  cache scrub [--cache-dir P]     verify + quarantine corrupt\n"
+        "        result-cache entries and reap stray temp files\n"
         "  query <verb> [--port N | --router HOST:PORT]\n"
         "        [--deadline-ms N] [--retries N] [--accept-stream]\n"
         "        [--backoff-ms N] [--call-deadline-ms N] [verb options]\n"
@@ -637,7 +686,11 @@ usage(std::FILE *out)
         "        --jobs N       (campaign worker threads, default 1)\n"
         "        --cache-dir P  (result cache; default VNOISE_CACHE_DIR\n"
         "                       or <VNOISE_OUT_DIR>/cache)\n"
-        "        --no-cache     (disable the result cache)\n");
+        "        --no-cache     (disable the result cache)\n"
+        "        --journal-dir P (completion journal for crash-safe\n"
+        "                       campaigns; see --resume)\n"
+        "        --resume       (replay the journal: skip jobs already\n"
+        "                       completed by an interrupted run)\n");
 }
 
 /** Flag check shared by the table-driven commands. */
@@ -702,8 +755,11 @@ main(int argc, char **argv)
                            "max-batch", "batch-window-ms",
                            "interactive-weight", "batch-weight",
                            "promotion-age-ms", "stream-chunk-bytes",
-                           "stream-threshold-bytes", "advertise"},
+                           "stream-threshold-bytes", "advertise",
+                           "drain-timeout-s"},
                           cmdServe);
+    if (command == "cache")
+        return cmdCache(argc, argv);
     if (command == "query")
         return cmdQuery(argc, argv);
     std::fprintf(stderr, "vnoise_cli: unknown command '%s'\n",

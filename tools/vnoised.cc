@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -33,7 +34,8 @@ usage(std::FILE *out)
         "               [--promotion-age-ms N]\n"
         "               [--stream-chunk-bytes N]\n"
         "               [--stream-threshold-bytes N]\n"
-        "               [--advertise NAME] [--version] [--help]\n"
+        "               [--advertise NAME] [--drain-timeout-s S]\n"
+        "               [--version] [--help]\n"
         "Serves the voltage-noise simulator on 127.0.0.1 (default port "
         "%d).\n"
         "--http-port adds the HTTP/1.1 observability gateway "
@@ -47,7 +49,10 @@ usage(std::FILE *out)
         "(default 1000, <= 0 disables promotion).\n"
         "--stream-chunk-bytes sizes chunked-result frames (default\n"
         "%zu); --stream-threshold-bytes streams results above it\n"
-        "(default 0 = just under the frame cap).\n",
+        "(default 0 = just under the frame cap).\n"
+        "--drain-timeout-s bounds the graceful drain at shutdown\n"
+        "(default 30; <= 0 waits forever); a second SIGINT/SIGTERM\n"
+        "forces immediate exit.\n",
         vn::service::kDefaultPort, vn::service::kDefaultHttpPort,
         vn::service::kDefaultStreamChunkBytes);
 }
@@ -97,7 +102,8 @@ main(int argc, char **argv)
                                       "promotion-age-ms",
                                       "stream-chunk-bytes",
                                       "stream-threshold-bytes",
-                                      "advertise"};
+                                      "advertise",
+                                      "drain-timeout-s"};
         bool ok = false;
         for (const char *k : known)
             ok = ok || key == k;
@@ -146,6 +152,7 @@ main(int argc, char **argv)
         static_cast<double>(config.stream_threshold_bytes)));
     if (flags.count("advertise"))
         config.advertise = flags["advertise"];
+    config.drain_timeout_s = number("drain-timeout-s", 30.0);
 
     vn::AnalysisContext ctx;
     if (flags.count("config"))
@@ -190,5 +197,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(c.completed_error),
                 static_cast<unsigned long long>(c.batches),
                 c.campaign.cache_hits);
+    if (!server.drainedCleanly()) {
+        std::fprintf(stderr,
+                     "vnoised: drain timed out; exiting without "
+                     "joining the wedged batcher\n");
+        std::fflush(nullptr);
+        // _Exit skips destructors: ~Dispatcher would block forever on
+        // the wedged batcher thread.
+        std::_Exit(1);
+    }
     return 0;
 }
